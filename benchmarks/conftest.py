@@ -1,0 +1,82 @@
+"""Shared helpers for the paper-figure benchmarks.
+
+Every benchmark regenerates one exhibit of the paper (see DESIGN.md's
+per-experiment index) and prints the rows/series it reproduces, so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+driver for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import HDDScheduler
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.metrics import SimulationResult
+
+#: name -> factory taking a partition (ignored by partition-free ones).
+SCHEDULER_MAKERS = {
+    "hdd": lambda partition: HDDScheduler(partition),
+    "hdd-to": lambda partition: HDDScheduler(partition, protocol_b="to"),
+    "2pl": lambda partition: TwoPhaseLocking(),
+    "to": lambda partition: TimestampOrdering(),
+    "mvto": lambda partition: MultiversionTimestampOrdering(),
+    "mv2pl": lambda partition: MultiversionTwoPhaseLocking(),
+    "sdd1": lambda partition: SDD1Pipelining(partition),
+}
+
+
+def run_inventory_mix(
+    scheduler_name: str,
+    seed: int = 42,
+    commits: int = 400,
+    clients: int = 8,
+    read_only_share: float = 0.25,
+    skew: float = 1.0,
+    granules: int = 24,
+    audit: bool = True,
+) -> tuple[SimulationResult, object]:
+    """One deterministic inventory-mix run; returns (result, scheduler)."""
+    partition = build_inventory_partition()
+    scheduler = SCHEDULER_MAKERS[scheduler_name](partition)
+    workload = build_inventory_workload(
+        partition,
+        granules_per_segment=granules,
+        read_only_share=read_only_share,
+        skew=skew,
+    )
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=clients,
+        seed=seed,
+        target_commits=commits,
+        max_steps=400_000,
+        audit=audit,
+    ).run()
+    return result, scheduler
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight scenario exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print helper that keeps output readable under -s."""
+
+    def _show(title: str, body: str) -> None:
+        print()
+        print(f"--- {title} ---")
+        print(body)
+
+    return _show

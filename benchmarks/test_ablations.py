@@ -1,0 +1,254 @@
+"""Ablations of HDD's own design knobs (DESIGN.md §5).
+
+1. Protocol B flavour — basic TO vs Reed MVTO inside the root segment;
+2. Time-wall release interval — staleness vs computation cost;
+3. Garbage collection — version footprint with and without the
+   watermark collector.
+"""
+
+import pytest
+
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.metrics import format_table
+
+
+def run_hdd(protocol_b="mvto", wall_interval=25, skew=1.0, commits=400,
+            granules=12, seed=42, clients=8):
+    partition = build_inventory_partition()
+    scheduler = HDDScheduler(
+        partition, protocol_b=protocol_b, wall_interval=wall_interval
+    )
+    workload = build_inventory_workload(
+        partition, granules_per_segment=granules, skew=skew
+    )
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=clients,
+        seed=seed,
+        target_commits=commits,
+        max_steps=400_000,
+        audit=True,
+    ).run()
+    return result, scheduler
+
+
+def test_ablation_protocol_b(benchmark, show):
+    """Basic TO rejects late reads AND writes; MVTO only conflicting
+    writes.  Under skewed intra-class contention MVTO aborts less."""
+
+    def compare():
+        rows = []
+        for engine in ("to", "mvto"):
+            aborts = read_rejects = write_rejects = 0
+            throughput = 0.0
+            seeds = range(5)
+            for seed in seeds:
+                result, scheduler = run_hdd(
+                    protocol_b=engine, skew=3.0, granules=6, seed=seed
+                )
+                aborts += scheduler.stats.aborts
+                read_rejects += scheduler.stats.read_rejections
+                write_rejects += scheduler.stats.write_rejections
+                throughput += result.throughput
+            rows.append(
+                {
+                    "protocol_b": engine,
+                    "aborts(5 seeds)": aborts,
+                    "read_rejects": read_rejects,
+                    "write_rejects": write_rejects,
+                    "mean_tput": round(throughput / len(seeds), 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show("Ablation: Protocol B engine (5 seeds)", format_table(rows))
+    by_engine = {row["protocol_b"]: row for row in rows}
+    # MVTO structurally never rejects reads (asserted in unit tests);
+    # its write rule is also laxer (only the predecessor's read
+    # timestamp matters), so aggregate aborts come out at or below
+    # basic TO's.
+    assert by_engine["mvto"]["read_rejects"] == 0
+    assert (
+        by_engine["mvto"]["aborts(5 seeds)"]
+        <= by_engine["to"]["aborts(5 seeds)"]
+    )
+
+
+@pytest.mark.parametrize("interval", [2, 25, 200])
+def test_ablation_wall_interval(benchmark, interval, show):
+    """Smaller intervals buy Protocol C readers freshness at the price
+    of more wall computations."""
+    result, scheduler = benchmark.pedantic(
+        run_hdd, kwargs=dict(wall_interval=interval), rounds=1, iterations=1
+    )
+    show(
+        f"Ablation: wall interval {interval}",
+        f"walls released={len(scheduler.walls.released)}, "
+        f"attempts={scheduler.walls.attempts}, "
+        f"blocked computations={scheduler.walls.computations_blocked}, "
+        f"throughput={result.throughput:.4f}",
+    )
+    assert result.commits >= 400
+
+
+def test_ablation_wall_interval_monotone(benchmark, show):
+    def sweep():
+        releases = {}
+        for interval in (2, 25, 200):
+            _, scheduler = run_hdd(wall_interval=interval)
+            releases[interval] = len(scheduler.walls.released)
+        return releases
+
+    releases = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        "Ablation: releases by interval",
+        ", ".join(f"{k}: {v}" for k, v in sorted(releases.items())),
+    )
+    assert releases[2] > releases[25] >= releases[200]
+
+
+def test_ablation_deadlock_policy(benchmark, show):
+    """2PL deadlock handling: detection (victim = requester closing the
+    cycle) vs wound-wait prevention (older kills younger pre-emptively).
+    Wound-wait trades extra aborts for zero cycle-detection work and no
+    convoy deadlocks under pressure."""
+    from repro.baselines import TwoPhaseLocking
+    from repro.sim.inventory import build_inventory_workload as biw
+
+    def compare():
+        rows = []
+        for policy in ("detect", "wound-wait"):
+            partition = build_inventory_partition()
+            scheduler = TwoPhaseLocking(deadlock_policy=policy)
+            workload = biw(partition, granules_per_segment=4, skew=2.0)
+            result = Simulator(
+                scheduler,
+                workload,
+                clients=10,
+                seed=3,
+                target_commits=400,
+                max_steps=300_000,
+                audit=True,
+            ).run()
+            rows.append(
+                {
+                    "policy": policy,
+                    "commits": result.commits,
+                    "throughput": round(result.throughput, 4),
+                    "deadlock_aborts": scheduler.stats.deadlock_aborts,
+                    "p95_latency": round(result.p95_latency, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show("Ablation: 2PL deadlock policy", format_table(rows))
+    by_policy = {row["policy"]: row for row in rows}
+    assert (
+        by_policy["wound-wait"]["deadlock_aborts"]
+        >= by_policy["detect"]["deadlock_aborts"]
+    )
+    assert by_policy["wound-wait"]["commits"] >= 400
+
+
+def test_ablation_reed_vs_blocking_mvto(benchmark, show):
+    """Dirty reads + commit dependencies (Reed) vs blocking reads.
+
+    On a hot read-modify-write counter, eager dirty reads register
+    timestamps that doom every in-flight writer — Reed's variant
+    thrashes (restart storm) where the blocking variant serialises the
+    hot path and sails through.  A cautionary result the paper's
+    Protocol B choice ("basic TO or Reed MVTO") glosses over.
+    """
+    from repro.sim.workload import TransactionTemplate, Workload
+
+    def compare():
+        rows = []
+        for engine in ("mvto", "mvto-reed"):
+            partition = build_inventory_partition()
+            scheduler = HDDScheduler(partition, protocol_b=engine)
+            workload = Workload(
+                partition=partition,
+                templates=[
+                    TransactionTemplate(
+                        name="bump",
+                        profile="type1_log_event",
+                        recipe=(("events", "m"),),
+                    )
+                ],
+                granules_per_segment=2,
+                skew=2.0,
+            )
+            result = Simulator(
+                scheduler,
+                workload,
+                clients=8,
+                seed=11,
+                target_commits=200,
+                max_steps=60_000,
+            ).run()
+            rows.append(
+                {
+                    "protocol_b": engine,
+                    "commits": result.commits,
+                    "restarts": result.restarts,
+                    "steps": result.steps,
+                    "commit_blocks": scheduler.stats.commit_blocks,
+                    "read_blocks": scheduler.stats.read_blocks,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show("Ablation: blocking MVTO vs Reed MVTO on a hot counter", format_table(rows))
+    by_engine = {row["protocol_b"]: row for row in rows}
+    assert by_engine["mvto"]["commits"] >= by_engine["mvto-reed"]["commits"]
+    assert by_engine["mvto"]["restarts"] < by_engine["mvto-reed"]["restarts"]
+
+
+def test_ablation_garbage_collection(benchmark, show):
+    """Version footprint with periodic watermark GC vs none."""
+
+    def compare():
+        footprints = {}
+        for collect in (False, True):
+            partition = build_inventory_partition()
+            scheduler = HDDScheduler(partition, wall_interval=20)
+            workload = build_inventory_workload(
+                partition, granules_per_segment=8
+            )
+            simulator = Simulator(
+                scheduler,
+                workload,
+                clients=8,
+                seed=7,
+                target_commits=100,
+                max_steps=400_000,
+            )
+            total_pruned = 0
+            for burst in range(1, 6):
+                simulator.target_commits = 100 * burst
+                simulator.max_steps = 400_000
+                simulator.run()
+                if collect:
+                    total_pruned += scheduler.collect_garbage().pruned_versions
+            footprints["gc" if collect else "none"] = (
+                scheduler.store.total_versions(),
+                total_pruned,
+            )
+        return footprints
+
+    footprints = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show(
+        "Ablation: GC footprint after 500 commits",
+        "\n".join(
+            f"{name}: live versions={live}, pruned={pruned}"
+            for name, (live, pruned) in footprints.items()
+        ),
+    )
+    assert footprints["gc"][0] < footprints["none"][0]
+    assert footprints["gc"][1] > 0

@@ -1,0 +1,99 @@
+"""§7.4 case study bench: the claims pipeline.
+
+The paper proposes case studies of real organisations to validate the
+HDD assumptions; this bench runs the five-level claims back office
+(see ``repro/sim/claims.py``) under every scheduler and reports the
+same columns as the Figure 10 table, on a hierarchy twice as deep as
+the inventory example.
+"""
+
+from benchmarks.conftest import SCHEDULER_MAKERS
+from repro.sim.claims import build_claims_partition, build_claims_workload
+from repro.sim.engine import Simulator
+from repro.sim.metrics import format_table
+
+
+def run_claims(name: str, commits: int = 500, seed: int = 31):
+    partition = build_claims_partition()
+    scheduler = SCHEDULER_MAKERS[name](partition)
+    workload = build_claims_workload(partition, granules_per_segment=12)
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=10,
+        seed=seed,
+        target_commits=commits,
+        max_steps=400_000,
+        audit=True,
+        track_staleness=True,
+    ).run()
+    return result, scheduler
+
+
+def test_claims_comparison_table(benchmark, show):
+    def build_table():
+        rows = []
+        for name in SCHEDULER_MAKERS:
+            result, scheduler = run_claims(name)
+            rows.append(
+                {
+                    "scheduler": name,
+                    "commits": result.commits,
+                    "throughput": round(result.throughput, 4),
+                    "reg/commit": round(
+                        scheduler.stats.read_registrations / result.commits,
+                        3,
+                    ),
+                    "read_blocks": scheduler.stats.read_blocks,
+                    "aborts": scheduler.stats.aborts,
+                    "fresh_reads": f"{result.fresh_read_fraction:.1%}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    show("Case study (claims pipeline, 5 levels)", format_table(rows))
+    by_name = {row["scheduler"]: row for row in rows}
+    # The deeper the hierarchy, the wider HDD's registration advantage.
+    assert by_name["hdd"]["reg/commit"] < by_name["2pl"]["reg/commit"] / 5
+    assert by_name["hdd"]["throughput"] >= by_name["2pl"]["throughput"]
+
+
+def test_depth_amplifies_advantage(benchmark, show):
+    """Side-by-side: inventory (3 levels) vs claims (5 levels)."""
+    from repro.sim.inventory import (
+        build_inventory_partition,
+        build_inventory_workload,
+    )
+
+    def compare():
+        out = {}
+        for label, build_p, build_w in (
+            ("inventory-3lvl", build_inventory_partition, build_inventory_workload),
+            ("claims-5lvl", build_claims_partition, build_claims_workload),
+        ):
+            ratios = {}
+            for name in ("hdd", "2pl"):
+                partition = build_p()
+                scheduler = SCHEDULER_MAKERS[name](partition)
+                workload = build_w(partition, granules_per_segment=12)
+                result = Simulator(
+                    scheduler,
+                    workload,
+                    clients=10,
+                    seed=31,
+                    target_commits=500,
+                    max_steps=400_000,
+                ).run()
+                ratios[name] = (
+                    scheduler.stats.read_registrations / result.commits
+                )
+            out[label] = ratios["2pl"] / max(ratios["hdd"], 1e-9)
+        return out
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show(
+        "Registration-saving factor (2PL / HDD) by hierarchy depth",
+        "\n".join(f"{label}: {factor:.1f}x" for label, factor in out.items()),
+    )
+    assert out["claims-5lvl"] > out["inventory-3lvl"]

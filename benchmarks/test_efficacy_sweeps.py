@@ -1,0 +1,140 @@
+"""Efficacy study (paper §7.4, deferred there to future work).
+
+The paper claims HDD "effectively reduces the overhead of read access
+synchronization"; these sweeps quantify when and by how much, holding
+the workload fixed and varying one knob at a time:
+
+* read-only share of the mix (the more reading, the more HDD saves);
+* hierarchy depth (longer chains -> more cross-class reads);
+* multiprogramming level (contention amplifies blocking baselines);
+* hotspot skew (contention concentrated on few granules).
+
+Each sweep prints the series (x, per-scheduler metric) the shape claims
+are judged on in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_inventory_mix
+from repro.core.scheduler import HDDScheduler
+from repro.baselines import TwoPhaseLocking
+from repro.sim.engine import Simulator
+from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
+from repro.sim.metrics import format_table
+
+SCHEDULERS = ["hdd", "2pl", "mvto", "sdd1"]
+
+
+def test_sweep_read_only_share(benchmark, show):
+    def sweep():
+        rows = []
+        for share in (0.0, 0.25, 0.5, 0.75):
+            row = {"ro_share": share}
+            for name in SCHEDULERS:
+                result, scheduler = run_inventory_mix(
+                    name, commits=300, read_only_share=share, audit=False
+                )
+                row[f"{name}_reg/c"] = round(
+                    scheduler.stats.read_registrations / result.commits, 2
+                )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Efficacy: registrations vs read-only share", format_table(rows))
+    # HDD's registration overhead shrinks as reading grows; 2PL's grows.
+    assert rows[-1]["hdd_reg/c"] <= rows[0]["hdd_reg/c"]
+    for row in rows:
+        assert row["hdd_reg/c"] < row["2pl_reg/c"]
+
+
+def test_sweep_hierarchy_depth(benchmark, show):
+    def sweep():
+        rows = []
+        for depth in (2, 3, 5, 7):
+            partition = chain_partition(depth)
+            row = {"depth": depth}
+            for name, make in {
+                "hdd": lambda p: HDDScheduler(p),
+                "2pl": lambda p: TwoPhaseLocking(),
+            }.items():
+                scheduler = make(partition)
+                workload = build_hierarchy_workload(
+                    partition, reads_per_txn=4, granules_per_segment=8
+                )
+                result = Simulator(
+                    scheduler,
+                    workload,
+                    clients=8,
+                    seed=5,
+                    target_commits=300,
+                    max_steps=200_000,
+                ).run()
+                row[f"{name}_reg/c"] = round(
+                    scheduler.stats.read_registrations / result.commits, 2
+                )
+                row[f"{name}_tput"] = round(result.throughput, 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Efficacy: overhead vs hierarchy depth", format_table(rows))
+    for row in rows:
+        assert row["hdd_reg/c"] < row["2pl_reg/c"]
+    # Depth >= 2 means most reads go upward: HDD's registrations stay
+    # roughly flat (own-segment only) while 2PL registers all reads.
+    assert rows[-1]["2pl_reg/c"] - rows[-1]["hdd_reg/c"] > 2.0
+
+
+@pytest.mark.parametrize("clients", [2, 8, 16])
+def test_sweep_multiprogramming(benchmark, clients, show):
+    def run_pair():
+        out = {}
+        for name in ("hdd", "sdd1"):
+            result, scheduler = run_inventory_mix(
+                name, commits=300, clients=clients, audit=False
+            )
+            out[name] = (
+                result.throughput,
+                scheduler.stats.read_blocks,
+                result.p95_latency,
+            )
+        return out
+
+    out = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    show(
+        f"Efficacy: multiprogramming level {clients}",
+        "\n".join(
+            f"{name}: throughput={tput:.4f}, read_blocks={blocks}, "
+            f"p95={p95:.0f}"
+            for name, (tput, blocks, p95) in out.items()
+        ),
+    )
+    # SDD-1's pipelining pays more as concurrency rises.
+    assert out["hdd"][1] <= out["sdd1"][1]
+
+
+def test_sweep_skew(benchmark, show):
+    def sweep():
+        rows = []
+        for skew in (1.0, 2.0, 4.0):
+            row = {"skew": skew}
+            for name in ("hdd", "mvto", "2pl"):
+                result, scheduler = run_inventory_mix(
+                    name,
+                    commits=300,
+                    skew=skew,
+                    granules=16,
+                    audit=False,
+                )
+                row[f"{name}_aborts"] = scheduler.stats.aborts
+                row[f"{name}_tput"] = round(result.throughput, 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Efficacy: contention skew", format_table(rows))
+    # Hotspots increase optimistic-timestamp aborts; HDD's cross-class
+    # reads are immune (walls), so its aborts stay at or below MVTO's.
+    for row in rows:
+        assert row["hdd_aborts"] <= row["mvto_aborts"] + 5

@@ -1,0 +1,103 @@
+"""Figure 1 bench: the lost-update example.
+
+Regenerates the paper's first exhibit: the 6-step interleaving of a
+deposit and a withdrawal.  Uncontrolled execution loses the deposit;
+every shipped scheduler preserves both updates.  The benchmark times
+the protected read-modify-write pair under each scheduler.
+"""
+
+import pytest
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.sim.inventory import build_inventory_partition
+from repro.txn.depgraph import is_serializable
+
+ACCOUNT = "events:smith"
+INITIAL, DEPOSIT, WITHDRAW = 100, 50, 50
+
+
+def rmw_pair(make_scheduler, profile=None) -> int:
+    """Interleaved deposit+withdraw with retry-until-commit; returns
+    the final balance."""
+    scheduler = make_scheduler()
+    scheduler.store.seed(ACCOUNT, INITIAL)
+    clients = [
+        {"delta": DEPOSIT, "txn": None, "pc": 0, "value": None},
+        {"delta": -WITHDRAW, "txn": None, "pc": 0, "value": None},
+    ]
+    for _ in range(200):
+        if all(c["pc"] == 3 for c in clients):
+            break
+        for client in clients:
+            if client["pc"] == 3:
+                continue
+            if client["txn"] is None or not client["txn"].is_active:
+                client["txn"] = scheduler.begin(profile=profile)
+                client["pc"] = 0
+            txn = client["txn"]
+            if client["pc"] == 0:
+                outcome = scheduler.read(txn, ACCOUNT)
+                if outcome.granted:
+                    client["value"] = outcome.value
+                    client["pc"] = 1
+            elif client["pc"] == 1:
+                outcome = scheduler.write(
+                    txn, ACCOUNT, client["value"] + client["delta"]
+                )
+                if outcome.granted:
+                    client["pc"] = 2
+            else:
+                outcome = scheduler.commit(txn)
+                if outcome.granted:
+                    client["pc"] = 3
+            if outcome.aborted:
+                client["txn"], client["pc"] = None, 0
+    assert is_serializable(scheduler.schedule, mode="mvsg")
+    return scheduler.store.chain(ACCOUNT).latest_committed().value
+
+
+def test_uncontrolled_interleaving_loses_update(benchmark, show):
+    def run():
+        scheduler = TwoPhaseLocking(read_locks=False)
+        scheduler.store.seed(ACCOUNT, INITIAL)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        b1 = scheduler.read(t1, ACCOUNT).value
+        b2 = scheduler.read(t2, ACCOUNT).value
+        scheduler.write(t1, ACCOUNT, b1 + DEPOSIT)
+        scheduler.commit(t1)
+        scheduler.write(t2, ACCOUNT, b2 - WITHDRAW)
+        scheduler.commit(t2)
+        final = scheduler.store.chain(ACCOUNT).latest_committed().value
+        return final, scheduler
+
+    final, scheduler = benchmark(run)
+    show(
+        "Figure 1: uncontrolled",
+        f"final balance = {final} (expected {INITIAL + DEPOSIT - WITHDRAW} "
+        "had both updates survived) -> the deposit was LOST",
+    )
+    assert final == INITIAL - WITHDRAW
+    assert not is_serializable(scheduler.schedule, mode="mvsg")
+
+
+@pytest.mark.parametrize(
+    "name,maker,profile",
+    [
+        ("2pl", TwoPhaseLocking, None),
+        ("to", TimestampOrdering, None),
+        ("mvto", MultiversionTimestampOrdering, None),
+        (
+            "hdd",
+            lambda: HDDScheduler(build_inventory_partition()),
+            "type1_log_event",
+        ),
+    ],
+)
+def test_protected_rmw_pair(benchmark, name, maker, profile):
+    final = benchmark(rmw_pair, maker, profile)
+    assert final == INITIAL + DEPOSIT - WITHDRAW

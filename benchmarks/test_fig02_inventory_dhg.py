@@ -1,0 +1,68 @@
+"""Figure 2 bench: the inventory database and its decomposition.
+
+Regenerates the paper's schema exhibit: builds the inventory partition
+(transaction analysis -> DHG -> TST validation -> classification) and
+prints the structures the figure draws.  The benchmark times the whole
+analysis pipeline, plus validation at growing schema sizes.
+"""
+
+from repro.core.partition import HierarchicalPartition, PartitionSummary, TransactionProfile
+from repro.sim.hierarchies import chain_partition
+from repro.sim.inventory import PROFILES, SEGMENTS, build_inventory_partition
+
+
+def test_build_inventory_partition(benchmark, show):
+    partition = benchmark(build_inventory_partition)
+    show("Figure 2: inventory decomposition", PartitionSummary(partition).render())
+    assert sorted(partition.index.critical_arcs()) == [
+        ("inventory", "events"),
+        ("orders", "inventory"),
+    ]
+    assert partition.classes == {
+        "events": ["type1_log_event"],
+        "inventory": ["type2_post_inventory"],
+        "orders": ["type3_reorder"],
+    }
+
+
+def test_validation_scales_with_depth(benchmark, show):
+    rows = []
+    for depth in (4, 8, 16, 32):
+        partition = chain_partition(depth)
+        rows.append(f"depth={depth}: arcs={partition.dhg.arc_count()}")
+    show("TST validation at growing depth", "\n".join(rows))
+    benchmark(chain_partition, 32)
+
+
+def test_rejects_illegal_partitions(benchmark):
+    """Validation cost of the negative path (diamond rejection)."""
+    profiles = [
+        TransactionProfile.update("a", writes=["m1"], reads=["top"]),
+        TransactionProfile.update("b", writes=["m2"], reads=["top"]),
+        TransactionProfile.update("c", writes=["bot"], reads=["m1", "m2"]),
+    ]
+
+    def attempt():
+        try:
+            HierarchicalPartition(
+                segments=["top", "m1", "m2", "bot"], profiles=profiles
+            )
+        except Exception:
+            return True
+        return False
+
+    assert benchmark(attempt)
+
+
+def test_profile_index_matches_figure(benchmark, show):
+    lines = []
+    for profile in PROFILES:
+        kind = "read-only" if profile.is_read_only else "update"
+        lines.append(
+            f"{profile.name} ({kind}): writes={sorted(profile.writes)} "
+            f"reads={sorted(profile.reads)}"
+        )
+    show("Figure 2: transaction types", "\n".join(lines))
+    assert SEGMENTS == ["events", "inventory", "orders"]
+    partition = build_inventory_partition()
+    benchmark(partition.segment_of, "events:sale-1")

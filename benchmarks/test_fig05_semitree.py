@@ -1,0 +1,102 @@
+"""Figure 5 bench: transitive semi-tree recognition.
+
+Regenerates the figure's example graph, then measures recognition and
+transitive-reduction cost on random TSTs of growing size — the cost of
+admitting a decomposition (paid once per schema, as the paper assumes).
+"""
+
+import random
+
+import pytest
+
+from repro.core.graph import Digraph, SemiTreeIndex, is_transitive_semi_tree
+from repro.sim.hierarchies import random_tst
+
+
+def figure5_graph() -> Digraph:
+    """A TST shaped like the paper's Figure 5: a chain with a branch
+    plus transitively induced arcs."""
+    return Digraph(
+        nodes="abcde",
+        arcs=[
+            ("b", "a"),
+            ("c", "b"),
+            ("c", "a"),  # transitive
+            ("d", "b"),
+            ("e", "c"),
+            ("e", "b"),  # transitive
+            ("e", "a"),  # transitive
+        ],
+    )
+
+
+def test_figure5_recognised(benchmark, show):
+    graph = figure5_graph()
+    assert benchmark(is_transitive_semi_tree, graph)
+    index = SemiTreeIndex(graph)
+    show(
+        "Figure 5: critical arcs of the example TST",
+        "\n".join(f"{u} -> {v}" for u, v in sorted(index.critical_arcs())),
+    )
+    assert len(index.critical_arcs()) == 4
+
+
+@pytest.mark.parametrize("nodes", [8, 16, 32, 64])
+def test_recognition_scales(benchmark, nodes):
+    graph = random_tst(nodes, random.Random(7), extra_transitive=nodes)
+    assert benchmark(is_transitive_semi_tree, graph)
+
+
+@pytest.mark.parametrize("nodes", [8, 32])
+def test_rejects_perturbed_graphs(benchmark, nodes, show):
+    """Adding one non-transitive cross arc to a TST must break it."""
+    rng = random.Random(9)
+
+    def perturb_and_test():
+        graph = random_tst(nodes, rng, extra_transitive=2)
+        closure = graph.transitive_closure()
+        rejected = 0
+        trials = 0
+        for u in graph.nodes:
+            for v in graph.nodes:
+                if u == v or graph.has_arc(u, v) or closure.has_arc(u, v):
+                    continue
+                if closure.has_arc(v, u):
+                    continue  # would make a directed cycle, trivially bad
+                trials += 1
+                perturbed = graph.copy()
+                perturbed.add_arc(u, v)
+                if not is_transitive_semi_tree(perturbed):
+                    rejected += 1
+                if trials >= 20:
+                    break
+            if trials >= 20:
+                break
+        return rejected, trials
+
+    rejected, trials = benchmark.pedantic(
+        perturb_and_test, rounds=1, iterations=1
+    )
+    show(
+        f"Figure 5: perturbation rejection (n={nodes})",
+        f"{rejected}/{trials} random cross arcs rejected "
+        "(an accepted arc re-forms a different TST by absorbing an old "
+        "arc into the transitive closure)",
+    )
+    assert trials > 0 and rejected > 0
+
+
+def test_index_query_cost(benchmark):
+    graph = random_tst(64, random.Random(3), extra_transitive=64)
+    index = SemiTreeIndex(graph)
+    nodes = graph.nodes
+
+    def query_all():
+        hits = 0
+        for i in nodes[:16]:
+            for j in nodes[:16]:
+                if index.critical_path(i, j) is not None:
+                    hits += 1
+        return hits
+
+    assert benchmark(query_all) >= 16  # at least the self-paths

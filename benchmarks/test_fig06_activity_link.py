@@ -1,0 +1,72 @@
+"""Figure 6 bench: the activity link function.
+
+Regenerates the figure's worked example (A composed along a critical
+path maps a time to the initiation of successively older active
+transactions) and measures the cost of evaluating A on long chains
+with deep histories — the per-read overhead Protocol A pays instead of
+locking.
+"""
+
+import pytest
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Digraph, SemiTreeIndex
+
+
+def chain_tracker(depth: int) -> tuple[ActivityTracker, list[str]]:
+    classes = [f"C{i}" for i in range(depth)]
+    arcs = [(classes[i + 1], classes[i]) for i in range(depth - 1)]
+    return (
+        ActivityTracker(SemiTreeIndex(Digraph(nodes=classes, arcs=arcs))),
+        classes,
+    )
+
+
+def populate(tracker, classes, txns_per_class: int) -> int:
+    """Deterministic staircase history; returns the final time."""
+    time = 0
+    txn_id = 0
+    for round_number in range(txns_per_class):
+        for cls in classes:
+            txn_id += 1
+            time += 2
+            tracker.record_begin(cls, txn_id, time)
+            if (round_number + txn_id) % 3:
+                tracker.record_end(cls, txn_id, time + 3)
+    return time + 10
+
+
+def test_figure6_worked_example(benchmark, show):
+    tracker, classes = chain_tracker(3)
+    bottom, mid, top = classes[2], classes[1], classes[0]
+    # Mid transaction active since 12; top transaction active at 12,
+    # started at 7 (the figure's setup).
+    tracker.record_begin(top, 1, 7)
+    tracker.record_begin(mid, 2, 12)
+    tracker.record_end(top, 1, 30)
+
+    value = benchmark(tracker.a_func, bottom, top, 20)
+    show(
+        "Figure 6: A_bottom^top(20)",
+        f"I_old_mid(20) = {tracker.i_old(mid, 20)}, "
+        f"A_bottom^top(20) = I_old_top(I_old_mid(20)) = {value}",
+    )
+    assert tracker.i_old(mid, 20) == 12
+    assert value == 7
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8, 16])
+def test_a_func_cost_by_depth(benchmark, depth):
+    tracker, classes = chain_tracker(depth)
+    now = populate(tracker, classes, txns_per_class=50)
+    result = benchmark(tracker.a_func, classes[-1], classes[0], now)
+    assert 0 <= result <= now
+
+
+@pytest.mark.parametrize("history", [100, 1_000, 10_000])
+def test_a_func_cost_by_history_size(benchmark, history):
+    """The segment-tree log keeps A evaluation logarithmic in history."""
+    tracker, classes = chain_tracker(3)
+    now = populate(tracker, classes, txns_per_class=history // 3)
+    result = benchmark(tracker.a_func, classes[-1], classes[0], now)
+    assert 0 <= result <= now

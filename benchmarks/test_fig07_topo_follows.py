@@ -1,0 +1,73 @@
+"""Figure 7 bench: the topologically-follows relation.
+
+Regenerates the figure's three cases (same class, t1 higher, t2 higher)
+and measures evaluation cost — this is the conceptual check the PSR
+performs per dependency, so its cost bounds audit throughput.
+"""
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.core.relation import audit_psr, topologically_follows
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+
+
+def tracker3():
+    graph = Digraph(arcs=[("mid", "top"), ("bottom", "mid"), ("bottom", "top")])
+    tracker = ActivityTracker(SemiTreeIndex(graph))
+    tracker.record_begin("top", 1, 4)
+    tracker.record_begin("mid", 2, 8)
+    return tracker
+
+
+def test_figure7_three_cases(benchmark, show):
+    tracker = tracker3()
+    cases = [
+        ("same class", ("mid", 10, "mid", 5), True),
+        ("t1 higher (case 2)", ("top", 4, "mid", 10), True),
+        ("t2 higher (case 3)", ("mid", 10, "top", 3), True),
+        ("t2 higher, too late", ("mid", 10, "top", 4), False),
+    ]
+    lines = []
+    for label, args, expected in cases:
+        result = topologically_follows(*args, tracker)
+        lines.append(f"{label}: t1=>t2 is {result} (expected {expected})")
+        assert result == expected
+    show("Figure 7: the => relation", "\n".join(lines))
+    benchmark(topologically_follows, "mid", 10, "top", 3, tracker)
+
+
+def test_psr_audit_cost(benchmark, show):
+    """Audit a full executed schedule against the PSR (Theorem 1's
+    premise): cost per recorded dependency."""
+    partition = build_inventory_partition()
+    scheduler = HDDScheduler(partition)
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    Simulator(
+        scheduler, workload, clients=8, seed=13, target_commits=400
+    ).run()
+    txn_classes = {
+        t.txn_id: t.class_id
+        for t in scheduler.transactions.values()
+        if t.is_committed and t.class_id is not None
+    }
+    txn_initiations = {
+        t.txn_id: t.initiation_ts
+        for t in scheduler.transactions.values()
+        if t.is_committed
+    }
+
+    violations = benchmark(
+        audit_psr,
+        scheduler.schedule,
+        txn_classes,
+        txn_initiations,
+        scheduler.tracker,
+    )
+    show(
+        "Figure 7 -> Theorem 1: PSR audit over a real run",
+        f"{len(scheduler.schedule)} schedule steps audited, "
+        f"{len(violations)} violations",
+    )
+    assert violations == []

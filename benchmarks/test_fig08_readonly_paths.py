@@ -1,0 +1,108 @@
+"""Figure 8 bench: read-only transactions on and off a critical path.
+
+Regenerates the figure's dichotomy over a forked hierarchy and measures
+the per-read cost of the two read-only treatments (fictitious-class
+walls vs released time walls), plus their freshness difference.
+"""
+
+import pytest
+
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.core.scheduler import HDDScheduler
+from repro.txn.depgraph import is_serializable
+
+
+def fork_partition() -> HierarchicalPartition:
+    return HierarchicalPartition(
+        segments=["top", "left", "right"],
+        profiles=[
+            TransactionProfile.update("w_top", writes=["top"]),
+            TransactionProfile.update(
+                "w_left", writes=["left"], reads=["top", "left"]
+            ),
+            TransactionProfile.update(
+                "w_right", writes=["right"], reads=["top", "right"]
+            ),
+            TransactionProfile.read_only("on_path", reads=["top", "left"]),
+            TransactionProfile.read_only("off_path", reads=["left", "right"]),
+        ],
+    )
+
+
+def churn(scheduler, rounds: int) -> None:
+    for value in range(rounds):
+        for profile, granule in [
+            ("w_top", "top:g"),
+            ("w_left", "left:g"),
+            ("w_right", "right:g"),
+        ]:
+            txn = scheduler.begin(profile=profile)
+            scheduler.write(txn, granule, value)
+            scheduler.commit(txn)
+
+
+def test_on_path_reader_cost(benchmark, show):
+    """t1 in the figure: segments on one critical path -> fictitious
+    class, walls from I_old composition, no time-wall involvement."""
+    scheduler = HDDScheduler(fork_partition(), wall_interval=5)
+    churn(scheduler, 20)
+
+    def read_pair():
+        txn = scheduler.begin(profile="on_path", read_only=True)
+        top = scheduler.read(txn, "top:g").value
+        left = scheduler.read(txn, "left:g").value
+        scheduler.commit(txn)
+        return top, left
+
+    top, left = benchmark(read_pair)
+    show(
+        "Figure 8: on-path reader (fictitious class)",
+        f"read top={top}, left={left}; registrations="
+        f"{scheduler.stats.read_registrations}",
+    )
+    assert scheduler.stats.read_registrations == 0
+    assert is_serializable(scheduler.schedule)
+
+
+def test_off_path_reader_cost(benchmark, show):
+    """t2 in the figure: branches with no connecting critical path ->
+    Protocol C below a released time wall."""
+    scheduler = HDDScheduler(fork_partition(), wall_interval=5)
+    churn(scheduler, 20)
+
+    def read_pair():
+        txn = scheduler.begin(profile="off_path", read_only=True)
+        left = scheduler.read(txn, "left:g").value
+        right = scheduler.read(txn, "right:g").value
+        scheduler.commit(txn)
+        return left, right
+
+    left, right = benchmark(read_pair)
+    show(
+        "Figure 8: off-path reader (Protocol C)",
+        f"read left={left}, right={right}; walls released="
+        f"{len(scheduler.walls.released)}",
+    )
+    assert scheduler.stats.read_registrations == 0
+    assert is_serializable(scheduler.schedule)
+
+
+@pytest.mark.parametrize("wall_interval", [1, 10, 100])
+def test_off_path_staleness_by_interval(benchmark, wall_interval, show):
+    """Freshness of Protocol C snapshots versus the release cadence."""
+    scheduler = HDDScheduler(fork_partition(), wall_interval=wall_interval)
+
+    def run():
+        churn(scheduler, 30)
+        txn = scheduler.begin(profile="off_path", read_only=True)
+        seen = scheduler.read(txn, "left:g").value
+        scheduler.commit(txn)
+        latest = scheduler.store.chain("left:g").latest_committed().value
+        return latest - seen
+
+    staleness = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        f"Figure 8: staleness at wall interval {wall_interval}",
+        f"reader lag = {staleness} versions behind the latest commit",
+    )
+    assert staleness >= 0

@@ -1,0 +1,91 @@
+"""Figure 9 bench: the E function as a time wall.
+
+Regenerates the figure: a time wall TW(m, s) across every class, with
+no dependency crossing it old-to-new.  Measures wall computation cost
+against hierarchy width/depth — the periodic cost Protocol C pays so
+read-only transactions stay free.
+"""
+
+import pytest
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import SemiTreeIndex
+from repro.core.scheduler import HDDScheduler
+from repro.core.timewall import TimeWallManager
+from repro.sim.engine import Simulator
+from repro.sim.hierarchies import build_hierarchy_workload, tree_partition
+from repro.txn.clock import LogicalClock
+from repro.txn.depgraph import build_dependency_graph
+
+
+def populated_tracker(partition, txns_per_class=40):
+    tracker = ActivityTracker(partition.index)
+    clock = LogicalClock()
+    txn_id = 0
+    for round_number in range(txns_per_class):
+        for cls in partition.segments:
+            txn_id += 1
+            start = clock.tick()
+            tracker.record_begin(cls, txn_id, start)
+            tracker.record_end(cls, txn_id, clock.tick())
+    return tracker, clock
+
+
+@pytest.mark.parametrize("depth,branching", [(2, 2), (3, 2), (3, 3), (4, 2)])
+def test_wall_computation_cost(benchmark, depth, branching, show):
+    partition = tree_partition(depth, branching)
+    tracker, clock = populated_tracker(partition)
+    manager = TimeWallManager(tracker, clock, interval=1)
+
+    def compute():
+        clock.tick()
+        wall = manager.force_release()
+        return wall
+
+    wall = benchmark(compute)
+    show(
+        f"Figure 9: wall over tree depth={depth} branching={branching}",
+        f"{len(wall.components)} components, base={wall.base_time}",
+    )
+    assert len(wall.components) == len(partition.segments)
+
+
+def test_no_dependency_crosses_the_wall(benchmark, show):
+    """The figure's semantic claim, measured on a real run: partition
+    committed transactions by the wall, assert no old->new dependency
+    (i.e. no NEW transaction is depended upon by an OLD one)."""
+    partition = tree_partition(3, 2)
+    scheduler = HDDScheduler(partition, wall_interval=15)
+    workload = build_hierarchy_workload(partition, granules_per_segment=6)
+    Simulator(
+        scheduler, workload, clients=8, seed=21, target_commits=400
+    ).run()
+    assert scheduler.walls.released
+    wall = scheduler.walls.released[len(scheduler.walls.released) // 2]
+
+    def audit():
+        graph, deps = build_dependency_graph(scheduler.schedule, mode="mvsg")
+        crossings = 0
+        for dep in deps:
+            later = scheduler.transactions.get(dep.later)
+            earlier = scheduler.transactions.get(dep.earlier)
+            if later is None or earlier is None:
+                continue
+            later_class = later.class_id
+            earlier_class = earlier.class_id
+            if later_class is None or earlier_class is None:
+                continue
+            later_old = later.initiation_ts < wall.component(later_class)
+            earlier_old = earlier.initiation_ts < wall.component(earlier_class)
+            # "later depends on earlier": old side must not depend on
+            # the new side.
+            if later_old and not earlier_old:
+                crossings += 1
+        return crossings, len(deps)
+
+    crossings, total = benchmark.pedantic(audit, rounds=1, iterations=1)
+    show(
+        "Figure 9: wall-crossing audit",
+        f"{total} dependencies checked, {crossings} old->new crossings",
+    )
+    assert crossings == 0

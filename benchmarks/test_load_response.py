@@ -1,0 +1,79 @@
+"""Open-loop bench: response time versus offered load.
+
+The evaluation-methodology staple the paper predates: drive each
+scheduler with a Poisson-ish arrival process at increasing rates and
+watch where the response-time curve bends.  The shape claim: HDD and
+the lock/timestamp baselines track each other until contention builds,
+while SDD-1's class pipelining saturates at a fraction of the load.
+"""
+
+from benchmarks.conftest import SCHEDULER_MAKERS
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.metrics import format_table
+
+RATES = (0.04, 0.08, 0.12, 0.16)
+SCHEDULERS = ("hdd", "2pl", "mvto", "sdd1")
+
+
+def run_open(name: str, rate: float, steps: int = 10_000, seed: int = 13):
+    partition = build_inventory_partition()
+    scheduler = SCHEDULER_MAKERS[name](partition)
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    return Simulator(
+        scheduler,
+        workload,
+        clients=10,
+        seed=seed,
+        max_steps=steps,
+        arrival_rate=rate,
+    ).run()
+
+
+def test_response_time_curve(benchmark, show):
+    def sweep():
+        rows = []
+        for rate in RATES:
+            row: dict[str, object] = {"arrival_rate": rate}
+            for name in SCHEDULERS:
+                result = run_open(name, rate)
+                row[f"{name}_p95lat"] = round(result.p95_latency, 0)
+                row[f"{name}_backlog"] = result.backlog
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Response time vs offered load (p95 latency, final backlog)", format_table(rows))
+    # At the highest rate: SDD-1 saturated (large backlog), HDD not.
+    last = rows[-1]
+    assert last["sdd1_backlog"] > 20 * max(1, int(last["hdd_backlog"]))
+    # HDD's latency curve stays at or below the lock baseline's.
+    for row in rows:
+        assert row["hdd_p95lat"] <= row["2pl_p95lat"] * 1.5
+
+
+def test_capacity_estimate(benchmark, show):
+    """Highest arrival rate each scheduler sustains with a drained
+    queue (bisection over a small grid)."""
+
+    def estimate():
+        grid = (0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20)
+        capacity = {}
+        for name in SCHEDULERS:
+            sustained = 0.0
+            for rate in grid:
+                result = run_open(name, rate, steps=6_000)
+                if result.backlog <= 5:
+                    sustained = rate
+                else:
+                    break
+            capacity[name] = sustained
+        return capacity
+
+    capacity = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    show(
+        "Sustained-load capacity (arrivals/step with drained queue)",
+        ", ".join(f"{n}: {c}" for n, c in capacity.items()),
+    )
+    assert capacity["hdd"] >= capacity["sdd1"]
+    assert capacity["hdd"] >= capacity["2pl"]

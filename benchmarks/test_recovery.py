@@ -1,0 +1,90 @@
+"""Recovery benches: logging overhead and redo speed.
+
+Not a paper exhibit (the paper assumes recoverability, §1.1); measures
+the substrate that delivers it: WAL overhead on the hot path, recovery
+time as a function of log length, and the payoff of checkpoint
+truncation.
+"""
+
+import pytest
+
+from repro.core.scheduler import HDDScheduler
+from repro.recovery import LoggingScheduler, committed_state, recover
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+
+
+def run_logged(commits: int, checkpoint_every: int = 0) -> LoggingScheduler:
+    partition = build_inventory_partition()
+    scheduler = LoggingScheduler(HDDScheduler(partition))
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    simulator = Simulator(
+        scheduler, workload, clients=8, seed=12, max_steps=400_000
+    )
+    if checkpoint_every:
+        done = 0
+        while done < commits:
+            done += checkpoint_every
+            simulator.target_commits = min(done, commits)
+            simulator.run()
+            scheduler.checkpoint()
+            scheduler.wal.truncate_to_last_checkpoint()
+    else:
+        simulator.target_commits = commits
+        simulator.run()
+    return scheduler
+
+
+def test_logging_overhead(benchmark, show):
+    """Throughput with and without the WAL wrapper (same seed)."""
+
+    def compare():
+        partition = build_inventory_partition()
+        workload = build_inventory_workload(partition, granules_per_segment=8)
+        bare = HDDScheduler(build_inventory_partition())
+        bare_result = Simulator(
+            bare, workload, clients=8, seed=12, target_commits=400
+        ).run()
+        logged = LoggingScheduler(HDDScheduler(build_inventory_partition()))
+        logged_result = Simulator(
+            logged, workload, clients=8, seed=12, target_commits=400
+        ).run()
+        return bare_result.steps, logged_result.steps, len(logged.wal)
+
+    bare_steps, logged_steps, log_len = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    show(
+        "Recovery: logging overhead",
+        f"steps bare={bare_steps}, logged={logged_steps} (identical "
+        f"schedule), WAL records={log_len}",
+    )
+    assert bare_steps == logged_steps  # logging never changes scheduling
+
+
+@pytest.mark.parametrize("commits", [100, 400, 800])
+def test_redo_speed_by_log_length(benchmark, commits, show):
+    scheduler = run_logged(commits)
+    recovered = benchmark(recover, scheduler.wal)
+    live = committed_state(scheduler.store)
+    replayed = committed_state(recovered)
+    for granule, value in live.items():
+        assert replayed.get(granule, 0) == value
+    show(
+        f"Recovery: redo of {commits}-commit log",
+        f"{len(scheduler.wal)} records -> {recovered.total_versions()} versions",
+    )
+
+
+def test_checkpoint_truncation_payoff(benchmark, show):
+    def compare():
+        unchecked = run_logged(400)
+        checkpointed = run_logged(400, checkpoint_every=100)
+        return len(unchecked.wal), len(checkpointed.wal)
+
+    full, truncated = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show(
+        "Recovery: checkpoint truncation",
+        f"WAL length without checkpoints={full}, with={truncated}",
+    )
+    assert truncated < full

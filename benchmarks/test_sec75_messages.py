@@ -1,0 +1,79 @@
+"""§7.5 bench: inter-controller synchronization messages.
+
+The paper's database-computer motivation: in a multi-processor with one
+controller per segment, concurrency control costs *messages*.  Prices
+every scheduler's execution of the same mix under the documented cost
+model and prints the per-commit message budget — the "reduced
+inter-level synchronization communications" claim, quantified.
+"""
+
+from benchmarks.conftest import SCHEDULER_MAKERS, run_inventory_mix
+from repro.sim.inventory import build_inventory_partition
+from repro.sim.messages import message_report
+from repro.sim.metrics import format_table
+
+
+def test_message_budget_table(benchmark, show):
+    def build_table():
+        rows = []
+        for name in SCHEDULER_MAKERS:
+            result, scheduler = run_inventory_mix(
+                name, commits=400, audit=False
+            )
+            partition = build_inventory_partition()
+            report = message_report(scheduler, partition.segment_of)
+            row = {"scheduler": name}
+            row.update(report.per_commit(result.commits))
+            row["registrations"] = report.registration_messages
+            row["block_roundtrips"] = report.blocking_messages // 2
+            row["wall_broadcasts"] = report.wall_broadcast_messages
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    show("Section 7.5: message budget per commit", format_table(rows))
+    by_name = {row["scheduler"]: row for row in rows}
+    # HDD's synchronization traffic is a fraction of every baseline's.
+    for baseline in ("2pl", "to", "mvto", "sdd1"):
+        assert by_name["hdd"]["sync/commit"] < by_name[baseline]["sync/commit"]
+
+
+def test_wall_broadcast_cost_vs_interval(benchmark, show):
+    """The one message category HDD adds — wall broadcasts — is tunable
+    and tiny next to what it removes."""
+
+    def sweep():
+        from repro.core.scheduler import HDDScheduler
+        from repro.sim.engine import Simulator
+        from repro.sim.inventory import build_inventory_workload
+
+        rows = []
+        for interval in (5, 25, 100):
+            partition = build_inventory_partition()
+            scheduler = HDDScheduler(partition, wall_interval=interval)
+            workload = build_inventory_workload(
+                partition, granules_per_segment=8
+            )
+            result = Simulator(
+                scheduler,
+                workload,
+                clients=8,
+                seed=6,
+                target_commits=400,
+                max_steps=200_000,
+            ).run()
+            report = message_report(scheduler, partition.segment_of)
+            rows.append(
+                {
+                    "interval": interval,
+                    "wall_broadcasts": report.wall_broadcast_messages,
+                    "sync/commit": report.per_commit(result.commits)[
+                        "sync/commit"
+                    ],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Section 7.5: wall broadcast cost vs release interval", format_table(rows))
+    assert rows[0]["wall_broadcasts"] > rows[-1]["wall_broadcasts"]

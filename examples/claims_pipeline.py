@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Case study: an insurance claims pipeline under HDD (paper §7.4).
+
+A five-segment, fork-shaped hierarchy (claim intake and policy master
+feeding adjudication, payments and the general ledger) — the kind of
+delayed-derivation back office the paper argues real organisations run.
+The script:
+
+1. prints the inferred decomposition;
+2. runs a day's mix under HDD and under 2PL and compares the overhead;
+3. drives one claim end to end through the Database facade, showing
+   which protocol served each read.
+
+Run:  python examples/claims_pipeline.py
+"""
+
+from repro import Database, HDDScheduler, PartitionSummary, TwoPhaseLocking
+from repro.sim import (
+    Simulator,
+    build_claims_partition,
+    build_claims_workload,
+    format_table,
+)
+
+
+def part1_schema() -> None:
+    print("=" * 72)
+    print("The claims-processing decomposition")
+    print("=" * 72)
+    print(PartitionSummary(build_claims_partition()).render())
+
+
+def part2_day_in_the_life() -> None:
+    print()
+    print("=" * 72)
+    print("A day's mix: HDD vs strict 2PL")
+    print("=" * 72)
+    rows = []
+    for name, make in {
+        "hdd": lambda p: HDDScheduler(p),
+        "2pl": lambda p: TwoPhaseLocking(),
+    }.items():
+        partition = build_claims_partition()
+        scheduler = make(partition)
+        workload = build_claims_workload(partition)
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=10,
+            seed=77,
+            target_commits=800,
+            max_steps=400_000,
+            audit=True,
+            track_staleness=True,
+        ).run()
+        rows.append(
+            {
+                "scheduler": name,
+                "commits": result.commits,
+                "throughput": round(result.throughput, 4),
+                "reg/commit": round(
+                    scheduler.stats.read_registrations / result.commits, 2
+                ),
+                "read_blocks": scheduler.stats.read_blocks,
+                "fresh_reads": f"{result.fresh_read_fraction:.1%}",
+                "p95_staleness": result.p95_staleness,
+            }
+        )
+    print(format_table(rows))
+    print("\nFive derivation levels mean most reads cross class boundaries")
+    print("upward - exactly where Protocol A's zero-overhead reads apply.")
+
+
+def part3_one_claim() -> None:
+    print()
+    print("=" * 72)
+    print("One claim end to end (Database facade)")
+    print("=" * 72)
+    db = Database(build_claims_partition())
+
+    with db.transaction("file_claim") as txn:
+        txn.write("intake:claim-1001", {"amount": 1800, "member": "M-17"})
+    print("claim filed")
+
+    with db.transaction("update_policy") as txn:
+        txn.write("policy:M-17", {"deductible": 300, "active": True})
+    print("policy on file")
+
+    with db.transaction("adjudicate") as txn:
+        claim = txn.read("intake:claim-1001")
+        policy = txn.read("policy:M-17")
+        payable = max(0, claim["amount"] - policy["deductible"])
+        txn.write("adjudication:claim-1001", {"approved": True, "payable": payable})
+    print(f"adjudicated: payable = {payable}")
+
+    with db.transaction("pay_claim") as txn:
+        decision = txn.read("adjudication:claim-1001")
+        txn.write("payments:claim-1001", decision["payable"])
+    print("payment issued")
+
+    with db.transaction("post_ledger") as txn:
+        amount = txn.read("payments:claim-1001")
+        txn.read_modify_write(
+            "ledger:claims-payable", lambda balance: balance + amount
+        )
+    print("ledger posted")
+
+    balance = db.read_committed("ledger:claims-payable")
+    print(f"\nGL claims-payable balance: {balance}")
+    assert balance == payable
+
+    stats = db.stats
+    print(f"read registrations across the whole flow: "
+          f"{stats.read_registrations} (only the ledger RMW, its own "
+          "segment); every cross-level read was wall-served:")
+    print(f"unregistered reads: {stats.unregistered_reads}")
+    assert db.check_serializable()
+    print("serializable: yes")
+
+
+if __name__ == "__main__":
+    part1_schema()
+    part2_day_in_the_life()
+    part3_one_claim()

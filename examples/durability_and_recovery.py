@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Durability: write-ahead logging and crash recovery.
+
+The paper's §1.1 requires transactions be recoverable "as a single
+unit"; this walkthrough shows the substrate delivering it on top of the
+HDD scheduler:
+
+1. run the inventory mix under a WAL-wrapped scheduler;
+2. checkpoint and truncate the log mid-run;
+3. "crash" (throw the live store away) at an arbitrary point;
+4. recover from the surviving log and verify the committed state —
+   including in-flight transactions correctly discarded.
+
+Run:  python examples/durability_and_recovery.py
+"""
+
+import io
+
+from repro import HDDScheduler
+from repro.recovery import (
+    LoggingScheduler,
+    WriteAheadLog,
+    committed_state,
+    recover,
+)
+from repro.sim import Simulator, build_inventory_partition, build_inventory_workload
+
+
+def main() -> None:
+    partition = build_inventory_partition()
+    scheduler = LoggingScheduler(HDDScheduler(partition))
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    simulator = Simulator(
+        scheduler, workload, clients=8, seed=31, max_steps=400_000
+    )
+
+    # Phase 1: 150 commits, then a checkpoint.
+    simulator.target_commits = 150
+    simulator.run()
+    scheduler.checkpoint()
+    dropped = scheduler.wal.truncate_to_last_checkpoint()
+    print(f"Phase 1: 150 commits; checkpoint taken, {dropped} log records "
+          f"truncated, {len(scheduler.wal)} remain.")
+
+    # Phase 2: more traffic, then CRASH mid-flight.
+    simulator.target_commits = 300
+    simulator.run()
+    in_flight = len(scheduler.inner.active_transactions())
+    print(f"Phase 2: 300 total commits; crashing with {in_flight} "
+          "transactions still in flight...")
+
+    # The log is all that survives.  (Round-trip it through a 'file' to
+    # make the point.)
+    disk = io.StringIO()
+    scheduler.wal.dump(disk)
+    disk.seek(0)
+    surviving_log = WriteAheadLog.load(disk)
+    print(f"Surviving log: {len(surviving_log)} records.")
+
+    # Phase 3: recovery.
+    recovered = recover(surviving_log)
+    live = committed_state(scheduler.store)
+    replayed = committed_state(recovered)
+    mismatches = [
+        granule
+        for granule, value in live.items()
+        if replayed.get(granule, 0) != value
+    ]
+    print(f"Recovered store: {recovered.total_versions()} versions across "
+          f"{len(recovered.granules())} granules.")
+    assert not mismatches, mismatches
+    print("Committed state identical to the pre-crash database. "
+          "In-flight transactions left no trace.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""The paper's motivating application (Figure 2): a retail inventory DB.
+
+Part 1 replays the Figure 3 anomaly construction three ways:
+
+* 2PL with the type-3 reads unlocked -> inconsistent view, caught by
+  the serializability oracle;
+* proper 2PL -> the anomalous timing is simply impossible (blocks);
+* HDD -> the same timing is *allowed* and produces a consistent
+  (older) view with zero read overhead.
+
+Part 2 runs the full transaction mix through the deterministic
+simulator under every scheduler in the library and prints the
+comparison table the paper sketches qualitatively in Figure 10.
+
+Run:  python examples/inventory_application.py
+"""
+
+from repro import (
+    HDDScheduler,
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+    find_dependency_cycle,
+    is_serializable,
+)
+from repro.sim import (
+    Simulator,
+    build_inventory_partition,
+    build_inventory_workload,
+    format_table,
+)
+
+EVENT = "events:arrival-y"
+LEVEL = "inventory:item-x"
+ORDER = "orders:item-x"
+
+
+def replay_anomaly_timing(scheduler, profiles: bool):
+    """The Figure 3/4 interleaving; returns t3's two views."""
+    def begin(profile):
+        if profiles:
+            return scheduler.begin(profile=profile)
+        return scheduler.begin()
+
+    t1 = begin("type1_log_event")
+    t2 = begin("type2_post_inventory")
+    t3 = begin("type3_reorder")
+    event_seen = scheduler.read(t3, EVENT).value
+    scheduler.write(t1, EVENT, "arrived")
+    scheduler.commit(t1)
+    scheduler.read(t2, EVENT)
+    scheduler.write(t2, LEVEL, 17)
+    scheduler.commit(t2)
+    level_seen = scheduler.read(t3, LEVEL).value
+    scheduler.write(t3, ORDER, "reorder")
+    scheduler.commit(t3)
+    return event_seen, level_seen
+
+
+def part1_anomaly() -> None:
+    print("=" * 72)
+    print("Part 1 - the Figure 3 anomaly, three ways")
+    print("=" * 72)
+
+    unsafe = TwoPhaseLocking(read_locks=False)
+    event, level = replay_anomaly_timing(unsafe, profiles=False)
+    cycle = find_dependency_cycle(unsafe.schedule)
+    print(f"2PL without read locks: t3 saw event={event!r}, level={level!r}")
+    print("  -> inconsistent (new level, old event); dependency cycle:")
+    for dep in cycle:
+        print(f"     {dep}")
+
+    safe = TwoPhaseLocking()
+    t3 = safe.begin()
+    safe.read(t3, EVENT)  # S lock
+    t1 = safe.begin()
+    outcome = safe.write(t1, EVENT, "arrived")
+    print(f"Proper 2PL: t1's event write is {outcome.kind.value} "
+          "- the anomalous timing cannot happen (at the cost of blocking).")
+
+    hdd = HDDScheduler(build_inventory_partition())
+    event, level = replay_anomaly_timing(hdd, profiles=True)
+    print(f"HDD: t3 saw event={event!r}, level={level!r}")
+    print("  -> consistent snapshot below the activity-link wall;")
+    print(f"     read registrations: {hdd.stats.read_registrations}, "
+          f"read blocks: {hdd.stats.read_blocks}")
+    assert is_serializable(hdd.schedule)
+
+
+def part2_comparison() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2 - the transaction mix under every scheduler (Figure 10)")
+    print("=" * 72)
+    rows = []
+    makers = {
+        "hdd (mvto)": lambda p: HDDScheduler(p),
+        "hdd (to)": lambda p: HDDScheduler(p, protocol_b="to"),
+        "2pl": lambda p: TwoPhaseLocking(),
+        "to": lambda p: TimestampOrdering(),
+        "mvto": lambda p: MultiversionTimestampOrdering(),
+        "mv2pl": lambda p: MultiversionTwoPhaseLocking(),
+        "sdd1": lambda p: SDD1Pipelining(p),
+    }
+    for name, make in makers.items():
+        partition = build_inventory_partition()
+        scheduler = make(partition)
+        workload = build_inventory_workload(partition)
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=8,
+            seed=42,
+            target_commits=600,
+            max_steps=200_000,
+            audit=True,
+        ).run()
+        summary = result.summary()
+        rows.append(
+            {
+                "scheduler": name,
+                "commits": summary["commits"],
+                "throughput": summary["throughput"],
+                "reg/commit": summary["read_registrations_per_commit"],
+                "unreg/commit": summary["unregistered_reads_per_commit"],
+                "read_blocks": summary["read_blocks"],
+                "aborts": result.stats.aborts,
+                "p95_latency": summary["p95_latency"],
+            }
+        )
+    print(format_table(rows))
+    print()
+    print("Reading the table against Figure 10:")
+    print("  * HDD leaves read timestamps only inside the root segment;")
+    print("  * SDD-1 leaves none but pays with read blocking (pipelining);")
+    print("  * MV2PL spares only the read-only transactions;")
+    print("  * 2PL/TO/MVTO register every read.")
+
+
+if __name__ == "__main__":
+    part1_anomaly()
+    part2_comparison()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pyproject.toml`` is the source of truth; this file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517``) in
+offline environments where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Baseline concurrency-control algorithms HDD is compared against."""
+
+from repro.baselines.lock_manager import LockManager, LockMode, LockResult
+from repro.baselines.mv2pl import MultiversionTwoPhaseLocking
+from repro.baselines.mvto import (
+    MultiversionTimestampOrdering,
+    ReedMultiversionTimestampOrdering,
+)
+from repro.baselines.sdd1 import SDD1Pipelining
+from repro.baselines.timestamp_ordering import TimestampOrdering
+from repro.baselines.two_phase_locking import TwoPhaseLocking
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockResult",
+    "TwoPhaseLocking",
+    "TimestampOrdering",
+    "MultiversionTimestampOrdering",
+    "ReedMultiversionTimestampOrdering",
+    "MultiversionTwoPhaseLocking",
+    "SDD1Pipelining",
+]

@@ -1,0 +1,258 @@
+"""Shared/exclusive lock manager with deadlock detection.
+
+Substrate for the two-phase-locking baselines.  Features:
+
+* shared (S) and exclusive (X) modes with the usual compatibility
+  matrix and S->X upgrades;
+* FIFO wait queues per granule (no starvation);
+* deadlock handling in two selectable flavours:
+
+  - ``"detect"`` (default): a waits-for graph maintained incrementally;
+    a lock request that would close a cycle is refused with
+    ``LockResult.DEADLOCK`` and the *requester* dies (deterministic
+    victim policy);
+  - ``"wound-wait"`` (Rosenkrantz 78): deadlock *prevention* by
+    timestamp — an older requester wounds (kills) younger conflicting
+    holders instead of waiting for them; a younger requester waits.
+    No cycle detection needed, waits always point young -> old.
+
+* idempotent requests: re-asking for a lock you hold or already queued
+  for is harmless, so drivers can blindly retry blocked operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.txn.transaction import GranuleId
+
+__all__ = ["LockManager", "LockMode", "LockResult"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockResult(enum.Enum):
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+    DEADLOCK = "deadlock"
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters of one granule's lock."""
+
+    holders: dict[int, LockMode]
+    queue: list[tuple[int, LockMode]]
+
+    def holder_mode(self) -> Optional[LockMode]:
+        if any(m is LockMode.EXCLUSIVE for m in self.holders.values()):
+            return LockMode.EXCLUSIVE
+        if self.holders:
+            return LockMode.SHARED
+        return None
+
+
+def _compatible(requested: LockMode, held: LockMode) -> bool:
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+class LockManager:
+    """Granule-level S/X locking with FIFO queues and cycle detection."""
+
+    def __init__(self, policy: str = "detect") -> None:
+        if policy not in ("detect", "wound-wait"):
+            raise ValueError(f"unknown deadlock policy {policy!r}")
+        self.policy = policy
+        self._locks: dict[GranuleId, _LockState] = {}
+        #: txn -> set of granules held (for release_all).
+        self._held: dict[int, set[GranuleId]] = {}
+        #: txn -> granule it waits on (each txn waits on one op at a time).
+        self._waiting_on: dict[int, GranuleId] = {}
+        #: txn -> timestamp (wound-wait only).
+        self._timestamps: dict[int, int] = {}
+        #: victims selected by the last wound-wait conflict; the caller
+        #: must abort them (which releases their locks).
+        self._wounded: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        txn_id: int,
+        granule: GranuleId,
+        mode: LockMode,
+        ts: Optional[int] = None,
+    ) -> LockResult:
+        """Request a lock.  ``ts`` (the transaction's timestamp) is
+        required under the wound-wait policy and ignored otherwise."""
+        state = self._locks.setdefault(
+            granule, _LockState(holders={}, queue=[])
+        )
+        if ts is not None:
+            self._timestamps[txn_id] = ts
+        held = state.holders.get(txn_id)
+        if held is not None and (
+            held is LockMode.EXCLUSIVE or held is mode
+        ):
+            self._unqueue(state, txn_id)
+            return LockResult.GRANTED
+
+        if self._grantable(state, txn_id, mode):
+            state.holders[txn_id] = mode
+            self._held.setdefault(txn_id, set()).add(granule)
+            self._unqueue(state, txn_id)
+            self._waiting_on.pop(txn_id, None)
+            return LockResult.GRANTED
+
+        # Queue (idempotently), then resolve per policy.
+        if not any(t == txn_id for t, _ in state.queue):
+            state.queue.append((txn_id, mode))
+        self._waiting_on[txn_id] = granule
+        if self.policy == "wound-wait":
+            self._wound(state, txn_id, mode)
+            return LockResult.BLOCKED
+        if self._would_deadlock(txn_id):
+            self._unqueue(state, txn_id)
+            self._waiting_on.pop(txn_id, None)
+            return LockResult.DEADLOCK
+        return LockResult.BLOCKED
+
+    def _wound(self, state: _LockState, txn_id: int, mode: LockMode) -> None:
+        """Wound-wait: an older requester kills every younger
+        transaction it would otherwise wait for — conflicting holders
+        *and* conflicting requests queued ahead (FIFO fairness can make
+        a request wait behind a queued incompatible one, and a deadlock
+        cycle can run through that queue edge).  Surviving blockers are
+        all older, so waits point strictly young -> old."""
+        my_ts = self._timestamps.get(txn_id)
+        if my_ts is None:
+            raise ValueError("wound-wait requires a timestamp on acquire")
+        for blocker in self._blockers_of(txn_id):
+            blocker_ts = self._timestamps.get(blocker)
+            if blocker_ts is not None and my_ts < blocker_ts:
+                self._wounded.add(blocker)
+
+    def take_wounded(self) -> set[int]:
+        """Victims of the last conflicts; the caller must abort them."""
+        victims, self._wounded = self._wounded, set()
+        return victims
+
+    def _grantable(
+        self, state: _LockState, txn_id: int, mode: LockMode
+    ) -> bool:
+        others = {t: m for t, m in state.holders.items() if t != txn_id}
+        if others and (
+            mode is LockMode.EXCLUSIVE
+            or any(m is LockMode.EXCLUSIVE for m in others.values())
+        ):
+            return False
+        # FIFO fairness: an S request must not overtake a queued X
+        # request (unless the requester already queued earlier itself,
+        # in which case _pump will get to it in order).
+        for queued_txn, queued_mode in state.queue:
+            if queued_txn == txn_id:
+                break
+            if not _compatible(mode, queued_mode) or not _compatible(
+                queued_mode, mode
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _unqueue(state: _LockState, txn_id: int) -> None:
+        state.queue = [(t, m) for t, m in state.queue if t != txn_id]
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release_all(self, txn_id: int) -> set[int]:
+        """Drop every lock of ``txn_id``; return txns that got granted."""
+        woken: set[int] = set()
+        for granule in self._held.pop(txn_id, set()):
+            state = self._locks[granule]
+            state.holders.pop(txn_id, None)
+            woken |= self._pump(granule, state)
+        # The txn may also have been waiting somewhere (abort path).
+        waited = self._waiting_on.pop(txn_id, None)
+        if waited is not None:
+            state = self._locks[waited]
+            self._unqueue(state, txn_id)
+            woken |= self._pump(waited, state)
+        self._timestamps.pop(txn_id, None)
+        self._wounded.discard(txn_id)
+        woken.discard(txn_id)
+        return woken
+
+    def _pump(self, granule: GranuleId, state: _LockState) -> set[int]:
+        """Grant queued requests in FIFO order while compatible."""
+        woken: set[int] = set()
+        while state.queue:
+            txn_id, mode = state.queue[0]
+            others = {t: m for t, m in state.holders.items() if t != txn_id}
+            upgrade_ok = not others or (
+                mode is LockMode.SHARED
+                and all(m is LockMode.SHARED for m in others.values())
+            )
+            if not upgrade_ok:
+                break
+            state.queue.pop(0)
+            state.holders[txn_id] = mode
+            self._held.setdefault(txn_id, set()).add(granule)
+            self._waiting_on.pop(txn_id, None)
+            woken.add(txn_id)
+        return woken
+
+    # ------------------------------------------------------------------
+    # Deadlock detection
+    # ------------------------------------------------------------------
+    def _blockers_of(self, txn_id: int) -> set[int]:
+        granule = self._waiting_on.get(txn_id)
+        if granule is None:
+            return set()
+        state = self._locks[granule]
+        blockers = {t for t in state.holders if t != txn_id}
+        my_mode = next(
+            (m for t, m in state.queue if t == txn_id), LockMode.EXCLUSIVE
+        )
+        for queued_txn, queued_mode in state.queue:
+            if queued_txn == txn_id:
+                break
+            if not _compatible(my_mode, queued_mode) or not _compatible(
+                queued_mode, my_mode
+            ):
+                blockers.add(queued_txn)
+        return blockers
+
+    def _would_deadlock(self, requester: int) -> bool:
+        """DFS over the waits-for graph starting from the requester."""
+        seen: set[int] = set()
+        frontier = list(self._blockers_of(requester))
+        while frontier:
+            txn = frontier.pop()
+            if txn == requester:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            frontier.extend(self._blockers_of(txn))
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def holders(self, granule: GranuleId) -> dict[int, LockMode]:
+        state = self._locks.get(granule)
+        return dict(state.holders) if state else {}
+
+    def waiting(self, granule: GranuleId) -> list[int]:
+        state = self._locks.get(granule)
+        return [t for t, _ in state.queue] if state else []
+
+    def locks_held_by(self, txn_id: int) -> set[GranuleId]:
+        return set(self._held.get(txn_id, set()))

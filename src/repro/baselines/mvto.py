@@ -1,0 +1,43 @@
+"""Reed-style multi-version timestamp ordering as a standalone baseline.
+
+Identical driver shell to :class:`~repro.baselines.timestamp_ordering.
+TimestampOrdering` but with the :class:`~repro.core.intraclass.
+MVTOEngine` rules: reads are never rejected (they fall back to older
+versions), only writes that would invalidate an already-registered read
+abort.  Reads still register timestamps — this is the baseline whose
+registration overhead HDD's Protocol A removes for cross-segment
+accesses.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.timestamp_ordering import (
+    TimestampOrdering,
+    _UnregisteredReadMixin,
+)
+from repro.core.intraclass import MVTOEngine, ReedMVTOEngine
+
+
+class _UnsafeMVTOEngine(_UnregisteredReadMixin, MVTOEngine):
+    name = "mvto-unsafe"
+
+
+class MultiversionTimestampOrdering(TimestampOrdering):
+    """Multi-version timestamp ordering over the whole database."""
+
+    name = "mvto"
+    engine_cls = MVTOEngine
+    unsafe_engine_cls = _UnsafeMVTOEngine
+
+
+class ReedMultiversionTimestampOrdering(TimestampOrdering):
+    """Reed's original MVTO: dirty reads + commit dependencies.
+
+    Reads never block; commits wait for (always older) depended-upon
+    writers, and aborts cascade lazily at commit time.  See
+    :class:`~repro.core.intraclass.ReedMVTOEngine` for the rules.
+    """
+
+    name = "mvto-reed"
+    engine_cls = ReedMVTOEngine
+    unsafe_engine_cls = _UnsafeMVTOEngine  # unsafe mode reuses plain MVTO

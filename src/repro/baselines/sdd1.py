@@ -1,0 +1,220 @@
+"""SDD-1-style conflict-class pipelining (single-site reproduction).
+
+The second column of Figure 10.  SDD-1 (Bernstein 80) performs *conflict
+analysis* over pre-declared transaction classes and synchronises only
+where classes conflict; within a class transactions are pipelined
+(serialized).  We reproduce the synchronization *policy* on one site:
+
+* transactions must name a declared profile; two classes **conflict**
+  when one's write segments intersect the other's access segments (or
+  vice versa);
+* **intra-class pipelining**: a transaction may not operate while an
+  older transaction of its own class is active;
+* **inter-class conservative timestamp ordering**: an access to a
+  granule blocks while any *older* transaction of a conflicting class
+  (one that writes the granule's segment, or accesses it when we write
+  it) is still active.  Once the wait clears, every version below the
+  reader's timestamp is final, so reads need **no read timestamps** —
+  the cost shows up as blocking instead, which is exactly the trade-off
+  Figure 10 charges to SDD-1 ("may cause read requests to be rejected
+  or blocked").
+* **read-only transactions get no special handling**: they need a
+  declared (read-only) profile and pipeline like everyone else.
+
+Waits always point from younger to older transactions, so the scheme is
+deadlock-free.  Version timestamps are initiation timestamps; the wait
+rules guarantee installs happen in timestamp order per granule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.errors import ProtocolViolation
+from repro.scheduling import (
+    BaseScheduler,
+    Outcome,
+    blocked,
+    granted,
+)
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+from repro.txn.clock import LogicalClock, Timestamp
+from repro.txn.transaction import (
+    GranuleId,
+    SegmentId,
+    Transaction,
+    TransactionKind,
+)
+
+
+class SDD1Pipelining(BaseScheduler):
+    """Conflict-graph analysis + class pipelining over declared profiles.
+
+    Uses the same :class:`HierarchicalPartition` declaration as HDD so
+    comparisons run the identical workload, but never relies on the TST
+    property — only on the declared read/write segment sets.
+    """
+
+    name = "sdd1"
+
+    def __init__(
+        self,
+        partition: HierarchicalPartition,
+        store: Optional[MultiVersionStore] = None,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        super().__init__(store=store, clock=clock)
+        self.partition = partition
+        #: profile name -> active transactions of that class, by I(t).
+        self._active_by_profile: dict[str, dict[int, Timestamp]] = {
+            name: {} for name in partition.profiles
+        }
+        self._profile_of_txn: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _make_transaction(self, txn_id, initiation_ts, kind, profile):
+        if profile is None:
+            raise ProtocolViolation(
+                "SDD-1 requires every transaction to declare its class "
+                "(no special handling for ad-hoc read-only transactions)"
+            )
+        declared = self.partition.profile(profile)
+        if declared.is_read_only != (kind is TransactionKind.READ_ONLY):
+            raise ProtocolViolation(
+                f"profile {profile!r} read-only flag does not match the "
+                "begin() call"
+            )
+        self._active_by_profile[profile][txn_id] = initiation_ts
+        self._profile_of_txn[txn_id] = profile
+        class_id = None if declared.is_read_only else declared.root_segment
+        return Transaction(txn_id, initiation_ts, kind, class_id=class_id)
+
+    # ------------------------------------------------------------------
+    # Conflict machinery
+    # ------------------------------------------------------------------
+    def _conflicts_on(
+        self, my_profile: TransactionProfile, segment: SegmentId, writing: bool
+    ) -> list[str]:
+        """Profiles whose active transactions must drain before an access.
+
+        The own class is always included (pipelining).  Another class
+        conflicts on this access iff it writes the segment, or it
+        accesses the segment and we are writing it.
+        """
+        result = []
+        for name, other in self.partition.profiles.items():
+            if name == my_profile.name:
+                result.append(name)
+            elif segment in other.writes:
+                result.append(name)
+            elif writing and segment in other.accesses:
+                result.append(name)
+        return result
+
+    def _oldest_conflicting(
+        self, txn: Transaction, profiles: list[str]
+    ) -> Optional[int]:
+        """An active transaction older than ``txn`` in the given classes."""
+        for name in profiles:
+            for other_id, other_ts in self._active_by_profile[name].items():
+                if other_id != txn.txn_id and other_ts < txn.initiation_ts:
+                    return other_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        self._require_active(txn)
+        profile = self.partition.profile(self._profile_of_txn[txn.txn_id])
+        segment = self.partition.segment_of(granule)
+        if segment not in profile.accesses:
+            raise ProtocolViolation(
+                f"profile {profile.name!r} does not declare access to "
+                f"segment {segment!r}"
+            )
+        blocker = self._oldest_conflicting(
+            txn, self._conflicts_on(profile, segment, writing=False)
+        )
+        if blocker is not None:
+            self.stats.read_blocks += 1
+            return blocked(waiting_for=blocker)
+        if granule in txn.workspace:
+            version_ts: Timestamp = txn.initiation_ts
+            value = txn.workspace[granule]
+        else:
+            version = self.store.chain(granule).latest_before(
+                txn.initiation_ts, committed_only=True
+            )
+            assert version is not None  # bootstrap guarantees one
+            version_ts = version.ts
+            value = version.value
+        txn.record_read(granule)
+        self.stats.reads += 1
+        self.stats.unregistered_reads += 1
+        self.schedule.record_read(txn.txn_id, granule, version_ts)
+        return granted(value=value, version_ts=version_ts)
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        self._require_active(txn)
+        if txn.is_read_only:
+            raise ProtocolViolation(
+                f"read-only txn {txn.txn_id} attempted a write"
+            )
+        profile = self.partition.profile(self._profile_of_txn[txn.txn_id])
+        segment = self.partition.segment_of(granule)
+        if segment not in profile.writes:
+            raise ProtocolViolation(
+                f"profile {profile.name!r} does not declare writes to "
+                f"segment {segment!r}"
+            )
+        blocker = self._oldest_conflicting(
+            txn, self._conflicts_on(profile, segment, writing=True)
+        )
+        if blocker is not None:
+            self.stats.write_blocks += 1
+            return blocked(waiting_for=blocker)
+        chain = self.store.chain(granule)
+        if granule in txn.workspace:
+            chain.version_at(txn.initiation_ts).value = value
+        else:
+            chain.install(
+                Version(granule, txn.initiation_ts, value, writer_id=txn.txn_id)
+            )
+        txn.record_write(granule, value)
+        self.stats.writes += 1
+        self.schedule.record_write(txn.txn_id, granule, txn.initiation_ts)
+        return granted(version_ts=txn.initiation_ts)
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> Outcome:
+        self._require_active(txn)
+        commit_ts = self._finish_commit(txn)
+        for granule in txn.write_set:
+            self.store.chain(granule).commit_version(
+                txn.initiation_ts, commit_ts
+            )
+        self._drop_active(txn)
+        return granted(version_ts=commit_ts)
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        self._require_active(txn)
+        for granule in txn.write_set:
+            chain = self.store.chain(granule)
+            if chain.has_version(txn.initiation_ts):
+                chain.remove(txn.initiation_ts)
+        self._finish_abort(txn, reason)
+        self._drop_active(txn)
+
+    def _drop_active(self, txn: Transaction) -> None:
+        profile = self._profile_of_txn.pop(txn.txn_id, None)
+        if profile is not None:
+            self._active_by_profile[profile].pop(txn.txn_id, None)

@@ -1,0 +1,118 @@
+"""Basic timestamp ordering (Bernstein 80) as a standalone baseline.
+
+The whole database is treated as one segment and the
+:class:`~repro.core.intraclass.BasicTOEngine` rules are applied to every
+access: reads and writes are validated against the head version's write
+and read timestamps, readers of uncommitted data wait for the (always
+older) writer, and every granted read leaves a read timestamp — the
+overhead column Figure 10 charges to timestamp ordering.
+
+``register_reads=False`` is the deliberately unsafe mode of Figure 4:
+reads leave no timestamp, so a conflicting later write slips through and
+the oracle catches a non-serializable execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.intraclass import BasicTOEngine, IntraClassEngine
+from repro.scheduling import BaseScheduler, Outcome, granted
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+from repro.txn.clock import LogicalClock
+from repro.txn.transaction import GranuleId, Transaction
+
+
+class _UnregisteredReadMixin(IntraClassEngine):
+    """Engine variant that serves reads without leaving a timestamp."""
+
+    def _grant_read(self, txn: Transaction, version: Version) -> Outcome:
+        self._stats.reads += 1
+        self._stats.unregistered_reads += 1
+        txn.record_read(version.granule)
+        self._schedule.record_read(txn.txn_id, version.granule, version.ts)
+        return granted(value=version.value, version_ts=version.ts)
+
+
+class _UnsafeTOEngine(_UnregisteredReadMixin, BasicTOEngine):
+    name = "to-unsafe"
+
+
+class TimestampOrdering(BaseScheduler):
+    """Single-version-rule timestamp ordering over the whole database."""
+
+    name = "to"
+    engine_cls: type[IntraClassEngine] = BasicTOEngine
+    unsafe_engine_cls: type[IntraClassEngine] = _UnsafeTOEngine
+
+    def __init__(
+        self,
+        store: Optional[MultiVersionStore] = None,
+        clock: Optional[LogicalClock] = None,
+        register_reads: bool = True,
+    ) -> None:
+        super().__init__(store=store, clock=clock)
+        chosen = self.engine_cls if register_reads else self.unsafe_engine_cls
+        self.engine = chosen(self.store, self.schedule, self.stats)
+        self.register_reads = register_reads
+
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        self._require_active(txn)
+        outcome = self.engine.read(txn, granule)
+        if outcome.aborted:
+            self._abort_internal(txn, outcome.reason or "TO rejection")
+        return outcome
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        self._require_active(txn)
+        outcome = self.engine.write(txn, granule, value)
+        if outcome.aborted:
+            self._abort_internal(txn, outcome.reason or "TO rejection")
+        return outcome
+
+    def commit(self, txn: Transaction) -> Outcome:
+        self._require_active(txn)
+        veto = self.engine.commit_check(txn)
+        if veto is not None:
+            if veto.aborted:
+                self._abort_internal(txn, veto.reason or "commit rejection")
+            return veto
+        commit_ts = self._finish_commit(txn)
+        for granule in txn.write_set:
+            self.store.chain(granule).commit_version(
+                txn.initiation_ts, commit_ts
+            )
+        self.engine.forget(txn.txn_id)
+        return granted(version_ts=commit_ts)
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        self._require_active(txn)
+        self._abort_internal(txn, reason)
+
+    def _abort_internal(self, txn: Transaction, reason: str) -> None:
+        for granule in txn.write_set:
+            chain = self.store.chain(granule)
+            if chain.has_version(txn.initiation_ts):
+                chain.remove(txn.initiation_ts)
+        self._finish_abort(txn, reason)
+        self.engine.forget(txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def safe_watermark(self) -> int:
+        """Versions strictly below the base under this watermark are
+        unreachable: every active or future reader has an initiation
+        timestamp at or above it."""
+        active = [t.initiation_ts for t in self.active_transactions()]
+        return min(active) if active else self.clock.now
+
+    def collect_garbage(self):
+        """Prune versions no present or future reader can be served."""
+        from repro.storage.gc import WatermarkGC
+
+        collector = WatermarkGC(self.store, lambda granule: "*")
+        return collector.collect({"*": self.safe_watermark()})

@@ -1,0 +1,156 @@
+"""Strict two-phase locking — the classical baseline (Eswaran/Gray).
+
+Reads take shared locks (a *read registration* in the paper's cost
+model), writes take exclusive locks; everything is held to commit or
+abort (strictness), so nobody ever observes uncommitted data.  Deadlock
+victims are the requesting transactions.
+
+Write versions are stamped with a fresh clock tick at write time — under
+exclusive locks that tick order *is* the version order, so the recorded
+schedule feeds the oracle directly.
+
+``read_locks=False`` switches on the deliberately unsafe mode used to
+reproduce Figure 3: reads skip the shared lock (and thus the
+registration), which is exactly the shortcut whose unsoundness
+motivates the paper.  The anomaly tests prove the oracle catches the
+resulting non-serializable executions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.lock_manager import LockManager, LockMode, LockResult
+from repro.scheduling import (
+    BaseScheduler,
+    Outcome,
+    aborted,
+    blocked,
+    granted,
+)
+from repro.storage.version import Version
+from repro.storage.store import MultiVersionStore
+from repro.txn.clock import LogicalClock, Timestamp
+from repro.txn.transaction import GranuleId, Transaction
+
+
+class TwoPhaseLocking(BaseScheduler):
+    """Strict 2PL over the shared multi-version store."""
+
+    name = "2pl"
+
+    def __init__(
+        self,
+        store: Optional[MultiVersionStore] = None,
+        clock: Optional[LogicalClock] = None,
+        read_locks: bool = True,
+        deadlock_policy: str = "detect",
+    ) -> None:
+        super().__init__(store=store, clock=clock)
+        self.locks = LockManager(policy=deadlock_policy)
+        self.read_locks = read_locks
+        #: (txn, granule) -> write-time version timestamp.
+        self._write_ts: dict[tuple[int, GranuleId], Timestamp] = {}
+        #: Transactions woken by the last release (drivers may consult).
+        self.last_woken: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        self._require_active(txn)
+        if granule in txn.workspace:
+            return self._grant_read_own(txn, granule)
+        if self.read_locks:
+            result = self.locks.acquire(
+                txn.txn_id, granule, LockMode.SHARED, ts=txn.initiation_ts
+            )
+            if result is LockResult.BLOCKED:
+                self._abort_wounded()
+                self.stats.read_blocks += 1
+                return blocked(waiting_for=f"lock:{granule}")
+            if result is LockResult.DEADLOCK:
+                self._abort_internal(txn, "deadlock victim (read)")
+                self.stats.deadlock_aborts += 1
+                return aborted("deadlock victim (read)")
+            self.stats.read_registrations += 1
+        else:
+            self.stats.unregistered_reads += 1
+        version = self.store.chain(granule).latest_committed()
+        txn.record_read(granule)
+        self.stats.reads += 1
+        self.schedule.record_read(txn.txn_id, granule, version.ts)
+        return granted(value=version.value, version_ts=version.ts)
+
+    def _grant_read_own(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        version_ts = self._write_ts[(txn.txn_id, granule)]
+        txn.record_read(granule)
+        self.stats.reads += 1
+        self.schedule.record_read(txn.txn_id, granule, version_ts)
+        return granted(value=txn.workspace[granule], version_ts=version_ts)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        self._require_active(txn)
+        result = self.locks.acquire(
+            txn.txn_id, granule, LockMode.EXCLUSIVE, ts=txn.initiation_ts
+        )
+        if result is LockResult.BLOCKED:
+            self._abort_wounded()
+            self.stats.write_blocks += 1
+            return blocked(waiting_for=f"lock:{granule}")
+        if result is LockResult.DEADLOCK:
+            self._abort_internal(txn, "deadlock victim (write)")
+            self.stats.deadlock_aborts += 1
+            return aborted("deadlock victim (write)")
+        chain = self.store.chain(granule)
+        key = (txn.txn_id, granule)
+        if key in self._write_ts:
+            chain.version_at(self._write_ts[key]).value = value
+            version_ts = self._write_ts[key]
+        else:
+            version_ts = self.clock.tick()
+            chain.install(
+                Version(granule, version_ts, value, writer_id=txn.txn_id)
+            )
+            self._write_ts[key] = version_ts
+        txn.record_write(granule, value)
+        self.stats.writes += 1
+        self.schedule.record_write(txn.txn_id, granule, version_ts)
+        return granted(version_ts=version_ts)
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> Outcome:
+        self._require_active(txn)
+        commit_ts = self._finish_commit(txn)
+        for granule in txn.write_set:
+            version_ts = self._write_ts.pop((txn.txn_id, granule))
+            self.store.chain(granule).commit_version(version_ts, commit_ts)
+        self.last_woken = self.locks.release_all(txn.txn_id)
+        return granted(version_ts=commit_ts)
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        self._require_active(txn)
+        self._abort_internal(txn, reason)
+
+    def _abort_internal(self, txn: Transaction, reason: str) -> None:
+        for granule in txn.write_set:
+            version_ts = self._write_ts.pop((txn.txn_id, granule), None)
+            if version_ts is not None:
+                self.store.chain(granule).remove(version_ts)
+        self._finish_abort(txn, reason)
+        self.last_woken = self.locks.release_all(txn.txn_id)
+
+    def _abort_wounded(self) -> None:
+        """Wound-wait policy: kill the victims the lock manager chose."""
+        for victim_id in self.locks.take_wounded():
+            victim = self.transactions.get(victim_id)
+            if victim is not None and victim.is_active:
+                self.stats.deadlock_aborts += 1
+                self._abort_internal(victim, "wounded by older transaction")

@@ -1,0 +1,275 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Five subcommands, all deterministic given ``--seed``:
+
+* ``compare`` — the measured Figure 10 table: every scheduler over the
+  same transaction mix (inventory or claims schema);
+* ``sweep``   — vary one knob (read-only share, hierarchy depth,
+  clients, skew) and print the series;
+* ``anomaly`` — replay the Figure 3/4 constructions and print the
+  dependency cycles the oracle finds;
+* ``info``    — show a schema's decomposition (segments, critical arcs,
+  transaction classes);
+* ``report``  — run the headline experiments and emit a markdown
+  summary (see :mod:`repro.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    ReedMultiversionTimestampOrdering,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.partition import PartitionSummary
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.claims import build_claims_partition, build_claims_workload
+from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.metrics import format_table
+from repro.txn.depgraph import find_dependency_cycle
+
+SCHEDULERS = {
+    "hdd": lambda partition: HDDScheduler(partition),
+    "hdd-to": lambda partition: HDDScheduler(partition, protocol_b="to"),
+    "hdd-reed": lambda partition: HDDScheduler(
+        partition, protocol_b="mvto-reed"
+    ),
+    "2pl": lambda partition: TwoPhaseLocking(),
+    "to": lambda partition: TimestampOrdering(),
+    "mvto": lambda partition: MultiversionTimestampOrdering(),
+    "mvto-reed": lambda partition: ReedMultiversionTimestampOrdering(),
+    "mv2pl": lambda partition: MultiversionTwoPhaseLocking(),
+    "sdd1": lambda partition: SDD1Pipelining(partition),
+}
+
+DEFAULT_COMPARISON = ["hdd", "2pl", "to", "mvto", "mv2pl", "sdd1"]
+
+
+def _run_mix(
+    name: str,
+    commits: int,
+    clients: int,
+    seed: int,
+    skew: float,
+    ro_share: float,
+    depth: Optional[int] = None,
+    schema: str = "inventory",
+) -> dict[str, object]:
+    if depth is not None:
+        partition = chain_partition(depth)
+        workload = build_hierarchy_workload(
+            partition, read_only_share=ro_share, skew=skew
+        )
+    elif schema == "claims":
+        partition = build_claims_partition()
+        workload = build_claims_workload(
+            partition, read_only_share=ro_share, skew=skew
+        )
+    else:
+        partition = build_inventory_partition()
+        workload = build_inventory_workload(
+            partition, read_only_share=ro_share, skew=skew
+        )
+    scheduler = SCHEDULERS[name](partition)
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=clients,
+        seed=seed,
+        target_commits=commits,
+        max_steps=max(commits * 500, 100_000),
+        audit=True,
+    ).run()
+    stats = scheduler.stats
+    return {
+        "scheduler": name,
+        "commits": result.commits,
+        "throughput": round(result.throughput, 4),
+        "reg/commit": round(stats.read_registrations / max(result.commits, 1), 3),
+        "unreg/commit": round(
+            stats.unregistered_reads / max(result.commits, 1), 3
+        ),
+        "read_blocks": stats.read_blocks,
+        "aborts": stats.aborts,
+        "p95_lat": round(result.p95_latency, 1),
+    }
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = [
+        _run_mix(
+            name,
+            commits=args.commits,
+            clients=args.clients,
+            seed=args.seed,
+            skew=args.skew,
+            ro_share=args.ro_share,
+            schema=args.workload_schema,
+        )
+        for name in args.schedulers
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for value in args.values:
+        for name in args.schedulers:
+            kwargs = dict(
+                commits=args.commits,
+                clients=args.clients,
+                seed=args.seed,
+                skew=args.skew,
+                ro_share=args.ro_share,
+            )
+            if args.knob == "ro_share":
+                kwargs["ro_share"] = float(value)
+            elif args.knob == "skew":
+                kwargs["skew"] = float(value)
+            elif args.knob == "clients":
+                kwargs["clients"] = int(value)
+            elif args.knob == "depth":
+                kwargs["depth"] = int(value)
+            kwargs["schema"] = args.workload_schema
+            row = _run_mix(name, **kwargs)
+            row = {args.knob: value, **row}
+            rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def cmd_anomaly(args: argparse.Namespace) -> int:
+    event, level, order = "events:arrival", "inventory:level", "orders:req"
+    if args.figure == 3:
+        scheduler = TwoPhaseLocking(read_locks=False)
+        label = "2PL without read locks"
+    else:
+        scheduler = TimestampOrdering(register_reads=False)
+        label = "timestamp ordering without read timestamps"
+    t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+    scheduler.read(t3, event)
+    scheduler.write(t1, event, "arrived")
+    scheduler.commit(t1)
+    scheduler.read(t2, event)
+    scheduler.write(t2, level, 17)
+    scheduler.commit(t2)
+    scheduler.read(t3, level)
+    scheduler.write(t3, order, "reorder")
+    scheduler.commit(t3)
+    cycle = find_dependency_cycle(scheduler.schedule, mode="paper")
+    print(f"Figure {args.figure}: {label}")
+    if cycle is None:
+        print("no dependency cycle (unexpected)")
+        return 1
+    print("dependency cycle found:")
+    for dep in cycle:
+        print(f"  {dep}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import ReportScale, generate_report
+
+    scale = ReportScale.quick() if args.quick else ReportScale()
+    text = generate_report(scale)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    if args.schema == "inventory":
+        partition = build_inventory_partition()
+    else:
+        partition = chain_partition(args.depth)
+    print(PartitionSummary(partition).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HDD concurrency-control experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--commits", type=int, default=400)
+        p.add_argument("--clients", type=int, default=8)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--skew", type=float, default=1.0)
+        p.add_argument("--ro-share", type=float, default=0.25, dest="ro_share")
+        p.add_argument(
+            "--schedulers",
+            nargs="+",
+            choices=sorted(SCHEDULERS),
+            default=DEFAULT_COMPARISON,
+        )
+        p.add_argument(
+            "--workload-schema",
+            choices=["inventory", "claims"],
+            default="inventory",
+            dest="workload_schema",
+        )
+
+    compare = sub.add_parser("compare", help="measured Figure 10 table")
+    common(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="vary one knob, print the series")
+    common(sweep)
+    sweep.add_argument(
+        "--knob",
+        required=True,
+        choices=["ro_share", "skew", "clients", "depth"],
+    )
+    sweep.add_argument("--values", nargs="+", required=True)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    anomaly = sub.add_parser(
+        "anomaly", help="replay the Figure 3/4 constructions"
+    )
+    anomaly.add_argument("--figure", type=int, choices=[3, 4], default=3)
+    anomaly.set_defaults(fn=cmd_anomaly)
+
+    info = sub.add_parser("info", help="show a schema decomposition")
+    info.add_argument(
+        "--schema", choices=["inventory", "chain"], default="inventory"
+    )
+    info.add_argument("--depth", type=int, default=4)
+    info.set_defaults(fn=cmd_info)
+
+    report = sub.add_parser(
+        "report", help="run the headline experiments, emit markdown"
+    )
+    report.add_argument("-o", "--output", default=None, help="output file")
+    report.add_argument(
+        "--quick", action="store_true", help="smaller, faster runs"
+    )
+    report.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

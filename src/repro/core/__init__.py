@@ -1,0 +1,64 @@
+"""The paper's contribution: hierarchical database decomposition."""
+
+from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.analysis import (
+    DerivedPartition,
+    GranuleProfile,
+    coarsen_to_tst,
+    derive_partition,
+)
+from repro.core.trace import (
+    TraceProfile,
+    collect_trace_profiles,
+    derive_partition_from_trace,
+)
+from repro.core.restructure import (
+    RestructurePlan,
+    RestructuringHDDScheduler,
+    plan_restructure,
+    restructured_partition,
+)
+from repro.core.graph import (
+    Digraph,
+    SemiTreeIndex,
+    is_semi_tree,
+    is_transitive_semi_tree,
+)
+from repro.core.partition import (
+    HierarchicalPartition,
+    PartitionSummary,
+    TransactionProfile,
+    build_dhg,
+)
+from repro.core.relation import audit_psr, topologically_follows
+from repro.core.scheduler import HDDScheduler
+from repro.core.timewall import TimeWall, TimeWallManager
+
+__all__ = [
+    "TraceProfile",
+    "collect_trace_profiles",
+    "derive_partition_from_trace",
+    "GranuleProfile",
+    "DerivedPartition",
+    "derive_partition",
+    "coarsen_to_tst",
+    "RestructurePlan",
+    "RestructuringHDDScheduler",
+    "plan_restructure",
+    "restructured_partition",
+    "Digraph",
+    "SemiTreeIndex",
+    "is_semi_tree",
+    "is_transitive_semi_tree",
+    "TransactionProfile",
+    "HierarchicalPartition",
+    "PartitionSummary",
+    "build_dhg",
+    "ActivityTracker",
+    "ClassActivityLog",
+    "topologically_follows",
+    "audit_psr",
+    "TimeWall",
+    "TimeWallManager",
+    "HDDScheduler",
+]

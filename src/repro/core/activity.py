@@ -1,0 +1,362 @@
+"""Activity link functions — the analytical core of the paper (Sections 4.1, 5.1).
+
+Per transaction class the library keeps an *activity log*: the interval
+``[I(t), end(t))`` of every transaction ever run in the class (``end``
+is the commit or abort time; the paper ignores aborts in these
+definitions, but folding the abort time in is safe — an aborted
+transaction leaves no versions, and all proofs only need "not active
+implies finished", see DESIGN.md §7).  A transaction is **active at m**
+iff ``I(t) < m`` and ``end(t) > m`` (strict, matching the paper).
+
+On top of the logs live the paper's four time-mapping functions:
+
+``I_old_T(m)``
+    initiation time of the oldest transaction of class ``T`` active at
+    ``m``; ``m`` itself if none (Section 4.1).
+
+``C_late_T(m)``
+    latest commit time among class-``T`` transactions active at ``m``;
+    ``m`` if none; *not computable* while any such transaction is still
+    running (Section 5.1).
+
+``A_i^j(m)``
+    the activity link function: compose ``I_old`` along the critical
+    path from ``i`` up to ``j``, applying it at every class after ``i``.
+    For ``CP = T_i -> T_k -> T_j``: ``A_i^j(m) = I_old_j(I_old_k(m))``.
+
+``B_j^i(m)``
+    the backward activity link function: compose ``C_late`` walking the
+    critical path downwards, applying it at every class *left*, i.e.
+    all classes except the final ``i``.  For the same path:
+    ``B_j^i(m) = C_late_k(C_late_j(m))``.
+
+``E_s^i(m)``
+    the extended activity link function: walk the *undirected* critical
+    path from ``s`` to ``i``; each up-hop (following a critical arc)
+    applies ``I_old`` of the entered class, each down-hop (against a
+    critical arc) applies ``C_late`` of the class being left.  On a
+    purely ascending walk ``E`` coincides with ``A``; on a purely
+    descending walk with ``B`` (this is how the paper's Lemma 2.1 proof
+    decomposes it).
+
+Properties 2.1 / 2.2 (``A_i^j(B_j^i(m)) >= m`` and
+``A_i^j(B_j^i(m) - 1) < m`` with the integer clock) are verified by
+property-based tests over random activity logs.
+
+Implementation note: initiation timestamps are issued monotonically, so
+each log is append-only in start order.  A max-segment-tree over the
+``end`` values answers both "first active-at-m record" (``I_old``) and
+"largest end among active-at-m records" (``C_late``) in O(log n).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Optional
+
+from repro.core.graph import Node, SemiTreeIndex
+from repro.errors import NotComputableError, ReproError
+from repro.txn.clock import Timestamp
+
+#: Sentinel for "still running" ends inside the segment tree.
+_OPEN = math.inf
+
+#: A finite value larger than any real timestamp (timestamps are event
+#: counts, far below this).  Used to probe for the _OPEN sentinel.
+_FINITE_CEILING = 1e300
+
+
+class _MaxSegmentTree:
+    """Fixed-purpose max segment tree with amortised doubling.
+
+    Supports: append a value, point-update, prefix maximum, and
+    "first index < bound whose value exceeds a threshold".
+    """
+
+    def __init__(self) -> None:
+        self._capacity = 1
+        self._size = 0
+        self._tree = [-_OPEN, -_OPEN]  # 1-based, length 2 * capacity
+
+    def append(self, value: float) -> None:
+        if self._size == self._capacity:
+            self._grow()
+        self._set(self._size, value)
+        self._size += 1
+
+    def update(self, index: int, value: float) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        self._set(index, value)
+
+    def _grow(self) -> None:
+        old_leaves = self._tree[self._capacity : self._capacity + self._size]
+        self._capacity *= 2
+        self._tree = [-_OPEN] * (2 * self._capacity)
+        for i, value in enumerate(old_leaves):
+            self._tree[self._capacity + i] = value
+        for i in range(self._capacity - 1, 0, -1):
+            self._tree[i] = max(self._tree[2 * i], self._tree[2 * i + 1])
+
+    def _set(self, index: int, value: float) -> None:
+        i = self._capacity + index
+        self._tree[i] = value
+        i //= 2
+        while i:
+            self._tree[i] = max(self._tree[2 * i], self._tree[2 * i + 1])
+            i //= 2
+
+    def prefix_max(self, bound: int) -> float:
+        """Maximum of values at indices ``[0, bound)``."""
+        if bound <= 0:
+            return -_OPEN
+        bound = min(bound, self._size)
+        result = -_OPEN
+        lo, hi = self._capacity, self._capacity + bound
+        while lo < hi:
+            if lo & 1:
+                result = max(result, self._tree[lo])
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                result = max(result, self._tree[hi])
+            lo //= 2
+            hi //= 2
+        return result
+
+    def first_above(self, bound: int, threshold: float) -> Optional[int]:
+        """Smallest index in ``[0, bound)`` with value > ``threshold``."""
+        bound = min(bound, self._size)
+        if bound <= 0:
+            return None
+        return self._first_above(1, 0, self._capacity, bound, threshold)
+
+    def _first_above(
+        self, node: int, lo: int, hi: int, bound: int, threshold: float
+    ) -> Optional[int]:
+        if lo >= bound or self._tree[node] <= threshold:
+            return None
+        if lo + 1 == hi:
+            return lo
+        mid = (lo + hi) // 2
+        left = self._first_above(2 * node, lo, mid, bound, threshold)
+        if left is not None:
+            return left
+        return self._first_above(2 * node + 1, mid, hi, bound, threshold)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class ClassActivityLog:
+    """Activity intervals of one transaction class."""
+
+    def __init__(self, class_id: Node) -> None:
+        self.class_id = class_id
+        self._starts: list[Timestamp] = []
+        self._txn_ids: list[int] = []
+        self._ends = _MaxSegmentTree()
+        #: Plain mirror of the end values (None = still running); used
+        #: for log merging during dynamic restructuring and for tests.
+        self._end_values: list[Optional[Timestamp]] = []
+        self._index_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_begin(self, txn_id: int, start: Timestamp) -> None:
+        if self._starts and start <= self._starts[-1]:
+            raise ReproError(
+                f"class {self.class_id!r}: initiation times must be "
+                f"strictly increasing ({start} after {self._starts[-1]})"
+            )
+        if txn_id in self._index_of:
+            raise ReproError(
+                f"class {self.class_id!r}: txn {txn_id} already began"
+            )
+        self._index_of[txn_id] = len(self._starts)
+        self._starts.append(start)
+        self._txn_ids.append(txn_id)
+        self._ends.append(_OPEN)
+        self._end_values.append(None)
+
+    def record_end(self, txn_id: int, end: Timestamp) -> None:
+        index = self._index_of.get(txn_id)
+        if index is None:
+            raise ReproError(
+                f"class {self.class_id!r}: txn {txn_id} never began"
+            )
+        if end <= self._starts[index]:
+            raise ReproError(
+                f"class {self.class_id!r}: txn {txn_id} end {end} <= "
+                f"start {self._starts[index]}"
+            )
+        self._ends.update(index, float(end))
+        self._end_values[index] = end
+
+    def records(self) -> list[tuple[int, Timestamp, Optional[Timestamp]]]:
+        """All ``(txn_id, start, end)`` records, in start order."""
+        return list(zip(self._txn_ids, self._starts, self._end_values))
+
+    # ------------------------------------------------------------------
+    # The paper's per-class functions
+    # ------------------------------------------------------------------
+    def i_old(self, m: Timestamp) -> Timestamp:
+        """``I_old(m)``: initiation of the oldest transaction active at m."""
+        prefix = bisect.bisect_left(self._starts, m)
+        index = self._ends.first_above(prefix, float(m))
+        if index is None:
+            return m
+        return self._starts[index]
+
+    def c_late(self, m: Timestamp) -> Timestamp:
+        """``C_late(m)``: latest commit among transactions active at m.
+
+        Raises :class:`NotComputableError` while any transaction
+        initiated before ``m`` is still running (paper Section 5.1).
+        """
+        prefix = bisect.bisect_left(self._starts, m)
+        top = self._ends.prefix_max(prefix)
+        if top == _OPEN:
+            raise NotComputableError(
+                f"class {self.class_id!r}: C_late({m}) not computable, a "
+                f"transaction initiated before {m} is still active"
+            )
+        if top <= m:
+            return m
+        return int(top)
+
+    def c_late_computable(self, m: Timestamp) -> bool:
+        prefix = bisect.bisect_left(self._starts, m)
+        return self._ends.prefix_max(prefix) != _OPEN
+
+    def oldest_active_start(self) -> Optional[Timestamp]:
+        """Initiation of the oldest currently-running transaction."""
+        # Only still-open intervals carry the infinite sentinel, so any
+        # finite threshold above every real timestamp matches exactly them.
+        index = self._ends.first_above(len(self._starts), _FINITE_CEILING)
+        if index is None:
+            return None
+        return self._starts[index]
+
+    def settled_through(self, m: Timestamp) -> bool:
+        """Have all transactions with ``I(t) < m`` finished?
+
+        This is the wall *settlement* condition the time-wall manager
+        enforces so Protocol C readers never encounter an uncommitted
+        version below the wall (DESIGN.md §7 clarification).
+        """
+        return self.c_late_computable(m)
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+
+class ActivityTracker:
+    """Activity logs for every class plus the composed link functions.
+
+    Parameters
+    ----------
+    index:
+        The :class:`SemiTreeIndex` of the transaction hierarchy graph;
+        critical paths and UCPs come from here.
+    """
+
+    def __init__(self, index: SemiTreeIndex) -> None:
+        self.index = index
+        self.logs: dict[Node, ClassActivityLog] = {
+            node: ClassActivityLog(node) for node in index.graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the HDD scheduler)
+    # ------------------------------------------------------------------
+    def record_begin(self, class_id: Node, txn_id: int, start: Timestamp) -> None:
+        self.logs[class_id].record_begin(txn_id, start)
+
+    def record_end(self, class_id: Node, txn_id: int, end: Timestamp) -> None:
+        self.logs[class_id].record_end(txn_id, end)
+
+    # ------------------------------------------------------------------
+    # Per-class functions
+    # ------------------------------------------------------------------
+    def i_old(self, class_id: Node, m: Timestamp) -> Timestamp:
+        return self.logs[class_id].i_old(m)
+
+    def c_late(self, class_id: Node, m: Timestamp) -> Timestamp:
+        return self.logs[class_id].c_late(m)
+
+    # ------------------------------------------------------------------
+    # Composed functions
+    # ------------------------------------------------------------------
+    def a_func(self, i: Node, j: Node, m: Timestamp) -> Timestamp:
+        """``A_i^j(m)`` along the critical path from ``i`` to ``j``.
+
+        ``A_i^i(m) = m`` by convention (the identity hop); raises
+        :class:`ReproError` when no critical path exists.
+        """
+        path = self.index.critical_path(i, j)
+        if path is None:
+            raise ReproError(f"A_{i}^{j}: no critical path from {i!r} to {j!r}")
+        value = m
+        for cls in path[1:]:
+            value = self.i_old(cls, value)
+        return value
+
+    def a_func_from_below(self, bottom: Node, j: Node, m: Timestamp) -> Timestamp:
+        """``A`` evaluated from a fictitious class hanging below ``bottom``.
+
+        Section 5.0: a read-only transaction whose read segments lie on
+        one critical path behaves like an update transaction in a class
+        immediately below the lowest class of that path.  The fictitious
+        arc ``T_fict -> T_bottom`` prepends one ``I_old`` hop at
+        ``bottom`` itself.
+        """
+        value = self.i_old(bottom, m)
+        if j == bottom:
+            return value
+        return self.a_func(bottom, j, value)
+
+    def b_func(self, j: Node, i: Node, m: Timestamp) -> Timestamp:
+        """``B_j^i(m)``: compose ``C_late`` walking down from ``j`` to ``i``.
+
+        Applies ``C_late`` at every class on the path except the final
+        ``i`` (see module docstring for the derivation).  Raises
+        :class:`NotComputableError` if any hop is not yet computable.
+        """
+        path = self.index.critical_path(i, j)
+        if path is None:
+            raise ReproError(f"B_{j}^{i}: no critical path from {i!r} to {j!r}")
+        value = m
+        for cls in reversed(path[1:]):  # j first, i excluded
+            value = self.c_late(cls, value)
+        return value
+
+    def e_func(self, s: Node, i: Node, m: Timestamp) -> Timestamp:
+        """``E_s^i(m)`` along the undirected critical path from ``s`` to ``i``.
+
+        Up-hops apply ``I_old`` of the entered class; down-hops apply
+        ``C_late`` of the class being left.  ``E_s^s(m) = m``.
+        """
+        walk = self.index.undirected_critical_path(s, i)
+        if walk is None:
+            raise ReproError(
+                f"E_{s}^{i}: classes {s!r} and {i!r} are not connected"
+            )
+        value = m
+        for here, there in zip(walk, walk[1:]):
+            if self.index.reduction.has_arc(here, there):
+                value = self.i_old(there, value)
+            elif self.index.reduction.has_arc(there, here):
+                value = self.c_late(here, value)
+            else:  # pragma: no cover - UCP guarantees one of the two
+                raise ReproError(f"no critical arc between {here!r}, {there!r}")
+        return value
+
+    def try_e_func(self, s: Node, i: Node, m: Timestamp) -> Optional[Timestamp]:
+        """``E_s^i(m)``, or ``None`` while not computable."""
+        try:
+            return self.e_func(s, i, m)
+        except NotComputableError:
+            return None

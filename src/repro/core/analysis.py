@@ -1,0 +1,249 @@
+"""Decomposition methodology (paper Sections 7.2.1 and 7.2.2).
+
+The paper defers two methodological questions to future work; both are
+implemented here:
+
+* **Acyclic-to-TST coarsening** (§7.2.1): a data hierarchy graph that is
+  acyclic but not a transitive semi-tree can be made one by merging
+  segments.  :func:`coarsen_to_tst` repeatedly finds an offending
+  undirected cycle in the transitive reduction and merges the two
+  endpoints of the arc closing it — the gentlest repair step — until
+  the graph is a TST.  Granularity is preserved greedily; finding the
+  minimum number of merges is a clustering problem the paper does not
+  solve either.
+
+* **Decomposition via data analysis** (§7.2.2): :func:`derive_partition`
+  starts from *granule-level* transaction profiles, clusters granules
+  that must share a segment (everything one transaction type writes),
+  builds the candidate DHG over the clusters, coarsens it to a TST, and
+  returns a ready :class:`~repro.core.partition.HierarchicalPartition`
+  with an explicit granule map — the full pipeline from raw access
+  patterns to a legal decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.core.graph import Digraph, Node, is_semi_tree
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.errors import PartitionError
+from repro.txn.transaction import GranuleId, SegmentId
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+
+    def add(self, item: Hashable) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_a] = root_b
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        result: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+
+def _quotient(graph: Digraph, leader: dict[Node, Node]) -> Digraph:
+    """The graph induced on merge groups (self-loops dropped)."""
+    merged = Digraph(nodes=set(leader.values()))
+    for u, v in graph.arcs:
+        lu, lv = leader[u], leader[v]
+        if lu != lv:
+            merged.add_arc(lu, lv)
+    return merged
+
+
+def _offending_pair(reduction: Digraph) -> Optional[tuple[Node, Node]]:
+    """Two nodes whose merge breaks an undirected cycle of the reduction.
+
+    Returns the endpoints of the first arc that closes an undirected
+    cycle (including antiparallel pairs), or ``None`` when the
+    reduction is already a semi-tree.
+    """
+    for u, v in reduction.arcs:
+        if reduction.has_arc(v, u):
+            return (u, v)
+    uf = _UnionFind()
+    for node in reduction.nodes:
+        uf.add(node)
+    for u, v in sorted(reduction.arcs, key=repr):
+        if uf.find(u) == uf.find(v):
+            return (u, v)
+        uf.union(u, v)
+    return None
+
+
+def coarsen_to_tst(graph: Digraph) -> dict[Node, Node]:
+    """Merge nodes of an acyclic digraph until it is a TST (§7.2.1).
+
+    Returns ``node -> group leader``; nodes sharing a leader belong to
+    one merged segment.  Raises :class:`PartitionError` if the input
+    has a directed cycle that merging cannot remove (merging *can*
+    always remove it — a cycle's nodes collapse to one — so the only
+    failure mode is an empty graph, which trivially succeeds).
+    """
+    uf = _UnionFind()
+    for node in graph.nodes:
+        uf.add(node)
+
+    def leaders() -> dict[Node, Node]:
+        return {node: uf.find(node) for node in graph.nodes}
+
+    while True:
+        current = _quotient(graph, leaders())
+        cycle = current.find_cycle()
+        if cycle is not None:
+            # Merging created (or the input had) a directed cycle:
+            # collapse it entirely.
+            first = cycle[0]
+            for node in cycle[1:]:
+                uf.union(first, node)
+            continue
+        reduction = current.transitive_reduction()
+        pair = _offending_pair(reduction)
+        if pair is None:
+            if not is_semi_tree(reduction):  # pragma: no cover - safety
+                raise PartitionError("coarsening failed to reach a semi-tree")
+            return leaders()
+        uf.union(*pair)
+
+
+@dataclass(frozen=True)
+class GranuleProfile:
+    """A transaction type's access pattern at *granule* level (§7.2.2)."""
+
+    name: str
+    writes: frozenset[GranuleId]
+    reads: frozenset[GranuleId]
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        writes: Iterable[GranuleId] = (),
+        reads: Iterable[GranuleId] = (),
+    ) -> "GranuleProfile":
+        return cls(name, frozenset(writes), frozenset(reads))
+
+    @property
+    def accesses(self) -> frozenset[GranuleId]:
+        return self.writes | self.reads
+
+
+@dataclass
+class DerivedPartition:
+    """Result of :func:`derive_partition`."""
+
+    partition: HierarchicalPartition
+    granule_map: dict[GranuleId, SegmentId]
+    segment_members: dict[SegmentId, list[GranuleId]]
+
+    def segment_of(self, granule: GranuleId) -> SegmentId:
+        return self.granule_map[granule]
+
+
+def derive_partition(profiles: Iterable[GranuleProfile]) -> DerivedPartition:
+    """From granule-level profiles to a legal TST-hierarchical partition.
+
+    Pipeline (§7.2.2): (1) all granules written by one transaction type
+    must share a segment — union them; (2) every accessed-only granule
+    gets its own cluster; (3) build the cluster-level DHG and coarsen it
+    to a TST (§7.2.1); (4) name the final segments ``S0, S1, ...`` in a
+    deterministic order and emit segment-level profiles plus the
+    granule map.
+    """
+    profile_list = list(profiles)
+    if not profile_list:
+        raise PartitionError("need at least one granule profile")
+    names = [p.name for p in profile_list]
+    if len(set(names)) != len(names):
+        raise PartitionError("duplicate granule profile names")
+
+    uf = _UnionFind()
+    for profile in profile_list:
+        for granule in profile.accesses:
+            uf.add(granule)
+        writes = sorted(profile.writes)
+        for granule in writes[1:]:
+            uf.union(writes[0], granule)
+
+    all_granules = sorted({g for p in profile_list for g in p.accesses})
+    cluster_of = {g: uf.find(g) for g in all_granules}
+
+    # Cluster-level DHG from the update profiles.
+    clusters = sorted(set(cluster_of.values()), key=repr)
+    dhg = Digraph(nodes=clusters)
+    for profile in profile_list:
+        if not profile.writes:
+            continue
+        write_clusters = {cluster_of[g] for g in profile.writes}
+        access_clusters = {cluster_of[g] for g in profile.accesses}
+        for wc in write_clusters:
+            for ac in access_clusters:
+                if wc != ac:
+                    dhg.add_arc(wc, ac)
+
+    leader = coarsen_to_tst(dhg)
+
+    # Deterministic segment naming by sorted member granules.
+    members: dict[Node, list[GranuleId]] = {}
+    for granule in all_granules:
+        members.setdefault(leader[cluster_of[granule]], []).append(granule)
+    ordered_groups = sorted(members.values(), key=lambda ms: ms[0])
+    segment_names = [f"S{i}" for i in range(len(ordered_groups))]
+    granule_map: dict[GranuleId, SegmentId] = {}
+    segment_members: dict[SegmentId, list[GranuleId]] = {}
+    for segment, group in zip(segment_names, ordered_groups):
+        segment_members[segment] = sorted(group)
+        for granule in group:
+            granule_map[granule] = segment
+
+    segment_profiles = []
+    for profile in profile_list:
+        write_segments = {granule_map[g] for g in profile.writes}
+        read_segments = {granule_map[g] for g in profile.reads}
+        if write_segments:
+            if len(write_segments) != 1:  # pragma: no cover - by construction
+                raise PartitionError(
+                    f"profile {profile.name!r} still writes several "
+                    "segments after coarsening"
+                )
+            segment_profiles.append(
+                TransactionProfile.update(
+                    profile.name, writes=write_segments, reads=read_segments
+                )
+            )
+        else:
+            segment_profiles.append(
+                TransactionProfile.read_only(profile.name, reads=read_segments)
+            )
+
+    partition = HierarchicalPartition(
+        segments=segment_names,
+        profiles=segment_profiles,
+        granule_map=granule_map,
+    )
+    return DerivedPartition(
+        partition=partition,
+        granule_map=granule_map,
+        segment_members=segment_members,
+    )

@@ -1,0 +1,292 @@
+"""Protocol B: synchronization inside a transaction's own root segment.
+
+The paper (Section 4.2) delegates intra-class accesses to "the basic
+timestamp ordering protocol [Bernstein80] or the multi-version
+timestamp ordering protocol [Reed78]".  Both are implemented here as
+pluggable engines over the shared multi-version store — an ablation
+knob for the benchmarks.
+
+Both engines:
+
+* order transactions by initiation timestamp ``I(t)`` (the order HDD's
+  cross-class machinery assumes);
+* *register* reads (bump the version's read timestamp) — this is the
+  intra-segment overhead the paper accepts;
+* never let a transaction read another's uncommitted data: a read that
+  lands on an uncommitted version blocks until the writer finishes.
+  Because the blocked reader is always younger (larger ``I``) than the
+  writer it waits for, wait chains point strictly young -> old and can
+  never form a deadlock cycle.
+
+Differences:
+
+* :class:`BasicTOEngine` keeps the classic single-version rules on the
+  *head* version (read/write rejected when a newer version exists), so
+  late transactions abort more;
+* :class:`MVTOEngine` serves reads from the newest version at or below
+  the reader's timestamp (reads never rejected) and only rejects a
+  write when the immediately preceding version has been read by a
+  younger transaction.
+
+Old versions are retained in both cases — lower-class Protocol A
+readers need them regardless of which intra-class engine runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.scheduling import (
+    Outcome,
+    SchedulerStats,
+    aborted,
+    blocked,
+    granted,
+)
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+from repro.txn.schedule import Schedule
+from repro.txn.transaction import GranuleId, Transaction
+
+
+class IntraClassEngine(abc.ABC):
+    """Interface of a Protocol B engine."""
+
+    name: str = "intra"
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        schedule: Schedule,
+        stats: SchedulerStats,
+    ) -> None:
+        self._store = store
+        self._schedule = schedule
+        self._stats = stats
+
+    @abc.abstractmethod
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        ...
+
+    @abc.abstractmethod
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        ...
+
+    def commit_check(self, txn: Transaction) -> Optional[Outcome]:
+        """Engine veto before a commit is finalised.
+
+        ``None`` means "no constraint" (the default: blocking-read
+        engines resolve everything at access time).  Engines with
+        commit dependencies (Reed MVTO) return blocked/aborted
+        outcomes here.
+        """
+        return None
+
+    def forget(self, txn_id: int) -> None:
+        """Drop any per-transaction engine state (commit/abort hook)."""
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _grant_read(self, txn: Transaction, version: Version) -> Outcome:
+        version.register_read(txn.initiation_ts)
+        self._stats.reads += 1
+        self._stats.read_registrations += 1
+        txn.record_read(version.granule)
+        self._schedule.record_read(txn.txn_id, version.granule, version.ts)
+        return granted(value=version.value, version_ts=version.ts)
+
+    def _read_own_write(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        """Read-your-writes; no registration needed for one's own data."""
+        self._stats.reads += 1
+        txn.record_read(granule)
+        self._schedule.record_read(txn.txn_id, granule, txn.initiation_ts)
+        return granted(value=txn.workspace[granule], version_ts=txn.initiation_ts)
+
+    def _install(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        chain = self._store.chain(granule)
+        if granule in txn.workspace:
+            # Second write by the same transaction: update the version
+            # in place (it keeps the transaction's timestamp).
+            chain.version_at(txn.initiation_ts).value = value
+        else:
+            chain.install(
+                Version(granule, txn.initiation_ts, value, writer_id=txn.txn_id)
+            )
+        txn.record_write(granule, value)
+        self._stats.writes += 1
+        self._schedule.record_write(txn.txn_id, granule, txn.initiation_ts)
+        return granted(version_ts=txn.initiation_ts)
+
+
+class BasicTOEngine(IntraClassEngine):
+    """Basic (single-version-rule) timestamp ordering on the head version."""
+
+    name = "to"
+
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        if granule in txn.workspace:
+            return self._read_own_write(txn, granule)
+        head = self._store.chain(granule).head()
+        if head.ts > txn.initiation_ts:
+            self._stats.read_rejections += 1
+            return aborted(
+                f"TO read rejected: {granule} has newer version "
+                f"{head.ts} > I={txn.initiation_ts}"
+            )
+        if not head.committed and head.writer_id != txn.txn_id:
+            self._stats.read_blocks += 1
+            return blocked(waiting_for=head.writer_id)
+        return self._grant_read(txn, head)
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        if granule in txn.workspace:
+            return self._install(txn, granule, value)
+        head = self._store.chain(granule).head()
+        if head.ts > txn.initiation_ts:
+            self._stats.write_rejections += 1
+            return aborted(
+                f"TO write rejected: {granule} has newer version "
+                f"{head.ts} > I={txn.initiation_ts}"
+            )
+        if head.rts is not None and head.rts > txn.initiation_ts:
+            self._stats.write_rejections += 1
+            return aborted(
+                f"TO write rejected: {granule} read at {head.rts} "
+                f"> I={txn.initiation_ts}"
+            )
+        if not head.committed and head.writer_id != txn.txn_id:
+            self._stats.write_blocks += 1
+            return blocked(waiting_for=head.writer_id)
+        return self._install(txn, granule, value)
+
+
+class MVTOEngine(IntraClassEngine):
+    """Reed-style multi-version timestamp ordering."""
+
+    name = "mvto"
+
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        if granule in txn.workspace:
+            return self._read_own_write(txn, granule)
+        chain = self._store.chain(granule)
+        version = chain.latest_at_or_before(txn.initiation_ts)
+        assert version is not None  # bootstrap version always exists
+        if not version.committed and version.writer_id != txn.txn_id:
+            self._stats.read_blocks += 1
+            return blocked(waiting_for=version.writer_id)
+        return self._grant_read(txn, version)
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        if granule in txn.workspace:
+            return self._install(txn, granule, value)
+        chain = self._store.chain(granule)
+        predecessor = chain.latest_at_or_before(txn.initiation_ts)
+        assert predecessor is not None
+        if (
+            predecessor.rts is not None
+            and predecessor.rts > txn.initiation_ts
+        ):
+            self._stats.write_rejections += 1
+            return aborted(
+                f"MVTO write rejected: inserting {granule}^"
+                f"{txn.initiation_ts} would invalidate a read at "
+                f"{predecessor.rts}"
+            )
+        return self._install(txn, granule, value)
+
+
+class ReedMVTOEngine(MVTOEngine):
+    """Reed's original MVTO: dirty reads with commit dependencies.
+
+    Where :class:`MVTOEngine` blocks a read that lands on an
+    uncommitted version, Reed's scheme *grants* it immediately and
+    instead defers the reader's **commit** until every version it read
+    has committed (a *commit dependency*).  If a depended-upon writer
+    aborts — or rewrites the granule, invalidating the value already
+    handed out — the reader is doomed and aborts at its own commit
+    point (a *cascading abort*).
+
+    Dependencies always point from a younger reader to an older writer
+    (the read rule picks versions at or below the reader's timestamp),
+    so commit waits can never deadlock.
+
+    The trade-off this engine makes measurable: reads never block, but
+    aborts can cascade — the ablation benchmark compares the two MVTO
+    flavours head to head.
+    """
+
+    name = "mvto-reed"
+
+    def __init__(self, store, schedule, stats) -> None:
+        super().__init__(store, schedule, stats)
+        #: reader txn -> versions (granule, ts) it read while uncommitted.
+        self._commit_deps: dict[int, set[tuple[GranuleId, int]]] = {}
+        #: (granule, ts) -> readers handed that uncommitted version.
+        self._version_readers: dict[tuple[GranuleId, int], set[int]] = {}
+        #: readers invalidated by a rewrite of a version they read.
+        self._doomed: set[int] = set()
+
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        if granule in txn.workspace:
+            return self._read_own_write(txn, granule)
+        chain = self._store.chain(granule)
+        version = chain.latest_at_or_before(txn.initiation_ts)
+        assert version is not None
+        if not version.committed and version.writer_id != txn.txn_id:
+            key = (granule, version.ts)
+            self._commit_deps.setdefault(txn.txn_id, set()).add(key)
+            self._version_readers.setdefault(key, set()).add(txn.txn_id)
+        return self._grant_read(txn, version)
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        if granule in txn.workspace:
+            # Rewriting an uncommitted version invalidates any values
+            # already handed to dependent readers: doom them.
+            key = (granule, txn.initiation_ts)
+            for reader in self._version_readers.get(key, ()):
+                self._doomed.add(reader)
+        return super().write(txn, granule, value)
+
+    def commit_check(self, txn: Transaction) -> Optional[Outcome]:
+        if txn.txn_id in self._doomed:
+            return aborted(
+                "cascading abort: a version this transaction read was "
+                "rewritten before it committed"
+            )
+        for granule, ts in self._commit_deps.get(txn.txn_id, set()):
+            chain = self._store.chain(granule)
+            if not chain.has_version(ts):
+                return aborted(
+                    f"cascading abort: writer of {granule}^{ts} aborted"
+                )
+            version = chain.version_at(ts)
+            if not version.committed:
+                self._stats.commit_blocks += 1
+                return blocked(waiting_for=version.writer_id)
+        return None
+
+    def forget(self, txn_id: int) -> None:
+        for key in self._commit_deps.pop(txn_id, set()):
+            readers = self._version_readers.get(key)
+            if readers:
+                readers.discard(txn_id)
+        self._doomed.discard(txn_id)
+
+
+ENGINES: dict[str, type[IntraClassEngine]] = {
+    BasicTOEngine.name: BasicTOEngine,
+    MVTOEngine.name: MVTOEngine,
+    ReedMVTOEngine.name: ReedMVTOEngine,
+}

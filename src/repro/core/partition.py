@@ -1,0 +1,275 @@
+"""Database partitions, data hierarchy graphs and transaction classes
+(paper Section 3.2).
+
+The decomposition workflow is *transaction analysis*: the designer
+declares, per transaction type, which segments it writes and which it
+reads (a :class:`TransactionProfile`).  From the update profiles the
+**data hierarchy graph** (DHG) is built::
+
+    D_i -> D_j   iff some update profile writes in D_i and accesses D_j
+
+A partition is *TST-hierarchical* iff its DHG is a transitive semi-tree;
+then every update transaction writes in exactly one segment (the paper's
+Property in §3.2 — we verify rather than assume it), that segment names
+its *transaction class*, and the **transaction hierarchy graph** (THG)
+is the image of the DHG on classes.  Because classes and segments are in
+1-1 correspondence we reuse segment ids as class ids, and THG == DHG as
+graphs.
+
+Granule naming: a granule id is ``"<segment>:<local name>"`` by default;
+an explicit granule->segment mapping can be registered instead for
+schemas that do not want the convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.graph import Digraph, SemiTreeIndex, is_transitive_semi_tree
+from repro.errors import PartitionError
+from repro.txn.transaction import GranuleId, SegmentId
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """The declared access pattern of one transaction type.
+
+    ``w(t)`` and ``r(t)`` at segment granularity.  Update profiles must
+    write somewhere; read-only profiles (empty ``writes``) do not shape
+    the DHG — Section 5 handles them separately.
+    """
+
+    name: str
+    writes: frozenset[SegmentId]
+    reads: frozenset[SegmentId]
+
+    @classmethod
+    def update(
+        cls, name: str, writes: Iterable[SegmentId], reads: Iterable[SegmentId] = ()
+    ) -> "TransactionProfile":
+        return cls(name, frozenset(writes), frozenset(reads))
+
+    @classmethod
+    def read_only(
+        cls, name: str, reads: Iterable[SegmentId]
+    ) -> "TransactionProfile":
+        return cls(name, frozenset(), frozenset(reads))
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+    @property
+    def accesses(self) -> frozenset[SegmentId]:
+        """``a(t) = r(t) U w(t)``."""
+        return self.writes | self.reads
+
+    @property
+    def root_segment(self) -> SegmentId:
+        """The single write segment of an update profile.
+
+        Only meaningful once the partition has been validated (a TST
+        partition forces exactly one write segment); raises otherwise.
+        """
+        if len(self.writes) != 1:
+            raise PartitionError(
+                f"profile {self.name!r} writes {len(self.writes)} segments; "
+                "a TST-hierarchical partition requires exactly one"
+            )
+        return next(iter(self.writes))
+
+
+def build_dhg(
+    segments: Iterable[SegmentId],
+    profiles: Iterable[TransactionProfile],
+) -> Digraph:
+    """Construct ``DHG(P, T_u)`` from the update profiles.
+
+    Arcs: for each update profile ``t``, for each write segment ``D_i``
+    and each accessed segment ``D_j != D_i``, add ``D_i -> D_j``.
+    """
+    graph = Digraph(nodes=list(segments))
+    for profile in profiles:
+        if profile.is_read_only:
+            continue
+        for written in profile.writes:
+            if not graph.has_node(written):
+                raise PartitionError(
+                    f"profile {profile.name!r} writes unknown segment "
+                    f"{written!r}"
+                )
+            for accessed in profile.accesses:
+                if not graph.has_node(accessed):
+                    raise PartitionError(
+                        f"profile {profile.name!r} accesses unknown segment "
+                        f"{accessed!r}"
+                    )
+                if accessed != written:
+                    graph.add_arc(written, accessed)
+    return graph
+
+
+class HierarchicalPartition:
+    """A validated TST-hierarchical partition with its derived structures.
+
+    Construction performs the full Section 3.2 validation:
+
+    1. every update profile writes exactly one segment;
+    2. the DHG is a transitive semi-tree;
+    3. every profile's read segments are *higher than* its root segment
+       (this is implied by 2 for declared profiles, but checking it per
+       profile yields much better error messages).
+
+    Attributes
+    ----------
+    dhg:
+        The data hierarchy graph.
+    index:
+        :class:`SemiTreeIndex` over the DHG — critical paths, UCPs and
+        the ``higher-than`` order.  Since classes are identified with
+        segments this doubles as the THG index.
+    classes:
+        Segment id -> list of update profile names rooted there (the
+        transaction classification).
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[SegmentId],
+        profiles: Sequence[TransactionProfile],
+        granule_map: Optional[dict[GranuleId, SegmentId]] = None,
+    ) -> None:
+        if len(set(segments)) != len(segments):
+            raise PartitionError("duplicate segment ids in partition")
+        self.segments: list[SegmentId] = list(segments)
+        self.profiles: dict[str, TransactionProfile] = {}
+        for profile in profiles:
+            if profile.name in self.profiles:
+                raise PartitionError(f"duplicate profile name {profile.name!r}")
+            self.profiles[profile.name] = profile
+
+        update_profiles = [p for p in profiles if not p.is_read_only]
+        for profile in update_profiles:
+            if len(profile.writes) != 1:
+                raise PartitionError(
+                    f"profile {profile.name!r} writes segments "
+                    f"{sorted(profile.writes)}; TST-hierarchical partitions "
+                    "allow exactly one write segment per update transaction"
+                )
+
+        self.dhg = build_dhg(segments, update_profiles)
+        if not is_transitive_semi_tree(self.dhg):
+            raise PartitionError(
+                "the data hierarchy graph is not a transitive semi-tree; "
+                f"arcs: {sorted(map(str, self.dhg.arcs))}"
+            )
+        self.index = SemiTreeIndex(self.dhg)
+
+        for profile in update_profiles:
+            root = profile.root_segment
+            for read in profile.reads:
+                if read != root and not self.index.is_higher(read, root):
+                    raise PartitionError(
+                        f"profile {profile.name!r} reads segment {read!r} "
+                        f"which is not higher than its root {root!r}"
+                    )
+
+        self.classes: dict[SegmentId, list[str]] = {s: [] for s in segments}
+        for profile in update_profiles:
+            self.classes[profile.root_segment].append(profile.name)
+
+        self._granule_map = dict(granule_map) if granule_map else None
+
+    # ------------------------------------------------------------------
+    # Granule -> segment mapping
+    # ------------------------------------------------------------------
+    def segment_of(self, granule: GranuleId) -> SegmentId:
+        """Map a granule id to its segment.
+
+        Uses the explicit map when one was given, otherwise the
+        ``"<segment>:<name>"`` convention.
+        """
+        if self._granule_map is not None:
+            segment = self._granule_map.get(granule)
+            if segment is None:
+                raise PartitionError(f"granule {granule!r} is not mapped")
+            return segment
+        segment, separator, _ = granule.partition(":")
+        if not separator:
+            raise PartitionError(
+                f"granule {granule!r} does not follow the "
+                "'<segment>:<name>' convention and no explicit map was given"
+            )
+        if segment not in self.classes:
+            raise PartitionError(
+                f"granule {granule!r} names unknown segment {segment!r}"
+            )
+        return segment
+
+    def granule(self, segment: SegmentId, name: str) -> GranuleId:
+        """Build a granule id following the naming convention."""
+        if segment not in self.classes:
+            raise PartitionError(f"unknown segment {segment!r}")
+        return f"{segment}:{name}"
+
+    # ------------------------------------------------------------------
+    # Topology queries (thin veneer over the index)
+    # ------------------------------------------------------------------
+    def is_higher(self, j: SegmentId, i: SegmentId) -> bool:
+        """``T_j ^ T_i`` — is class ``j`` higher than class ``i``?"""
+        return self.index.is_higher(j, i)
+
+    def critical_path(self, i: SegmentId, j: SegmentId):
+        return self.index.critical_path(i, j)
+
+    def thg(self) -> Digraph:
+        """The transaction hierarchy graph.
+
+        Classes are in 1-1 correspondence with segments (same ids), so
+        the THG is graph-equal to the DHG; returned as a copy so callers
+        can annotate it freely.
+        """
+        return self.dhg.copy()
+
+    def profile(self, name: str) -> TransactionProfile:
+        found = self.profiles.get(name)
+        if found is None:
+            raise PartitionError(f"unknown transaction profile {name!r}")
+        return found
+
+    def read_only_on_one_critical_path(
+        self, read_segments: Iterable[SegmentId]
+    ) -> bool:
+        """Section 5.0 dichotomy for read-only transactions."""
+        return self.index.path_on_one_critical_path(list(read_segments))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchicalPartition(segments={self.segments!r}, "
+            f"profiles={sorted(self.profiles)!r})"
+        )
+
+
+@dataclass
+class PartitionSummary:
+    """A printable report of a partition (used by examples and docs)."""
+
+    partition: HierarchicalPartition
+    lines: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        p = self.partition
+        lines = ["Segments and rooted transaction classes:"]
+        for segment in p.segments:
+            names = ", ".join(p.classes[segment]) or "(no update class)"
+            lines.append(f"  {segment}: {names}")
+        lines.append("Critical arcs (transitive reduction of the DHG):")
+        for u, v in sorted(p.index.critical_arcs()):
+            lines.append(f"  {u} -> {v}")
+        transitive = set(p.dhg.arcs) - set(p.index.critical_arcs())
+        if transitive:
+            lines.append("Transitively induced arcs:")
+            for u, v in sorted(transitive):
+                lines.append(f"  {u} -> {v}")
+        return "\n".join(lines)

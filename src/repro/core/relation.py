@@ -1,0 +1,142 @@
+"""The *topologically follows* relation and the partition synchronization
+rule (paper Section 4.3).
+
+``t1 => t2`` ("t1 topologically follows t2") is defined for transactions
+whose classes lie on one critical path of the THG:
+
+1. same class:            ``I(t1) >  I(t2)``
+2. ``T_i`` higher (t1 up): ``I(t1) >= A_j^i(I(t2))``
+3. ``T_j`` higher (t2 up): ``I(t2) <  A_i^j(I(t1))``
+
+(with ``t1 in T_i``, ``t2 in T_j``).  The relation is anti-symmetric and
+critical-path transitive (paper Properties 1.1/1.2 — both checked by
+property tests).
+
+A schedule enforces the **partition synchronization rule** (PSR) when
+every arc ``t1 -> t2`` of its transaction dependency graph satisfies
+``t1 => t2``.  Theorem 1 then gives acyclicity.  :func:`audit_psr`
+re-checks an executed schedule against the rule — this is how the tests
+confirm the HDD scheduler enforces what Theorem 1 needs, independently
+of the acyclicity oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.activity import ActivityTracker
+from repro.errors import ReproError
+from repro.txn.clock import Timestamp
+from repro.txn.depgraph import build_dependency_graph
+from repro.txn.schedule import Schedule
+from repro.txn.transaction import SegmentId
+
+
+def topologically_follows(
+    t1_class: SegmentId,
+    t1_initiation: Timestamp,
+    t2_class: SegmentId,
+    t2_initiation: Timestamp,
+    tracker: ActivityTracker,
+) -> bool:
+    """Does ``t1 => t2`` hold?
+
+    Raises :class:`ReproError` if the two classes are not on one
+    critical path (the relation is undefined there, paper Section 4.3).
+    """
+    if t1_class == t2_class:
+        return t1_initiation > t2_initiation
+    if tracker.index.is_higher(t1_class, t2_class):
+        # Case 2: t1's class is higher; compare against A_{j}^{i}(I(t2)).
+        wall = tracker.a_func(t2_class, t1_class, t2_initiation)
+        return t1_initiation >= wall
+    if tracker.index.is_higher(t2_class, t1_class):
+        # Case 3: t2's class is higher; compare against A_{i}^{j}(I(t1)).
+        wall = tracker.a_func(t1_class, t2_class, t1_initiation)
+        return t2_initiation < wall
+    raise ReproError(
+        f"topologically-follows is undefined: classes {t1_class!r} and "
+        f"{t2_class!r} are not on one critical path"
+    )
+
+
+@dataclass(frozen=True)
+class PSRViolation:
+    """One dependency arc that breaks the partition synchronization rule."""
+
+    later_txn: int
+    earlier_txn: int
+    later_class: SegmentId
+    earlier_class: SegmentId
+    granule: str
+    kind: str
+
+    def __str__(self) -> str:
+        return (
+            f"t{self.later_txn}({self.later_class}) -> "
+            f"t{self.earlier_txn}({self.earlier_class}) via {self.kind} "
+            f"on {self.granule} does not satisfy =>"
+        )
+
+
+def audit_psr(
+    schedule: Schedule,
+    txn_classes: dict[int, SegmentId],
+    txn_initiations: dict[int, Timestamp],
+    tracker: ActivityTracker,
+    since: Timestamp = 0,
+) -> list[PSRViolation]:
+    """Check every TG arc of ``schedule`` against ``=>``.
+
+    ``txn_classes``/``txn_initiations`` map committed transaction ids to
+    their class and ``I(t)``; transactions missing from ``txn_classes``
+    (read-only transactions, the bootstrap writer) are skipped — the PSR
+    is a statement about update transactions (Theorem 1), read-only
+    transactions are covered by Theorem 2 instead.  Classes the tracker
+    does not know (e.g. segments merged away by a later dynamic
+    restructuring) are skipped too: the PSR is an invariant of one
+    partition epoch, so dependencies involving an earlier epoch's
+    classes cannot be judged against the current hierarchy.  For the
+    same reason, pass ``since`` = the time of the last restructuring
+    (``RestructuringHDDScheduler.restructured_at``) to skip
+    transactions that ran under earlier epochs' walls — the merged
+    activity logs yield *smaller* walls than those epochs enforced, so
+    judging old reads against them produces false violations.
+
+    Returns the (hopefully empty) list of violations.
+    """
+    graph, deps = build_dependency_graph(schedule, mode="paper")
+    known = set(tracker.logs)
+    violations = []
+    for dep in deps:
+        later_class = txn_classes.get(dep.later)
+        earlier_class = txn_classes.get(dep.earlier)
+        if later_class is None or earlier_class is None:
+            continue
+        if later_class not in known or earlier_class not in known:
+            continue  # pre-restructure epoch
+        later_init = txn_initiations[dep.later]
+        earlier_init = txn_initiations[dep.earlier]
+        if later_init < since or earlier_init < since:
+            continue  # ran under an earlier partition epoch's walls
+        try:
+            follows = topologically_follows(
+                later_class, later_init, earlier_class, earlier_init, tracker
+            )
+        except ReproError:
+            # A direct dependency between classes not on one critical
+            # path cannot arise from granule sharing in a TST partition;
+            # flag it as a violation rather than crash the audit.
+            follows = False
+        if not follows:
+            violations.append(
+                PSRViolation(
+                    dep.later,
+                    dep.earlier,
+                    later_class,
+                    earlier_class,
+                    dep.granule,
+                    dep.kind,
+                )
+            )
+    return violations

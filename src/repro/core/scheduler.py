@@ -1,0 +1,423 @@
+"""The HDD concurrency-control scheduler (paper Sections 4.2 and 5.2).
+
+Dispatch per access, for a transaction ``t`` touching granule ``d`` in
+segment ``D_j``:
+
+* **update transaction of class** ``T_i``:
+
+  - ``i == j`` -> **Protocol B**: the intra-class timestamp-ordering
+    engine (basic TO or Reed MVTO, configurable);
+  - ``j`` higher than ``i`` -> **Protocol A**: serve the newest version
+    with write timestamp strictly below the activity-link wall
+    ``A_i^j(I(t))``.  No read timestamp, no lock, no blocking — the
+    wall guarantees every version below it is final;
+  - anything else -> :class:`~repro.errors.ProtocolViolation` (the
+    declared profile promised not to do this; see
+    :mod:`repro.core.restructure` for the dynamic-restructuring
+    extension that admits such transactions anyway).
+
+* **read-only transaction** (Section 5):
+
+  - if its declared read segments lie on one critical path, it behaves
+    like an update transaction in a *fictitious class* immediately
+    below the lowest class of that path: Protocol A walls
+    ``A_fict^j(I(t))``, never blocking;
+  - otherwise -> **Protocol C**: read below the components of the
+    newest released time wall (blocking only until the first wall is
+    released).
+
+Commits are never blocked and never rejected: every conflict was
+resolved at access time.  Aborted transactions have their versions
+expunged so walls only ever expose final data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.activity import ActivityTracker
+from repro.core.intraclass import ENGINES, IntraClassEngine
+from repro.core.partition import HierarchicalPartition
+from repro.core.timewall import TimeWall, TimeWallManager
+from repro.errors import ProtocolViolation, ReproError
+from repro.scheduling import (
+    WAIT_TIMEWALL,
+    BaseScheduler,
+    Outcome,
+    blocked,
+    granted,
+)
+from repro.storage.gc import GCReport, WatermarkGC
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+from repro.txn.clock import LogicalClock, Timestamp
+from repro.txn.transaction import (
+    GranuleId,
+    SegmentId,
+    Transaction,
+    TransactionKind,
+)
+
+
+class HDDScheduler(BaseScheduler):
+    """Hierarchical-database-decomposition concurrency control.
+
+    Parameters
+    ----------
+    partition:
+        A validated :class:`HierarchicalPartition`; profiles passed to
+        :meth:`begin` must come from it.
+    protocol_b:
+        Intra-class engine: ``"mvto"`` (default) or ``"to"``.
+    wall_interval:
+        Release cadence of the Protocol C time-wall manager, in clock
+        ticks.
+    """
+
+    name = "hdd"
+
+    def __init__(
+        self,
+        partition: HierarchicalPartition,
+        protocol_b: str = "mvto",
+        wall_interval: int = 25,
+        store: Optional[MultiVersionStore] = None,
+        clock: Optional[LogicalClock] = None,
+        fresh_walls: bool = False,
+    ) -> None:
+        super().__init__(store=store, clock=clock)
+        self.partition = partition
+        self.tracker = ActivityTracker(partition.index)
+        self.walls = TimeWallManager(
+            self.tracker, self.clock, interval=wall_interval
+        )
+        engine_cls = ENGINES.get(protocol_b)
+        if engine_cls is None:
+            raise ValueError(
+                f"unknown protocol_b {protocol_b!r}; choose from "
+                f"{sorted(ENGINES)}"
+            )
+        self.protocol_b: IntraClassEngine = engine_cls(
+            self.store, self.schedule, self.stats
+        )
+        #: Declared read segments of read-only transactions.
+        self._ro_segments: dict[int, Optional[frozenset[SegmentId]]] = {}
+        #: Time wall pinned by each Protocol C transaction.
+        self._ro_walls: dict[int, TimeWall] = {}
+        #: Cached per-transaction Protocol A walls (the A function is
+        #: deterministic for a fixed (class, segment, I), so caching is
+        #: purely an optimisation).
+        self._a_wall_cache: dict[tuple[int, SegmentId], Timestamp] = {}
+        #: Attempt a wall release at every read-only begin, trading wall
+        #: computation for snapshot freshness (used by the Database
+        #: facade; the paper's periodic cadence is the default).
+        self.fresh_walls = fresh_walls
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _make_transaction(self, txn_id, initiation_ts, kind, profile):
+        if kind is TransactionKind.READ_ONLY:
+            if self.fresh_walls:
+                try:
+                    self.walls.force_release()
+                except ReproError:
+                    pass  # unsettled right now; the last wall serves
+            segments: Optional[frozenset[SegmentId]] = None
+            if profile is not None:
+                declared = self.partition.profile(profile)
+                if not declared.is_read_only:
+                    raise ProtocolViolation(
+                        f"profile {profile!r} is an update profile but the "
+                        "transaction was begun read-only"
+                    )
+                segments = declared.reads
+            self._ro_segments[txn_id] = segments
+            return Transaction(txn_id, initiation_ts, kind)
+        if profile is None:
+            raise ProtocolViolation(
+                "HDD update transactions must name a transaction profile"
+            )
+        declared = self.partition.profile(profile)
+        if declared.is_read_only:
+            raise ProtocolViolation(
+                f"profile {profile!r} is read-only; begin with read_only=True"
+            )
+        class_id = declared.root_segment
+        txn = Transaction(txn_id, initiation_ts, kind, class_id=class_id)
+        self.tracker.record_begin(class_id, txn_id, initiation_ts)
+        return txn
+
+    def begin(self, profile=None, read_only=False) -> Transaction:
+        txn = super().begin(profile=profile, read_only=read_only)
+        self.poll_walls()
+        return txn
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        self._require_active(txn)
+        segment = self.partition.segment_of(granule)
+        if txn.is_read_only:
+            return self._read_only_read(txn, granule, segment)
+        assert txn.class_id is not None
+        if segment == txn.class_id:
+            outcome = self.protocol_b.read(txn, granule)
+            if outcome.aborted:
+                self._cleanup_abort(txn, outcome.reason or "protocol B rejection")
+            return outcome
+        if self.partition.is_higher(segment, txn.class_id):
+            return self._protocol_a_read(txn, granule, segment)
+        raise ProtocolViolation(
+            f"txn {txn.txn_id} (class {txn.class_id!r}) may not read "
+            f"segment {segment!r}: it is not higher than its root"
+        )
+
+    def _protocol_a_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        """Protocol A: wall ``A_i^j(I(t))``, no registration, no waiting."""
+        cache_key = (txn.txn_id, segment)
+        wall = self._a_wall_cache.get(cache_key)
+        if wall is None:
+            assert txn.class_id is not None
+            wall = self.tracker.a_func(
+                txn.class_id, segment, txn.initiation_ts
+            )
+            self._a_wall_cache[cache_key] = wall
+        return self._read_below_wall(txn, granule, wall)
+
+    def _read_only_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        declared = self._ro_segments.get(txn.txn_id)
+        if declared is not None:
+            if segment not in declared:
+                raise ProtocolViolation(
+                    f"read-only txn {txn.txn_id} declared segments "
+                    f"{sorted(declared)} but read {segment!r}"
+                )
+            if self.partition.read_only_on_one_critical_path(declared):
+                bottom = self.partition.index.lowest_of(list(declared))
+                wall = self.tracker.a_func_from_below(
+                    bottom, segment, txn.initiation_ts
+                )
+                return self._read_below_wall(txn, granule, wall)
+        return self._protocol_c_read(txn, granule, segment)
+
+    def _protocol_c_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        wall_obj = self._ro_walls.get(txn.txn_id)
+        if wall_obj is None:
+            if self.fresh_walls and self.walls.released:
+                # Freshness mode: pin the newest wall outright (any
+                # released wall is a consistent cut; the RT < I(t)
+                # rule only matters for the paper's cadence semantics).
+                wall_obj = self.walls.released[-1]
+            else:
+                wall_obj = self.walls.wall_for(txn.initiation_ts)
+            if wall_obj is None and self.walls.released:
+                # No wall released strictly before I(t): fall back to
+                # the newest released wall.  Theorem 2 holds for *any*
+                # released wall; the RT < I(t) rule is a freshness
+                # heuristic only (DESIGN.md §7).
+                wall_obj = self.walls.released[-1]
+            if wall_obj is None:
+                self.poll_walls()
+                wall_obj = self.walls.wall_for(self.clock.now + 1)
+            if wall_obj is None:
+                self.stats.wall_blocks += 1
+                return blocked(waiting_for=WAIT_TIMEWALL)
+            self._ro_walls[txn.txn_id] = wall_obj
+        return self._read_below_wall(
+            txn, granule, wall_obj.component(segment)
+        )
+
+    def _read_below_wall(
+        self, txn: Transaction, granule: GranuleId, wall: Timestamp
+    ) -> Outcome:
+        """Common Protocol A / fictitious-class / Protocol C visibility."""
+        chain = self.store.chain(granule)
+        version = chain.latest_before(wall, committed_only=False)
+        if version is None:  # pragma: no cover - bootstrap prevents this
+            raise ReproError(f"{granule}: no version below wall {wall}")
+        if not version.committed:
+            # The wall machinery guarantees versions below walls are
+            # settled; hitting this means a protocol bug, not a wait.
+            raise ReproError(
+                f"unsettled version {granule}^{version.ts} below wall "
+                f"{wall} — wall settlement invariant broken"
+            )
+        txn.record_read(granule)
+        self.stats.reads += 1
+        self.stats.unregistered_reads += 1
+        self.schedule.record_read(txn.txn_id, granule, version.ts)
+        return granted(value=version.value, version_ts=version.ts)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        self._require_active(txn)
+        if txn.is_read_only:
+            raise ProtocolViolation(
+                f"read-only txn {txn.txn_id} attempted a write"
+            )
+        segment = self.partition.segment_of(granule)
+        if segment != txn.class_id:
+            raise ProtocolViolation(
+                f"txn {txn.txn_id} (class {txn.class_id!r}) may not write "
+                f"segment {segment!r}: updates stay in the root segment"
+            )
+        outcome = self.protocol_b.write(txn, granule, value)
+        if outcome.aborted:
+            self._cleanup_abort(txn, outcome.reason or "protocol B rejection")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> Outcome:
+        self._require_active(txn)
+        if txn.class_id is not None:
+            veto = self.protocol_b.commit_check(txn)
+            if veto is not None:
+                if veto.aborted:
+                    self._cleanup_abort(
+                        txn, veto.reason or "commit-time rejection"
+                    )
+                return veto
+        commit_ts = self._finish_commit(txn)
+        for granule in txn.write_set:
+            self.store.chain(granule).commit_version(
+                txn.initiation_ts, commit_ts
+            )
+        if txn.class_id is not None:
+            self.tracker.record_end(txn.class_id, txn.txn_id, commit_ts)
+        self.protocol_b.forget(txn.txn_id)
+        self._forget(txn)
+        self.poll_walls()
+        return granted(version_ts=commit_ts)
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        self._require_active(txn)
+        self._cleanup_abort(txn, reason)
+
+    def _cleanup_abort(self, txn: Transaction, reason: str) -> None:
+        """Expunge versions, close the activity interval, record the abort.
+
+        Called both for voluntary aborts and for Protocol B rejections
+        (in the latter case the engine already returned ``aborted`` and
+        this finishes the job).
+        """
+        for granule in txn.write_set:
+            chain = self.store.chain(granule)
+            if chain.has_version(txn.initiation_ts):
+                chain.remove(txn.initiation_ts)
+        abort_ts = self._finish_abort(txn, reason)
+        if txn.class_id is not None:
+            self.tracker.record_end(txn.class_id, txn.txn_id, abort_ts)
+        self.protocol_b.forget(txn.txn_id)
+        self._forget(txn)
+        self.poll_walls()
+
+    def _forget(self, txn: Transaction) -> None:
+        self._ro_segments.pop(txn.txn_id, None)
+        self._ro_walls.pop(txn.txn_id, None)
+        for segment in self.partition.segments:
+            self._a_wall_cache.pop((txn.txn_id, segment), None)
+
+    # ------------------------------------------------------------------
+    # Time walls and garbage collection
+    # ------------------------------------------------------------------
+    def poll_walls(self) -> Optional[TimeWall]:
+        """Drive the Protocol C wall-release loop."""
+        return self.walls.poll()
+
+    def safe_watermarks(self) -> dict[SegmentId, Timestamp]:
+        """Per-segment GC watermarks no present or future read can undercut.
+
+        For each segment ``j`` the watermark is the minimum over:
+
+        * ``A_i^j(now)`` for every class ``i`` below ``j`` — by
+          monotonicity of ``I_old`` (hence of ``A`` in its time
+          argument) this lower-bounds the wall of every future update
+          transaction, and active transactions' exact walls are
+          included separately;
+        * ``A`` *from a fictitious class below* every ``i`` below ``j``
+          (i.e. ``A_i^j(I_old_i(now))``) — a future declared-path
+          read-only transaction's first hop applies ``I_old`` at its
+          bottom class, which can reach back to a long-running
+          transaction's initiation, below ``A_i^j(now)``;
+        * exact walls of active update transactions and declared-path
+          read-only transactions;
+        * wall components pinned by active Protocol C transactions and
+          of the latest released wall (the only wall future Protocol C
+          readers can still be handed, components being monotone in the
+          wall base time);
+        * ``I_old_j(now)`` — intra-class MVTO readers need versions at
+          or below their own initiation timestamps.
+        """
+        now = self.clock.now
+        marks: dict[SegmentId, Timestamp] = {}
+        for j in self.partition.segments:
+            candidates = [self.tracker.i_old(j, now)]
+            for i in self.partition.segments:
+                if self.partition.is_higher(j, i):
+                    candidates.append(self.tracker.a_func(i, j, now))
+                    candidates.append(
+                        self.tracker.a_func_from_below(i, j, now)
+                    )
+            marks[j] = min(candidates)
+        for txn in self.active_transactions():
+            if txn.class_id is not None:
+                for j in self.partition.segments:
+                    if self.partition.is_higher(j, txn.class_id):
+                        wall = self.tracker.a_func(
+                            txn.class_id, j, txn.initiation_ts
+                        )
+                        marks[j] = min(marks[j], wall)
+            elif txn.is_read_only:
+                declared = self._ro_segments.get(txn.txn_id)
+                pinned = self._ro_walls.get(txn.txn_id)
+                if pinned is not None:
+                    for j, wall in pinned.components.items():
+                        marks[j] = min(marks[j], wall)
+                elif declared is not None and (
+                    self.partition.read_only_on_one_critical_path(declared)
+                ):
+                    bottom = self.partition.index.lowest_of(list(declared))
+                    for j in declared:
+                        wall = self.tracker.a_func_from_below(
+                            bottom, j, txn.initiation_ts
+                        )
+                        marks[j] = min(marks[j], wall)
+                else:
+                    # Protocol C transaction that has not pinned a wall
+                    # yet: it may still be handed any released wall.
+                    for wall_obj in self.walls.released:
+                        for j, wall in wall_obj.components.items():
+                            marks[j] = min(marks[j], wall)
+        if self.walls.released:
+            for j, wall in self.walls.released[-1].components.items():
+                marks[j] = min(marks[j], wall)
+        return marks
+
+    def collect_garbage(self) -> GCReport:
+        """Prune versions below :meth:`safe_watermarks`.
+
+        First tries to release a fresh time wall: the latest released
+        wall clamps every watermark (future Protocol C readers may be
+        handed it), so refreshing it is what lets the collector make
+        progress on a long-quiet wall schedule.
+        """
+        try:
+            self.walls.force_release()
+        except ReproError:
+            pass  # not settled right now; collect under the old clamp
+        collector = WatermarkGC(self.store, self.partition.segment_of)
+        return collector.collect(self.safe_watermarks())

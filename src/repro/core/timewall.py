@@ -1,0 +1,192 @@
+"""Time walls for read-only transactions (paper Sections 5.1-5.2).
+
+A *time wall* ``TW(m, s)`` is the family ``{ E_s^i(m) : all classes i }``
+— one wall component per segment.  Lemma 2.1 shows no dependency can
+cross the wall from the old side to the new side, so a read-only
+transaction that reads, in every segment, the latest version below that
+segment's component observes a consistent database state (Theorem 2).
+
+Release discipline (Section 5.2): the system periodically computes a
+fresh wall — starting class ``T_s`` chosen among the lowest classes,
+``m`` = current time — and *releases* it once every ``C_late`` involved
+is computable.  Read-only transactions use the newest wall released
+before their initiation.
+
+Settlement clarification (DESIGN.md §7): for the "never wait, never
+register" claim to hold on the reader side, every wall component must
+also be *settled* — no transaction of class ``i`` with initiation below
+``E_s^i(m)`` may still be running at release time, otherwise a reader
+could meet an uncommitted version below the wall.  Classes entered by
+an up-hop are settled by construction of ``I_old``; for the starting
+class and classes entered by down-hops we wait, exactly as the paper
+already waits for ``C_late`` computability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Node
+from repro.errors import ReproError
+from repro.txn.clock import LogicalClock, Timestamp
+from repro.txn.transaction import SegmentId
+
+
+@dataclass(frozen=True)
+class TimeWall:
+    """One released time wall.
+
+    ``components[i]`` is ``E_s^i(m)``; ``release_ts`` is ``RT(TW(m,s))``.
+    """
+
+    start_class: SegmentId
+    base_time: Timestamp
+    release_ts: Timestamp
+    components: dict[SegmentId, Timestamp]
+
+    def component(self, segment: SegmentId) -> Timestamp:
+        wall = self.components.get(segment)
+        if wall is None:
+            raise ReproError(f"time wall has no component for {segment!r}")
+        return wall
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{seg}<{wall}" for seg, wall in sorted(self.components.items())
+        )
+        return (
+            f"TW(m={self.base_time}, s={self.start_class}, "
+            f"RT={self.release_ts}: {parts})"
+        )
+
+
+class TimeWallManager:
+    """Computes, releases and serves time walls (Protocol C support).
+
+    Parameters
+    ----------
+    tracker:
+        The activity tracker (owns the ``E`` function and the logs).
+    clock:
+        The scheduler's clock; release times come from here.
+    interval:
+        Release cadence in clock ticks: a new wall computation is
+        attempted whenever at least ``interval`` ticks have passed since
+        the last *attempt began*.  Smaller intervals give read-only
+        transactions fresher data at higher computation cost — one of
+        the ablation knobs in the benchmarks.
+    start_class:
+        Fixed ``T_s``; by default the first lowest-level class, per the
+        paper's recommendation.
+    """
+
+    def __init__(
+        self,
+        tracker: ActivityTracker,
+        clock: LogicalClock,
+        interval: int = 10,
+        start_class: Optional[SegmentId] = None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self._tracker = tracker
+        self._clock = clock
+        self.interval = interval
+        lowest = tracker.index.lowest_classes()
+        if start_class is None:
+            if not lowest:
+                raise ReproError("THG has no classes; cannot pick T_s")
+            start_class = sorted(map(str, lowest))[0]
+        if start_class not in tracker.logs:
+            raise ReproError(f"unknown starting class {start_class!r}")
+        self.start_class: SegmentId = start_class
+        self.released: list[TimeWall] = []
+        #: Base time of the wall currently being computed, if any.
+        self._pending_base: Optional[Timestamp] = None
+        self.attempts = 0
+        self.computations_blocked = 0
+
+    # ------------------------------------------------------------------
+    # Release machinery
+    # ------------------------------------------------------------------
+    def poll(self) -> Optional[TimeWall]:
+        """Drive the release loop; call after any commit/abort and on ticks.
+
+        Starts a new wall computation when the cadence is due, retries a
+        pending one, and returns the newly released wall when one
+        completes (else ``None``).
+        """
+        now = self._clock.now
+        if self._pending_base is None and self._cadence_due(now):
+            self._pending_base = now
+            self.attempts += 1
+        if self._pending_base is None:
+            return None
+        return self._try_release(self._pending_base)
+
+    def force_release(self) -> TimeWall:
+        """Compute and release a wall at the current time, or fail loudly.
+
+        Used by tests and by drivers that quiesce update activity first.
+        """
+        wall = self._try_release(self._clock.now)
+        if wall is None:
+            raise ReproError(
+                "time wall not computable: some class has unfinished "
+                "transactions below its component"
+            )
+        return wall
+
+    def _cadence_due(self, now: Timestamp) -> bool:
+        if self._pending_base is not None:
+            last_base = self._pending_base
+        elif self.released:
+            last_base = self.released[-1].base_time
+        else:
+            return True  # nothing released yet: always worth trying
+        return now - last_base >= self.interval
+
+    def _try_release(self, base_time: Timestamp) -> Optional[TimeWall]:
+        components: dict[SegmentId, Timestamp] = {}
+        for class_id in self._tracker.logs:
+            wall = self._tracker.try_e_func(
+                self.start_class, class_id, base_time
+            )
+            if wall is None:
+                self.computations_blocked += 1
+                return None
+            components[class_id] = wall
+        # Settlement: every transaction below each component must have
+        # finished, so readers at this wall never see uncommitted data.
+        for class_id, wall in components.items():
+            if not self._tracker.logs[class_id].settled_through(wall):
+                self.computations_blocked += 1
+                return None
+        released = TimeWall(
+            start_class=self.start_class,
+            base_time=base_time,
+            release_ts=self._clock.now,
+            components=components,
+        )
+        self.released.append(released)
+        self._pending_base = None
+        return released
+
+    # ------------------------------------------------------------------
+    # Serving read-only transactions
+    # ------------------------------------------------------------------
+    def wall_for(self, initiation_ts: Timestamp) -> Optional[TimeWall]:
+        """The newest wall released strictly before ``initiation_ts``.
+
+        Protocol C: ``RT(TW) = max`` over walls with ``RT < I(t)``.
+        Returns ``None`` when no wall qualifies yet — the caller blocks
+        the transaction until one is released.
+        """
+        best: Optional[TimeWall] = None
+        for wall in self.released:
+            if wall.release_ts < initiation_ts:
+                if best is None or wall.release_ts > best.release_ts:
+                    best = wall
+        return best

@@ -1,0 +1,103 @@
+"""Decomposition via data analysis of observed traces (paper §7.2.2).
+
+:func:`derive_partition` (in :mod:`repro.core.analysis`) needs
+granule-level transaction profiles; in practice nobody writes those by
+hand — they come from *watching the workload run*.  This module closes
+that loop: run the application under any scheduler (typically a flat
+baseline like 2PL, i.e. *before* adopting HDD), collect the recorded
+schedule, fold each transaction's accesses into its transaction *type*,
+and hand the result to the §7.2 pipeline.
+
+The outcome is the full migration story the paper sketches: observe a
+legacy system -> infer the hierarchy its transactions already follow ->
+validate/coarsen it into a TST -> rerun under HDD with the derived
+partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.core.analysis import (
+    DerivedPartition,
+    GranuleProfile,
+    derive_partition,
+)
+from repro.errors import ReproError
+from repro.txn.schedule import Action, Schedule
+from repro.txn.transaction import GranuleId
+
+
+@dataclass
+class TraceProfile:
+    """Accumulated accesses of one transaction *type* across a trace."""
+
+    name: str
+    reads: set[GranuleId] = field(default_factory=set)
+    writes: set[GranuleId] = field(default_factory=set)
+    transactions: int = 0
+
+    def freeze(self) -> GranuleProfile:
+        # A granule both read and written counts as written (the DHG
+        # only cares about the write set and the access set).
+        return GranuleProfile(
+            self.name,
+            writes=frozenset(self.writes),
+            reads=frozenset(self.reads - self.writes),
+        )
+
+
+def collect_trace_profiles(
+    schedule: Schedule,
+    type_of: Mapping[int, str] | Callable[[int], Optional[str]],
+    committed_only: bool = True,
+) -> list[TraceProfile]:
+    """Fold a recorded schedule into per-transaction-type profiles.
+
+    ``type_of`` maps transaction ids to type names; transactions it
+    maps to ``None`` (or omits) are skipped — e.g. background jobs you
+    do not want shaping the decomposition.
+    """
+    lookup: Callable[[int], Optional[str]]
+    if callable(type_of):
+        lookup = type_of
+    else:
+        lookup = type_of.get  # type: ignore[assignment]
+
+    committed = schedule.committed_txn_ids() if committed_only else None
+    profiles: dict[str, TraceProfile] = {}
+    seen_txns: dict[str, set[int]] = {}
+    for step in schedule.steps:
+        if step.action not in (Action.READ, Action.WRITE):
+            continue
+        if committed is not None and step.txn_id not in committed:
+            continue
+        type_name = lookup(step.txn_id)
+        if type_name is None:
+            continue
+        profile = profiles.setdefault(type_name, TraceProfile(type_name))
+        seen_txns.setdefault(type_name, set()).add(step.txn_id)
+        assert step.granule is not None
+        if step.action is Action.WRITE:
+            profile.writes.add(step.granule)
+        else:
+            profile.reads.add(step.granule)
+    for name, profile in profiles.items():
+        profile.transactions = len(seen_txns[name])
+    return sorted(profiles.values(), key=lambda p: p.name)
+
+
+def derive_partition_from_trace(
+    schedule: Schedule,
+    type_of: Mapping[int, str] | Callable[[int], Optional[str]],
+) -> DerivedPartition:
+    """The §7.2.2 pipeline end to end: trace -> profiles -> TST partition.
+
+    Raises :class:`ReproError` if the trace contains no classified
+    committed accesses.
+    """
+    traced = collect_trace_profiles(schedule, type_of)
+    if not traced:
+        raise ReproError("trace contains no classified committed accesses")
+    return derive_partition([profile.freeze() for profile in traced])

@@ -1,0 +1,204 @@
+"""A user-facing facade over a scheduler: the ``Database`` object.
+
+The scheduler API (explicit outcomes, manual retries) is what the
+simulator and the tests need; applications want something smaller.
+:class:`Database` bundles a partition, a scheduler and the common
+policies:
+
+* ``with db.transaction("profile") as txn:`` — do work, auto-commit on
+  success, auto-abort on exception;
+* ``db.run(fn, profile=...)`` — the retryable form: ``fn(txn)`` is
+  re-executed from scratch when the scheduler kills the transaction
+  (timestamp-ordering rejection, cascading abort, ...);
+* ``db.read_committed(granule)`` — one-shot read-only access.
+
+Blocked outcomes need other transactions to make progress; in the
+synchronous facade they are resolved by polling the scheduler (commits
+from other in-flight facade transactions, or a time-wall release).  If
+nothing can unblock the operation the facade raises
+:class:`~repro.errors.WouldBlock` rather than spin forever.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.core.partition import HierarchicalPartition
+from repro.core.scheduler import HDDScheduler
+from repro.errors import ReproError, TransactionAborted
+from repro.scheduling import BaseScheduler, Outcome
+from repro.txn.depgraph import is_serializable
+from repro.txn.transaction import GranuleId, Transaction
+
+T = TypeVar("T")
+
+
+class WouldBlock(ReproError):
+    """An operation blocked and nothing in-process can unblock it."""
+
+
+class TransactionHandle:
+    """What ``db.transaction(...)`` yields: reads and writes that either
+    succeed or raise."""
+
+    def __init__(self, database: "Database", txn: Transaction) -> None:
+        self._db = database
+        self.txn = txn
+
+    def read(self, granule: GranuleId) -> object:
+        outcome = self._db._resolve(
+            self.txn, lambda: self._db.scheduler.read(self.txn, granule)
+        )
+        return outcome.value
+
+    def write(self, granule: GranuleId, value: object) -> None:
+        self._db._resolve(
+            self.txn, lambda: self._db.scheduler.write(self.txn, granule, value)
+        )
+
+    def read_modify_write(
+        self, granule: GranuleId, fn: Callable[[object], object]
+    ) -> object:
+        """Read, transform, write back; returns the new value."""
+        new_value = fn(self.read(granule))
+        self.write(granule, new_value)
+        return new_value
+
+
+class Database:
+    """A partitioned database under one concurrency-control scheduler.
+
+    Parameters
+    ----------
+    partition:
+        The validated decomposition.
+    scheduler:
+        A ready :class:`BaseScheduler`, or ``None`` to build the default
+        :class:`HDDScheduler` over the partition.
+    block_polls:
+        How many poll-and-retry rounds a blocked operation gets before
+        :class:`WouldBlock` is raised.
+    """
+
+    def __init__(
+        self,
+        partition: HierarchicalPartition,
+        scheduler: Optional[BaseScheduler] = None,
+        block_polls: int = 100,
+    ) -> None:
+        self.partition = partition
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else HDDScheduler(partition, fresh_walls=True)
+        )
+        self.block_polls = block_polls
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+    def seed(self, values: dict[GranuleId, object]) -> None:
+        """Install initial values (bootstrap versions) for granules."""
+        for granule, value in values.items():
+            self.scheduler.store.seed(granule, value)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def transaction(
+        self, profile: Optional[str] = None, read_only: bool = False
+    ) -> Iterator[TransactionHandle]:
+        """One transaction: commit on clean exit, abort on exception.
+
+        Scheduler-initiated aborts surface as
+        :class:`~repro.errors.TransactionAborted`; use :meth:`run` for
+        automatic retries.
+        """
+        txn = self.scheduler.begin(profile=profile, read_only=read_only)
+        handle = TransactionHandle(self, txn)
+        try:
+            yield handle
+        except BaseException:
+            if txn.is_active:
+                self.scheduler.abort(txn, "exception in transaction body")
+            raise
+        if txn.is_active:
+            outcome = self._resolve(txn, lambda: self.scheduler.commit(txn))
+            assert outcome.granted
+
+    def run(
+        self,
+        fn: Callable[[TransactionHandle], T],
+        profile: Optional[str] = None,
+        read_only: bool = False,
+        retries: int = 10,
+    ) -> T:
+        """Run ``fn`` in a transaction, retrying scheduler aborts.
+
+        ``fn`` must be safe to re-execute (it will be, from scratch,
+        with a fresh timestamp each time).  Raises the last
+        :class:`TransactionAborted` once retries are exhausted.
+        """
+        last: Optional[TransactionAborted] = None
+        for _ in range(retries + 1):
+            try:
+                with self.transaction(profile=profile, read_only=read_only) as txn:
+                    return fn(txn)
+            except TransactionAborted as aborted:
+                last = aborted
+        assert last is not None
+        raise last
+
+    def read_committed(self, granule: GranuleId) -> object:
+        """One-shot consistent read via a read-only transaction."""
+        return self.run(lambda txn: txn.read(granule), read_only=True)
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.scheduler.stats
+
+    def check_serializable(self, mode: str = "mvsg") -> bool:
+        """Audit everything executed so far with the oracle."""
+        return is_serializable(self.scheduler.schedule, mode=mode)  # type: ignore[arg-type]
+
+    def collect_garbage(self):
+        collector = getattr(self.scheduler, "collect_garbage", None)
+        if collector is None:
+            raise ReproError(
+                f"{self.scheduler.name} has no garbage collector"
+            )
+        return collector()
+
+    # ------------------------------------------------------------------
+    # Outcome resolution
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, txn: Transaction, attempt: Callable[[], Outcome]
+    ) -> Outcome:
+        """Run one scheduler request, polling through blocked outcomes."""
+        outcome = attempt()
+        polls = 0
+        while outcome.blocked:
+            polls += 1
+            if polls > self.block_polls:
+                raise WouldBlock(
+                    f"operation blocked on {outcome.waiting_for!r} and "
+                    "nothing in-process can unblock it"
+                )
+            # Advance logical time so wall cadences can mature, then
+            # let the scheduler make progress (wall releases).
+            self.scheduler.clock.tick()
+            poll = getattr(self.scheduler, "poll_walls", None)
+            if poll is not None:
+                poll()
+            outcome = attempt()
+        if outcome.aborted:
+            raise TransactionAborted(
+                txn.txn_id, outcome.reason or "scheduler abort"
+            )
+        return outcome

@@ -1,0 +1,33 @@
+"""Write-ahead logging and redo-only crash recovery."""
+
+from repro.recovery.log import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    LogRecord,
+    WriteAheadLog,
+    WriteRecord,
+    record_from_line,
+    record_to_line,
+)
+from repro.recovery.manager import (
+    LoggingScheduler,
+    committed_state,
+    recover,
+)
+
+__all__ = [
+    "WriteAheadLog",
+    "LogRecord",
+    "BeginRecord",
+    "WriteRecord",
+    "CommitRecord",
+    "AbortRecord",
+    "CheckpointRecord",
+    "record_to_line",
+    "record_from_line",
+    "LoggingScheduler",
+    "recover",
+    "committed_state",
+]

@@ -1,0 +1,169 @@
+"""Write-ahead logging for the multi-version store.
+
+The paper's §1.1 requires that a transaction "can be recovered or
+backed out as a single unit"; this module supplies the substrate.  The
+log is value-based redo logging over versions: because the store is
+multi-version and uncommitted versions are simply expunged on abort,
+recovery never needs undo — replaying the writes of committed
+transactions reconstructs exactly the committed database state
+(*redo-only*, "repeating history" on versions).
+
+Records are plain dataclasses with a line-oriented JSON serialisation,
+so a log can live in memory (simulated crashes) or be persisted to and
+re-read from a real file.  Checkpoints embed a snapshot of the latest
+committed version of every granule, allowing the log prefix before the
+checkpoint to be truncated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, TextIO, Union
+
+from repro.errors import StorageError
+from repro.txn.clock import Timestamp
+from repro.txn.transaction import GranuleId
+
+#: JSON-compatible version values (what the workloads write).
+Value = Union[int, str, float, bool, None]
+
+
+@dataclass(frozen=True)
+class BeginRecord:
+    txn_id: int
+    initiation_ts: Timestamp
+    kind: str = "begin"
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    txn_id: int
+    granule: GranuleId
+    version_ts: Timestamp
+    value: Value
+    kind: str = "write"
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    txn_id: int
+    commit_ts: Timestamp
+    kind: str = "commit"
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    txn_id: int
+    kind: str = "abort"
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Snapshot of the committed state: granule -> (version_ts, commit_ts,
+    value).  Everything before a checkpoint may be truncated."""
+
+    snapshot: dict[GranuleId, tuple[Timestamp, Timestamp, Value]]
+    kind: str = "checkpoint"
+
+
+LogRecord = Union[
+    BeginRecord, WriteRecord, CommitRecord, AbortRecord, CheckpointRecord
+]
+
+_RECORD_TYPES = {
+    "begin": BeginRecord,
+    "write": WriteRecord,
+    "commit": CommitRecord,
+    "abort": AbortRecord,
+    "checkpoint": CheckpointRecord,
+}
+
+
+def record_to_line(record: LogRecord) -> str:
+    """One JSON line per record (snapshot tuples become lists)."""
+    payload = dict(record.__dict__)
+    if isinstance(record, CheckpointRecord):
+        payload["snapshot"] = {
+            granule: list(entry) for granule, entry in record.snapshot.items()
+        }
+    return json.dumps(payload, sort_keys=True)
+
+
+def record_from_line(line: str) -> LogRecord:
+    payload = json.loads(line)
+    kind = payload.pop("kind", None)
+    record_type = _RECORD_TYPES.get(kind)
+    if record_type is None:
+        raise StorageError(f"unknown log record kind {kind!r}")
+    if record_type is CheckpointRecord:
+        payload["snapshot"] = {
+            granule: tuple(entry)
+            for granule, entry in payload["snapshot"].items()
+        }
+    return record_type(**payload)
+
+
+@dataclass
+class WriteAheadLog:
+    """An append-only log of :data:`LogRecord`.
+
+    In-memory by default; :meth:`dump` / :meth:`load` round-trip the
+    log through a text file.  :meth:`truncate_to_last_checkpoint` drops
+    the prefix a checkpoint makes redundant.
+    """
+
+    records: list[LogRecord] = field(default_factory=list)
+
+    def append(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dump(self, stream: TextIO) -> int:
+        """Write all records as JSON lines; returns the record count."""
+        for record in self.records:
+            stream.write(record_to_line(record))
+            stream.write("\n")
+        return len(self.records)
+
+    @classmethod
+    def load(cls, stream: TextIO) -> "WriteAheadLog":
+        records: list[LogRecord] = []
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(record_from_line(line))
+        return cls(records=records)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def last_checkpoint_index(self) -> Optional[int]:
+        for index in range(len(self.records) - 1, -1, -1):
+            if isinstance(self.records[index], CheckpointRecord):
+                return index
+        return None
+
+    def truncate_to_last_checkpoint(self) -> int:
+        """Drop records before the last checkpoint; returns how many."""
+        index = self.last_checkpoint_index()
+        if index is None or index == 0:
+            return 0
+        dropped = index
+        self.records = self.records[index:]
+        return dropped
+
+    def committed_txn_ids(self) -> set[int]:
+        return {
+            record.txn_id
+            for record in self.records
+            if isinstance(record, CommitRecord)
+        }

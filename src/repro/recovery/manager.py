@@ -1,0 +1,218 @@
+"""Crash recovery: rebuild the committed store from the write-ahead log.
+
+Redo-only recovery over a multi-version store (see
+:mod:`repro.recovery.log` for why undo is unnecessary): start from the
+last checkpoint snapshot if one exists, then replay the write records
+of every transaction with a commit record, stamping versions with their
+original write and commit timestamps.  Uncommitted and aborted
+transactions simply contribute nothing.
+
+:class:`LoggingScheduler` is the integration point: it wraps any
+:class:`~repro.scheduling.BaseScheduler`, mirrors its operations into a
+WAL (using the version timestamps the scheduler reports), and exposes
+:meth:`LoggingScheduler.checkpoint`.  The wrapper is transparent — it
+delegates the full scheduler interface, so the simulator can drive it
+like any other scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.recovery.log import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    WriteAheadLog,
+    WriteRecord,
+)
+from repro.scheduling import BaseScheduler, Outcome
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+from repro.txn.transaction import GranuleId, Transaction
+
+
+def recover(log: WriteAheadLog, initial_value: object = 0) -> MultiVersionStore:
+    """Rebuild a store holding exactly the logged committed state."""
+    store = MultiVersionStore(initial_value=initial_value)
+    start = log.last_checkpoint_index()
+    records = log.records[start:] if start is not None else log.records
+
+    if start is not None:
+        checkpoint = records[0]
+        assert isinstance(checkpoint, CheckpointRecord)
+        for granule, (version_ts, commit_ts, value) in checkpoint.snapshot.items():
+            chain = store.chain(granule)
+            if version_ts > 0:
+                chain.install(
+                    Version(
+                        granule,
+                        version_ts,
+                        value,
+                        writer_id=-1,  # writer identity not in snapshots
+                        committed=True,
+                        commit_ts=commit_ts,
+                    )
+                )
+
+    committed: dict[int, int] = {}
+    writes: dict[int, list[WriteRecord]] = {}
+    for record in records:
+        if isinstance(record, WriteRecord):
+            writes.setdefault(record.txn_id, []).append(record)
+        elif isinstance(record, CommitRecord):
+            committed[record.txn_id] = record.commit_ts
+
+    for txn_id, commit_ts in sorted(
+        committed.items(), key=lambda item: item[1]
+    ):
+        # A transaction may write one granule several times; the last
+        # logged value per version wins.
+        final: dict[tuple[GranuleId, int], WriteRecord] = {}
+        for record in writes.get(txn_id, ()):
+            final[(record.granule, record.version_ts)] = record
+        for (granule, version_ts), record in final.items():
+            chain = store.chain(granule)
+            if chain.has_version(version_ts):
+                # Idempotent replay (checkpoint overlap): refresh value.
+                chain.version_at(version_ts).value = record.value
+                continue
+            chain.install(
+                Version(
+                    granule,
+                    version_ts,
+                    record.value,
+                    writer_id=txn_id,
+                    committed=True,
+                    commit_ts=commit_ts,
+                )
+            )
+    return store
+
+
+def committed_state(store: MultiVersionStore) -> dict[GranuleId, object]:
+    """The latest committed value of every granule (comparison helper)."""
+    return {
+        chain.granule: chain.latest_committed().value for chain in store
+    }
+
+
+class LoggingScheduler:
+    """Transparent WAL wrapper around any scheduler.
+
+    Forwards the whole scheduler interface and appends log records on
+    begin / granted write / granted commit / abort.  The log captures
+    version timestamps from the inner scheduler's outcomes, so it works
+    for write-time-stamped engines (2PL) and initiation-stamped ones
+    (TO/MVTO/HDD) alike.
+    """
+
+    def __init__(
+        self, inner: BaseScheduler, wal: Optional[WriteAheadLog] = None
+    ) -> None:
+        self.inner = inner
+        self.wal = wal if wal is not None else WriteAheadLog()
+
+    # -- delegated attributes used by drivers/simulator ---------------
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+wal"
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def store(self):
+        return self.inner.store
+
+    @property
+    def schedule(self):
+        return self.inner.schedule
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def transactions(self):
+        return self.inner.transactions
+
+    def active_transactions(self):
+        return self.inner.active_transactions()
+
+    def poll_walls(self):  # present only when the inner scheduler has it
+        poll = getattr(self.inner, "poll_walls", None)
+        return poll() if poll is not None else None
+
+    @property
+    def walls(self):
+        return getattr(self.inner, "walls")
+
+    # -- intercepted operations ----------------------------------------
+    def begin(self, profile=None, read_only: bool = False) -> Transaction:
+        txn = self.inner.begin(profile=profile, read_only=read_only)
+        self.wal.append(BeginRecord(txn.txn_id, txn.initiation_ts))
+        return txn
+
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        outcome = self.inner.read(txn, granule)
+        if outcome.aborted:
+            self.wal.append(AbortRecord(txn.txn_id))
+        return outcome
+
+    def write(self, txn: Transaction, granule: GranuleId, value) -> Outcome:
+        outcome = self.inner.write(txn, granule, value)
+        if outcome.granted:
+            assert outcome.version_ts is not None
+            self.wal.append(
+                WriteRecord(txn.txn_id, granule, outcome.version_ts, value)
+            )
+        elif outcome.aborted:
+            self.wal.append(AbortRecord(txn.txn_id))
+        return outcome
+
+    def commit(self, txn: Transaction) -> Outcome:
+        outcome = self.inner.commit(txn)
+        if outcome.granted:
+            assert txn.commit_ts is not None
+            self.wal.append(CommitRecord(txn.txn_id, txn.commit_ts))
+        elif outcome.aborted:
+            self.wal.append(AbortRecord(txn.txn_id))
+        return outcome
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        self.inner.abort(txn, reason)
+        self.wal.append(AbortRecord(txn.txn_id))
+
+    # -- checkpointing ---------------------------------------------------
+    def checkpoint(self) -> CheckpointRecord:
+        """Snapshot the committed state into the log (fuzzy checkpoint).
+
+        Transactions active at checkpoint time have write records
+        *before* the checkpoint; truncating there would lose them if
+        they later commit.  So their begin and write records are
+        re-logged after the checkpoint record — the standard fuzzy-
+        checkpoint fix — making truncation to the checkpoint safe.
+        """
+        snapshot = {}
+        for chain in self.inner.store:
+            version = chain.latest_committed()
+            snapshot[chain.granule] = (
+                version.ts,
+                version.commit_ts if version.commit_ts is not None else 0,
+                version.value,
+            )
+        record = CheckpointRecord(snapshot=snapshot)
+        active_ids = {t.txn_id for t in self.inner.active_transactions()}
+        carried: list[WriteRecord | BeginRecord] = [
+            r
+            for r in self.wal.records
+            if isinstance(r, (BeginRecord, WriteRecord))
+            and r.txn_id in active_ids
+        ]
+        self.wal.append(record)
+        for pending in carried:
+            self.wal.append(pending)
+        return record

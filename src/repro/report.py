@@ -1,0 +1,182 @@
+"""One-shot experiment report: ``python -m repro report``.
+
+Runs the headline experiments (the measured Figure 10 table, the §7.4
+efficacy sweeps, the freshness trade-off, the §7.5 message budget and
+the open-loop capacity estimate) at a configurable scale and renders a
+single markdown document — the quickest way to regenerate the substance
+of EXPERIMENTS.md on a new machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.messages import message_report
+
+SCHEDULERS = {
+    "hdd": lambda partition: HDDScheduler(partition),
+    "2pl": lambda partition: TwoPhaseLocking(),
+    "to": lambda partition: TimestampOrdering(),
+    "mvto": lambda partition: MultiversionTimestampOrdering(),
+    "mv2pl": lambda partition: MultiversionTwoPhaseLocking(),
+    "sdd1": lambda partition: SDD1Pipelining(partition),
+}
+
+
+@dataclass
+class ReportScale:
+    commits: int = 400
+    clients: int = 8
+    seed: int = 42
+    open_loop_steps: int = 6_000
+
+    @classmethod
+    def quick(cls) -> "ReportScale":
+        return cls(commits=150, clients=6, open_loop_steps=3_000)
+
+
+def _markdown_table(rows: list[dict[str, object]]) -> str:
+    if not rows:
+        return "(no data)\n"
+    columns = list(rows[0])
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _run_mix(name: str, scale: ReportScale, **workload_kwargs):
+    partition = build_inventory_partition()
+    scheduler = SCHEDULERS[name](partition)
+    defaults = dict(granules_per_segment=12)
+    defaults.update(workload_kwargs)
+    workload = build_inventory_workload(partition, **defaults)
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=scale.clients,
+        seed=scale.seed,
+        target_commits=scale.commits,
+        max_steps=max(scale.commits * 500, 100_000),
+        track_staleness=True,
+    ).run()
+    return result, scheduler, partition
+
+
+def _section_comparison(scale: ReportScale) -> str:
+    rows = []
+    for name in SCHEDULERS:
+        result, scheduler, _ = _run_mix(name, scale)
+        rows.append(
+            {
+                "scheduler": name,
+                "commits": result.commits,
+                "throughput": round(result.throughput, 4),
+                "reg/commit": round(
+                    scheduler.stats.read_registrations / result.commits, 3
+                ),
+                "read_blocks": scheduler.stats.read_blocks,
+                "aborts": scheduler.stats.aborts,
+                "p95_latency": round(result.p95_latency, 1),
+                "fresh_reads": f"{result.fresh_read_fraction:.1%}",
+            }
+        )
+    return (
+        "## Figure 10, measured\n\n"
+        "All schedulers over the identical inventory transaction mix.\n\n"
+        + _markdown_table(rows)
+    )
+
+
+def _section_read_only_sweep(scale: ReportScale) -> str:
+    rows = []
+    for share in (0.0, 0.25, 0.5):
+        row: dict[str, object] = {"ro_share": share}
+        for name in ("hdd", "2pl", "mvto"):
+            result, scheduler, _ = _run_mix(
+                name, scale, read_only_share=share
+            )
+            row[f"{name}_reg/commit"] = round(
+                scheduler.stats.read_registrations / result.commits, 2
+            )
+        rows.append(row)
+    return (
+        "## Efficacy: registrations vs read-only share (§7.4)\n\n"
+        + _markdown_table(rows)
+    )
+
+
+def _section_messages(scale: ReportScale) -> str:
+    rows = []
+    for name in SCHEDULERS:
+        result, scheduler, partition = _run_mix(name, scale)
+        report = message_report(scheduler, partition.segment_of)
+        row = {"scheduler": name}
+        row.update(report.per_commit(result.commits))
+        rows.append(row)
+    return (
+        "## Inter-controller message budget (§7.5)\n\n"
+        + _markdown_table(rows)
+    )
+
+
+def _section_capacity(scale: ReportScale) -> str:
+    rows = []
+    for name in ("hdd", "2pl", "mvto", "sdd1"):
+        sustained = 0.0
+        for rate in (0.03, 0.06, 0.09, 0.12, 0.15):
+            partition = build_inventory_partition()
+            scheduler = SCHEDULERS[name](partition)
+            workload = build_inventory_workload(
+                partition, granules_per_segment=12
+            )
+            result = Simulator(
+                scheduler,
+                workload,
+                clients=scale.clients,
+                seed=scale.seed,
+                max_steps=scale.open_loop_steps,
+                arrival_rate=rate,
+            ).run()
+            if result.backlog <= 5:
+                sustained = rate
+            else:
+                break
+        rows.append({"scheduler": name, "sustained arrivals/step": sustained})
+    return (
+        "## Open-loop capacity (saturation point)\n\n" + _markdown_table(rows)
+    )
+
+
+def generate_report(scale: ReportScale | None = None) -> str:
+    """Run the headline experiments and return the markdown report."""
+    if scale is None:
+        scale = ReportScale()
+    started = time.time()
+    sections = [
+        "# HDD reproduction report\n",
+        f"Deterministic runs (seed {scale.seed}, {scale.clients} clients, "
+        f"{scale.commits} commits per cell).\n",
+        _section_comparison(scale),
+        _section_read_only_sweep(scale),
+        _section_messages(scale),
+        _section_capacity(scale),
+        f"\nGenerated in {time.time() - started:.1f}s.\n",
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,171 @@
+"""Case study: an insurance claims-processing pipeline (paper §7.4).
+
+The paper proposes validating HDD against the operations of real
+organisations; this module is the second, deeper reference schema
+(five levels, one fork) modelled on a claims back office:
+
+* ``intake``       — claim submissions and supporting documents,
+  captured as they arrive (**file_claim**);
+* ``policy``       — policy master data, maintained by its own
+  department (**update_policy**);
+* ``adjudication`` — coverage decisions: read the claim intake and the
+  policy, write a decision (**adjudicate**);
+* ``payments``     — remittances computed from decisions
+  (**pay_claim**: reads adjudication, writes payments);
+* ``ledger``       — general-ledger postings derived from payments and
+  decisions (**post_ledger**);
+
+plus read-only work: **case_review** (intake + adjudication — one
+critical path) and **finance_report** (payments + ledger — one critical
+path) and **audit** (everything — Protocol C).
+
+The DHG::
+
+    adjudication -> intake
+    adjudication -> policy        (the fork: two top segments)
+    payments     -> adjudication
+    ledger       -> payments
+    (+ transitive arcs from deeper readers)
+
+Its transitive reduction is a semi-tree — two roots feeding one chain —
+so the partition is TST-hierarchical without any coarsening, which is
+exactly the paper's thesis about how derived-data organisations
+already operate.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.sim.workload import TransactionTemplate, Workload
+
+SEGMENTS = ["intake", "policy", "adjudication", "payments", "ledger"]
+
+PROFILES = [
+    TransactionProfile.update("file_claim", writes=["intake"]),
+    TransactionProfile.update("update_policy", writes=["policy"]),
+    TransactionProfile.update(
+        "adjudicate",
+        writes=["adjudication"],
+        reads=["intake", "policy", "adjudication"],
+    ),
+    TransactionProfile.update(
+        "pay_claim",
+        writes=["payments"],
+        reads=["adjudication", "payments"],
+    ),
+    TransactionProfile.update(
+        "post_ledger",
+        writes=["ledger"],
+        reads=["payments", "adjudication", "ledger"],
+    ),
+    TransactionProfile.read_only(
+        "case_review", reads=["intake", "adjudication"]
+    ),
+    TransactionProfile.read_only(
+        "finance_report", reads=["payments", "ledger"]
+    ),
+    TransactionProfile.read_only(
+        "audit",
+        reads=["intake", "policy", "adjudication", "payments", "ledger"],
+    ),
+]
+
+
+def build_claims_partition() -> HierarchicalPartition:
+    """The five-segment claims schema, validated TST-hierarchical."""
+    return HierarchicalPartition(segments=SEGMENTS, profiles=PROFILES)
+
+
+def build_claims_workload(
+    partition: HierarchicalPartition | None = None,
+    granules_per_segment: int = 24,
+    read_only_share: float = 0.3,
+    skew: float = 1.5,
+) -> Workload:
+    """A day-in-the-life transaction mix for the claims pipeline.
+
+    Intake dominates (claims arrive constantly), policy changes are
+    rare, and the derived levels run at decreasing rates — the
+    hierarchy of delayed computations the paper's §1.2.2 describes.
+    """
+    if partition is None:
+        partition = build_claims_partition()
+    update_share = 1.0 - read_only_share
+    templates = [
+        TransactionTemplate(
+            name="file_claim",
+            profile="file_claim",
+            recipe=(("intake", "w"), ("intake", "w")),
+            weight=update_share * 0.40,
+        ),
+        TransactionTemplate(
+            name="update_policy",
+            profile="update_policy",
+            recipe=(("policy", "w"),),
+            weight=update_share * 0.05,
+        ),
+        TransactionTemplate(
+            name="adjudicate",
+            profile="adjudicate",
+            recipe=(
+                ("intake", "r"),
+                ("intake", "r"),
+                ("policy", "r"),
+                ("adjudication", "w"),
+            ),
+            weight=update_share * 0.30,
+        ),
+        TransactionTemplate(
+            name="pay_claim",
+            profile="pay_claim",
+            recipe=(
+                ("adjudication", "r"),
+                ("payments", "r"),
+                ("payments", "w"),
+            ),
+            weight=update_share * 0.15,
+        ),
+        TransactionTemplate(
+            name="post_ledger",
+            profile="post_ledger",
+            recipe=(
+                ("payments", "r"),
+                ("adjudication", "r"),
+                ("ledger", "m"),  # running GL balance: read-modify-write
+            ),
+            weight=update_share * 0.10,
+        ),
+        TransactionTemplate(
+            name="case_review",
+            profile="case_review",
+            recipe=(("intake", "r"), ("adjudication", "r")),
+            read_only=True,
+            weight=read_only_share * 0.4,
+        ),
+        TransactionTemplate(
+            name="finance_report",
+            profile="finance_report",
+            recipe=(("payments", "r"), ("ledger", "r")),
+            read_only=True,
+            weight=read_only_share * 0.4,
+        ),
+        TransactionTemplate(
+            name="audit",
+            profile="audit",
+            recipe=(
+                ("intake", "r"),
+                ("policy", "r"),
+                ("adjudication", "r"),
+                ("payments", "r"),
+                ("ledger", "r"),
+            ),
+            read_only=True,
+            weight=read_only_share * 0.2,
+        ),
+    ]
+    return Workload(
+        partition=partition,
+        templates=templates,
+        granules_per_segment=granules_per_segment,
+        skew=skew,
+    )

@@ -1,0 +1,376 @@
+"""A deterministic closed-loop simulator for concurrency-control schedulers.
+
+The GIL makes real threads useless for studying scheduler behaviour
+(DESIGN.md §2), so concurrency is modelled the way concurrency-control
+theory models it anyway: as an interleaving of operation steps.  ``N``
+clients each run transactions drawn from a :class:`~repro.sim.workload.
+Workload`; at every engine step exactly one runnable client performs its
+next operation against the scheduler.  Blocked clients retry after the
+next state-changing event (commit, abort, lock release, time-wall
+release — all tracked through a single event epoch); aborted
+transactions restart after a backoff with the *same* operations, as a
+real application would.
+
+Everything is driven by one seeded RNG and a round-robin cursor, so runs
+are exactly reproducible — a property both the tests and the paper-
+figure benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.scheduling import BaseScheduler, Outcome, OutcomeKind
+from repro.sim.metrics import SimulationResult
+from repro.sim.workload import TxnSpec, Workload
+from repro.txn.depgraph import is_serializable
+from repro.txn.transaction import Transaction
+
+
+class _ClientState(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    RESTART_WAIT = "restart-wait"
+
+
+@dataclass
+class _Client:
+    client_id: int
+    state: _ClientState = _ClientState.IDLE
+    spec: Optional[TxnSpec] = None
+    txn: Optional[Transaction] = None
+    pc: int = 0
+    countdown: int = 0  # think time or restart backoff
+    wake_epoch: int = -1  # blocked since this event epoch
+    latency_start: int = 0
+    first_attempt: bool = True
+    #: Value read by the first half of an in-flight RMW operation.
+    rmw_value: Optional[int] = None
+
+
+class Simulator:
+    """Run one scheduler against one workload.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`~repro.scheduling.BaseScheduler`.
+    workload:
+        The transaction mix.
+    clients:
+        Multiprogramming level (concurrent transactions).
+    seed:
+        RNG seed; identical seeds give identical runs.
+    max_steps:
+        Hard stop.
+    target_commits:
+        Optional early stop once this many transactions committed.
+    think_time:
+        Idle steps between a client's transactions.
+    restart_backoff:
+        Steps an aborted transaction waits before retrying.
+    audit:
+        Verify the recorded schedule with the serializability oracle at
+        the end of the run (O(steps); leave off for large sweeps and
+        rely on the dedicated correctness tests).
+    """
+
+    #: Consecutive idle engine steps tolerated before declaring a stall.
+    STALL_LIMIT = 1000
+
+    def __init__(
+        self,
+        scheduler: BaseScheduler,
+        workload: Workload,
+        clients: int = 8,
+        seed: int = 0,
+        max_steps: int = 50_000,
+        target_commits: Optional[int] = None,
+        think_time: int = 0,
+        restart_backoff: int = 3,
+        audit: bool = False,
+        track_staleness: bool = False,
+        arrival_rate: Optional[float] = None,
+    ) -> None:
+        if clients < 1:
+            raise ReproError("need at least one client")
+        self.scheduler = scheduler
+        self.workload = workload
+        self.rng = random.Random(seed)
+        self.clients = [_Client(i) for i in range(clients)]
+        self.max_steps = max_steps
+        self.target_commits = target_commits
+        self.think_time = think_time
+        self.restart_backoff = restart_backoff
+        self.audit = audit
+        #: Sample read staleness (committed versions missed per read).
+        #: Incompatible with running GC mid-simulation (pruned versions
+        #: would undercount).
+        self.track_staleness = track_staleness
+        #: Open-loop mode: expected transaction arrivals per engine step
+        #: (``None`` = closed loop, each client immediately starts its
+        #: next transaction).  Arrivals queue; the ``clients`` parameter
+        #: becomes the in-flight concurrency cap, and latency counts
+        #: queueing delay from the arrival step.
+        self.arrival_rate = arrival_rate
+        self._pending: deque[tuple[TxnSpec, int]] = deque()
+        if arrival_rate is not None and arrival_rate <= 0:
+            raise ReproError("arrival_rate must be positive")
+        self._epoch = 0
+        self._cursor = 0
+        self._result = SimulationResult(
+            scheduler_name=scheduler.name, steps=0, commits=0, restarts=0
+        )
+        self._wall_count = 0
+        #: Transaction id -> the TxnSpec it committed; feeds the
+        #: serial-replay oracle (:mod:`repro.sim.oracle`).
+        self.committed_specs: dict[int, TxnSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        steps = 0
+        idle_streak = 0
+        forced_wake = False
+        while steps < self.max_steps:
+            if (
+                self.target_commits is not None
+                and self._result.commits >= self.target_commits
+            ):
+                break
+            steps += 1
+            self.scheduler.clock.tick()
+            self._draw_arrivals(steps)
+            self._tick_countdowns()
+            client = self._next_runnable()
+            if client is None:
+                if self.arrival_rate is not None and self._drained():
+                    # Open loop with no offered work: legitimate idleness.
+                    continue
+                idle_streak += 1
+                self._poll_scheduler()
+                if idle_streak > self.STALL_LIMIT:
+                    if not forced_wake:
+                        # One amnesty: wake everyone and try again (a
+                        # wall may have released without an epoch bump).
+                        for blocked in self.clients:
+                            blocked.wake_epoch = -1
+                        forced_wake = True
+                        idle_streak = 0
+                        continue
+                    raise ReproError(
+                        f"simulation stalled at step {steps}: "
+                        + self._stall_report()
+                    )
+                continue
+            idle_streak = 0
+            forced_wake = False
+            self._act(client, steps)
+        self._result.steps = steps
+        self._result.stats = self.scheduler.stats
+        self._result.backlog = len(self._pending)
+        if hasattr(self.scheduler, "walls"):
+            self._result.wall_releases = len(self.scheduler.walls.released)
+        # Audit with the full Bernstein–Goodman MVSG: it subsumes the
+        # paper's TG (which, read literally, can miss write-write lost
+        # updates between blind read-modify-write pairs — see the
+        # Figure 1 scenario test).
+        if self.audit and not is_serializable(
+            self.scheduler.schedule, mode="mvsg"
+        ):
+            raise ReproError(
+                f"{self.scheduler.name}: recorded schedule is not "
+                "serializable — scheduler bug"
+            )
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Client scheduling
+    # ------------------------------------------------------------------
+    def _tick_countdowns(self) -> None:
+        for client in self.clients:
+            if client.countdown > 0:
+                client.countdown -= 1
+            if client.state is _ClientState.BLOCKED:
+                self._result.blocked_client_steps += 1
+
+    def _draw_arrivals(self, step: int) -> None:
+        if self.arrival_rate is None:
+            return
+        count = int(self.arrival_rate)
+        fraction = self.arrival_rate - count
+        if fraction > 0 and self.rng.random() < fraction:
+            count += 1
+        for _ in range(count):
+            self._pending.append(
+                (self.workload.next_transaction(self.rng), step)
+            )
+
+    def _drained(self) -> bool:
+        """Open loop: no queued work and every client is at rest."""
+        return not self._pending and all(
+            c.state is _ClientState.IDLE and c.countdown == 0
+            for c in self.clients
+        )
+
+    def _runnable(self, client: _Client) -> bool:
+        if client.state is _ClientState.IDLE:
+            if client.countdown:
+                return False
+            return self.arrival_rate is None or bool(self._pending)
+        if client.state is _ClientState.RESTART_WAIT:
+            return client.countdown == 0
+        if client.state is _ClientState.BLOCKED:
+            return client.wake_epoch < self._epoch
+        return True  # RUNNING
+
+    def _next_runnable(self) -> Optional[_Client]:
+        n = len(self.clients)
+        for offset in range(n):
+            client = self.clients[(self._cursor + offset) % n]
+            if self._runnable(client):
+                self._cursor = (self._cursor + offset + 1) % n
+                return client
+        return None
+
+    # ------------------------------------------------------------------
+    # One client action
+    # ------------------------------------------------------------------
+    def _act(self, client: _Client, step: int) -> None:
+        if client.state in (_ClientState.IDLE, _ClientState.RESTART_WAIT):
+            self._begin(client, step)
+            return
+        assert client.spec is not None and client.txn is not None
+        if not client.txn.is_active:
+            # Killed externally since this client's last turn (wounded
+            # by an older transaction, cascading abort, ...): restart.
+            self._after_event()
+            self._handle(
+                client,
+                step,
+                Outcome(kind=OutcomeKind.ABORTED, reason="killed externally"),
+                is_commit=False,
+            )
+            return
+        if client.pc >= len(client.spec.ops):
+            outcome = self.scheduler.commit(client.txn)
+            self._after_event()
+            self._handle(client, step, outcome, is_commit=True)
+            return
+        op = client.spec.ops[client.pc]
+        if op.kind == "r":
+            outcome = self.scheduler.read(client.txn, op.granule)
+            if outcome.granted:
+                self._sample_staleness(op.granule, outcome)
+        elif op.kind == "w":
+            outcome = self.scheduler.write(client.txn, op.granule, op.value)
+        else:  # "m": read-modify-write, split across two engine steps
+            if client.rmw_value is None:
+                outcome = self.scheduler.read(client.txn, op.granule)
+                if outcome.granted:
+                    self._sample_staleness(op.granule, outcome)
+                    client.rmw_value = outcome.value
+                    return  # the write half runs on a later turn
+            else:
+                assert op.value is not None
+                outcome = self.scheduler.write(
+                    client.txn, op.granule, client.rmw_value + op.value
+                )
+                if outcome.granted:
+                    client.rmw_value = None
+        if outcome.aborted:
+            self._after_event()
+        self._handle(client, step, outcome, is_commit=False)
+
+    def _begin(self, client: _Client, step: int) -> None:
+        if client.state is _ClientState.IDLE:
+            if self.arrival_rate is None:
+                client.spec = self.workload.next_transaction(self.rng)
+                client.latency_start = step
+            else:
+                spec, arrived = self._pending.popleft()
+                client.spec = spec
+                client.latency_start = arrived  # include queueing delay
+            client.first_attempt = True
+        assert client.spec is not None
+        client.txn = self.scheduler.begin(
+            profile=client.spec.profile, read_only=client.spec.read_only
+        )
+        client.pc = 0
+        client.state = _ClientState.RUNNING
+        self._check_walls()
+
+    def _handle(
+        self, client: _Client, step: int, outcome: Outcome, is_commit: bool
+    ) -> None:
+        if outcome.granted:
+            if is_commit:
+                assert client.txn is not None and client.spec is not None
+                self.committed_specs[client.txn.txn_id] = client.spec
+                self._result.commits += 1
+                self._result.latencies.append(step - client.latency_start)
+                client.state = _ClientState.IDLE
+                client.spec = None
+                client.txn = None
+                client.countdown = self.think_time
+            else:
+                client.pc += 1
+                client.state = _ClientState.RUNNING
+            return
+        if outcome.blocked:
+            client.state = _ClientState.BLOCKED
+            client.wake_epoch = self._epoch
+            return
+        # Aborted: restart the same spec after a backoff.
+        self._result.restarts += 1
+        client.txn = None
+        client.pc = 0
+        client.rmw_value = None
+        client.first_attempt = False
+        client.state = _ClientState.RESTART_WAIT
+        client.countdown = self.restart_backoff
+
+    def _sample_staleness(self, granule, outcome: Outcome) -> None:
+        if not self.track_staleness or outcome.version_ts is None:
+            return
+        chain = self.scheduler.store.chain(granule)
+        self._result.staleness_samples.append(
+            chain.committed_count_after(outcome.version_ts)
+        )
+
+    # ------------------------------------------------------------------
+    # Event epoch
+    # ------------------------------------------------------------------
+    def _after_event(self) -> None:
+        """A commit or abort happened: wake blocked clients via the epoch."""
+        self._epoch += 1
+        self._check_walls()
+
+    def _poll_scheduler(self) -> None:
+        poll = getattr(self.scheduler, "poll_walls", None)
+        if poll is not None:
+            poll()
+            self._check_walls()
+
+    def _check_walls(self) -> None:
+        walls = getattr(self.scheduler, "walls", None)
+        if walls is not None and len(walls.released) != self._wall_count:
+            self._wall_count = len(walls.released)
+            self._epoch += 1
+
+    def _stall_report(self) -> str:
+        parts = []
+        for client in self.clients:
+            txn_id = client.txn.txn_id if client.txn else None
+            parts.append(
+                f"c{client.client_id}={client.state.value}"
+                f"(txn={txn_id}, pc={client.pc}, cd={client.countdown})"
+            )
+        return ", ".join(parts)

@@ -1,0 +1,173 @@
+"""Synthetic hierarchical schemas: chains, stars and trees.
+
+The efficacy sweeps (paper Section 7.4, deferred there to future work)
+need hierarchies of controllable shape.  Each builder returns a
+partition whose update profile for segment ``s`` writes ``s`` and reads
+every segment *above* ``s`` (all of which are higher in the DHG), plus
+one all-segments read-only profile — so any of these partitions can be
+driven by :func:`build_hierarchy_workload`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.graph import Digraph
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.errors import ReproError
+from repro.sim.workload import TransactionTemplate, Workload
+from repro.txn.transaction import SegmentId
+
+
+def _profiles_from_reads(
+    reads_of: dict[SegmentId, list[SegmentId]],
+) -> list[TransactionProfile]:
+    profiles = [
+        TransactionProfile.update(
+            f"update_{segment}", writes=[segment], reads=[segment, *reads]
+        )
+        for segment, reads in reads_of.items()
+    ]
+    profiles.append(
+        TransactionProfile.read_only("scan_all", reads=list(reads_of))
+    )
+    return profiles
+
+
+def chain_partition(depth: int) -> HierarchicalPartition:
+    """``L0 <- L1 <- ... <- L(depth-1)``: each level reads all above it.
+
+    ``L0`` is the top (pure event capture); ``L(depth-1)`` the bottom.
+    """
+    if depth < 1:
+        raise ReproError("depth must be >= 1")
+    segments = [f"L{i}" for i in range(depth)]
+    reads_of = {
+        segments[i]: segments[:i] for i in range(depth)
+    }
+    return HierarchicalPartition(
+        segments=segments, profiles=_profiles_from_reads(reads_of)
+    )
+
+
+def star_partition(leaves: int) -> HierarchicalPartition:
+    """One ``hub`` read by ``leaves`` independent writer segments."""
+    if leaves < 1:
+        raise ReproError("leaves must be >= 1")
+    segments = ["hub"] + [f"leaf{i}" for i in range(leaves)]
+    reads_of: dict[SegmentId, list[SegmentId]] = {"hub": []}
+    for i in range(leaves):
+        reads_of[f"leaf{i}"] = ["hub"]
+    return HierarchicalPartition(
+        segments=segments, profiles=_profiles_from_reads(reads_of)
+    )
+
+
+def tree_partition(depth: int, branching: int) -> HierarchicalPartition:
+    """A complete tree; every node reads its ancestor chain.
+
+    The root is the top of the hierarchy (everyone else is below it);
+    arcs point child -> parent, which is a directed tree and hence a
+    transitive semi-tree.
+    """
+    if depth < 1 or branching < 1:
+        raise ReproError("depth and branching must be >= 1")
+    reads_of: dict[SegmentId, list[SegmentId]] = {"n0": []}
+    frontier = ["n0"]
+    ancestors: dict[SegmentId, list[SegmentId]] = {"n0": []}
+    counter = 1
+    for _ in range(depth - 1):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                node = f"n{counter}"
+                counter += 1
+                ancestors[node] = ancestors[parent] + [parent]
+                reads_of[node] = list(ancestors[node])
+                next_frontier.append(node)
+        frontier = next_frontier
+    return HierarchicalPartition(
+        segments=list(reads_of), profiles=_profiles_from_reads(reads_of)
+    )
+
+
+def random_tst(
+    nodes: int, rng: random.Random, extra_transitive: int = 0
+) -> Digraph:
+    """A random transitive semi-tree on ``nodes`` nodes (test generator).
+
+    Builds a random undirected tree, orients each edge randomly while
+    keeping the orientation acyclic (orient along a fixed topological
+    permutation), then adds up to ``extra_transitive`` transitively
+    induced arcs.
+    """
+    if nodes < 1:
+        raise ReproError("nodes must be >= 1")
+    order = list(range(nodes))
+    rng.shuffle(order)
+    rank = {node: i for i, node in enumerate(order)}
+    graph = Digraph(nodes=list(range(nodes)))
+    for node in range(1, nodes):
+        other = rng.randrange(node)
+        u, v = (node, other) if rank[node] < rank[other] else (other, node)
+        graph.add_arc(u, v)
+    closure = graph.transitive_closure()
+    candidates = [
+        arc for arc in closure.arcs if not graph.has_arc(*arc)
+    ]
+    rng.shuffle(candidates)
+    for arc in candidates[:extra_transitive]:
+        graph.add_arc(*arc)
+    return graph
+
+
+def build_hierarchy_workload(
+    partition: HierarchicalPartition,
+    reads_per_txn: int = 3,
+    read_only_share: float = 0.2,
+    granules_per_segment: int = 16,
+    skew: float = 1.0,
+) -> Workload:
+    """A balanced update mix over any hierarchy partition.
+
+    Each update profile gets one template: ``reads_per_txn`` reads
+    spread over its declared read segments (round-robin) followed by one
+    read-modify-write of its own segment.  The ``scan_all`` read-only
+    profile reads one granule per segment.
+    """
+    templates = []
+    update_profiles = [
+        p for p in partition.profiles.values() if not p.is_read_only
+    ]
+    for profile in update_profiles:
+        upward = sorted(profile.reads - profile.writes)
+        recipe: list[tuple[SegmentId, str]] = []
+        if upward:
+            for i in range(reads_per_txn):
+                recipe.append((upward[i % len(upward)], "r"))
+        root = profile.root_segment
+        recipe.extend([(root, "r"), (root, "w")])
+        templates.append(
+            TransactionTemplate(
+                name=profile.name,
+                profile=profile.name,
+                recipe=tuple(recipe),
+                weight=(1.0 - read_only_share) / len(update_profiles),
+            )
+        )
+    scan = partition.profile("scan_all")
+    templates.append(
+        TransactionTemplate(
+            name="scan_all",
+            profile="scan_all",
+            recipe=tuple((segment, "r") for segment in sorted(scan.reads)),
+            read_only=True,
+            weight=read_only_share,
+        )
+    )
+    return Workload(
+        partition=partition,
+        templates=templates,
+        granules_per_segment=granules_per_segment,
+        skew=skew,
+    )

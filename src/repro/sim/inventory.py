@@ -1,0 +1,128 @@
+"""The paper's motivating application: a retail inventory database
+(Figure 2, Section 1.2.1).
+
+Three segments and three update transaction types:
+
+* ``events`` — sales, sales-modification and merchandise-arrival
+  records.  **Type 1** transactions insert them as business events
+  occur (write ``events`` only);
+* ``inventory`` — current inventory levels.  **Type 2** transactions
+  periodically read the event records and post a new level (write
+  ``inventory``, read ``events`` and ``inventory``);
+* ``orders`` — merchandise-on-order and reorder records.  **Type 3**
+  transactions read arrivals and the current inventory level, adjust
+  on-order records and possibly generate a reorder (write ``orders``,
+  read ``events``, ``inventory`` and ``orders``).
+
+The DHG is ``orders -> inventory -> events`` with the transitive arc
+``orders -> events`` — the paper's canonical transitive semi-tree.  On
+top of the update mix there are ad-hoc **report** transactions
+(read-only over all three segments) and **level-check** transactions
+(read-only over ``events`` and ``inventory``, which lie on one critical
+path and therefore get the fictitious-class treatment under HDD).
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import HierarchicalPartition, TransactionProfile
+from repro.sim.workload import TransactionTemplate, Workload
+
+SEGMENTS = ["events", "inventory", "orders"]
+
+PROFILES = [
+    TransactionProfile.update("type1_log_event", writes=["events"]),
+    TransactionProfile.update(
+        "type2_post_inventory",
+        writes=["inventory"],
+        reads=["events", "inventory"],
+    ),
+    TransactionProfile.update(
+        "type3_reorder",
+        writes=["orders"],
+        reads=["events", "inventory", "orders"],
+    ),
+    TransactionProfile.read_only(
+        "report", reads=["events", "inventory", "orders"]
+    ),
+    TransactionProfile.read_only(
+        "level_check", reads=["events", "inventory"]
+    ),
+]
+
+
+def build_inventory_partition() -> HierarchicalPartition:
+    """The Figure 2 partition, validated TST-hierarchical."""
+    return HierarchicalPartition(segments=SEGMENTS, profiles=PROFILES)
+
+
+def build_inventory_workload(
+    partition: HierarchicalPartition | None = None,
+    granules_per_segment: int = 24,
+    read_only_share: float = 0.25,
+    skew: float = 1.0,
+    event_reads: int = 4,
+) -> Workload:
+    """The default transaction mix over the inventory schema.
+
+    ``read_only_share`` is the fraction of the mix taken by the two
+    read-only templates (split evenly); the rest is split 3:2:1 between
+    type 1, type 2 and type 3 — event capture dominates, exactly the
+    asymmetry the paper's hierarchy exploits.  ``event_reads`` sets how
+    many event records a type 2/3 transaction scans (its read fan-in).
+    """
+    if partition is None:
+        partition = build_inventory_partition()
+    if not 0.0 <= read_only_share < 1.0:
+        raise ValueError("read_only_share must be in [0, 1)")
+    update_share = 1.0 - read_only_share
+    templates = [
+        TransactionTemplate(
+            name="type1_log_event",
+            profile="type1_log_event",
+            recipe=(("events", "w"),),
+            weight=update_share * 0.5,
+        ),
+        TransactionTemplate(
+            name="type2_post_inventory",
+            profile="type2_post_inventory",
+            recipe=tuple([("events", "r")] * event_reads)
+            + (("inventory", "r"), ("inventory", "w")),
+            weight=update_share * 0.33,
+        ),
+        TransactionTemplate(
+            name="type3_reorder",
+            profile="type3_reorder",
+            recipe=tuple([("events", "r")] * max(1, event_reads // 2))
+            + (
+                ("inventory", "r"),
+                ("orders", "r"),
+                ("orders", "w"),
+            ),
+            weight=update_share * 0.17,
+        ),
+        TransactionTemplate(
+            name="report",
+            profile="report",
+            recipe=(
+                ("events", "r"),
+                ("events", "r"),
+                ("inventory", "r"),
+                ("orders", "r"),
+            ),
+            read_only=True,
+            weight=read_only_share / 2,
+        ),
+        TransactionTemplate(
+            name="level_check",
+            profile="level_check",
+            recipe=(("events", "r"), ("inventory", "r")),
+            read_only=True,
+            weight=read_only_share / 2,
+        ),
+    ]
+    return Workload(
+        partition=partition,
+        templates=templates,
+        granules_per_segment=granules_per_segment,
+        skew=skew,
+    )

@@ -1,0 +1,122 @@
+"""Inter-controller message accounting (paper Section 7.5).
+
+The paper's closing motivation is the INFOPLEX database computer: a
+multi-processor where each data segment is served by its own *segment
+controller*, and concurrency-control overhead shows up as messages
+between levels.  This module prices a recorded execution under that
+architecture so the claim — HDD reduces inter-level synchronization
+communications — becomes measurable.
+
+Cost model (documented, deliberately simple):
+
+* every granted read or write is one request/response pair with the
+  granule's segment controller ............................ 2 messages;
+* every *read registration* is one extra message — the controller must
+  durably note the read timestamp / lock, which in a multiprocessor is
+  a write to controller state others consult ............... 1 message;
+* every blocked attempt is a wasted round trip (request + "wait") ... 2;
+* every explicit abort/rejection reply ........................... 1;
+* commit/abort fan-out: one notification per segment the transaction
+  wrote in ................................. 2 per touched segment;
+* each Protocol C wall *release* broadcasts one component per segment
+  .......................................... 1 per segment per wall.
+
+The absolute numbers mean nothing (any linear pricing would do); the
+*ratios* between schedulers are the result, and they are robust to the
+pricing because HDD eliminates whole message categories rather than
+shrinking them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scheduling import BaseScheduler
+from repro.txn.schedule import Action
+
+
+@dataclass
+class MessageReport:
+    """Message totals for one execution."""
+
+    data_messages: int = 0
+    registration_messages: int = 0
+    blocking_messages: int = 0
+    rejection_messages: int = 0
+    commit_fanout_messages: int = 0
+    wall_broadcast_messages: int = 0
+
+    @property
+    def synchronization_messages(self) -> int:
+        """Everything that exists only because of concurrency control."""
+        return (
+            self.registration_messages
+            + self.blocking_messages
+            + self.rejection_messages
+            + self.wall_broadcast_messages
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.data_messages
+            + self.synchronization_messages
+            + self.commit_fanout_messages
+        )
+
+    def per_commit(self, commits: int) -> dict[str, float]:
+        denominator = max(commits, 1)
+        return {
+            "data/commit": round(self.data_messages / denominator, 2),
+            "sync/commit": round(
+                self.synchronization_messages / denominator, 2
+            ),
+            "total/commit": round(self.total / denominator, 2),
+        }
+
+
+def message_report(
+    scheduler: BaseScheduler, segment_of=None
+) -> MessageReport:
+    """Price the scheduler's recorded execution under the §7.5 model.
+
+    ``segment_of`` maps granules to segments for the commit fan-out;
+    when omitted, every transaction's fan-out is one segment (a single-
+    controller lower bound).
+    """
+    report = MessageReport()
+    stats = scheduler.stats
+
+    data_ops = 0
+    for step in scheduler.schedule.steps:
+        if step.action in (Action.READ, Action.WRITE):
+            data_ops += 1
+    report.data_messages = 2 * data_ops
+
+    report.registration_messages = stats.read_registrations
+    report.blocking_messages = 2 * (
+        stats.read_blocks
+        + stats.write_blocks
+        + stats.commit_blocks
+        + stats.wall_blocks
+    )
+    report.rejection_messages = (
+        stats.read_rejections + stats.write_rejections + stats.aborts
+    )
+
+    fanout = 0
+    for txn in scheduler.transactions.values():
+        if not (txn.is_committed or txn.is_aborted):
+            continue
+        if segment_of is None:
+            segments = {"*"} if txn.write_set else set()
+        else:
+            segments = {segment_of(granule) for granule in txn.write_set}
+        fanout += 2 * len(segments)
+    report.commit_fanout_messages = fanout
+
+    walls = getattr(scheduler, "walls", None)
+    if walls is not None and walls.released:
+        components = len(walls.released[0].components)
+        report.wall_broadcast_messages = components * len(walls.released)
+    return report

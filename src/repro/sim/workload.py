@@ -1,0 +1,155 @@
+"""Workload specification and generation for the simulator.
+
+A workload is a weighted mix of :class:`TransactionTemplate`\\ s.  Each
+template names a transaction profile of the partition (so HDD and SDD-1
+can classify it), whether it is read-only, and a recipe of segment-level
+operations; drawing from the workload instantiates the recipe into
+concrete granule operations using a seeded RNG, so every simulation run
+is reproducible.
+
+Granule selection supports a hotspot skew: ``skew=1`` is uniform,
+larger values concentrate accesses on low-numbered granules
+(``index = floor(n * u^skew)`` for uniform ``u`` — a cheap, dependency-
+free power-law-ish skew that is monotone in ``skew``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.partition import HierarchicalPartition
+from repro.errors import ReproError
+from repro.txn.transaction import GranuleId, SegmentId
+
+
+@dataclass(frozen=True)
+class Op:
+    """One concrete operation of a generated transaction.
+
+    Kinds: ``r`` (read), ``w`` (blind write of ``value``), ``m``
+    (read-modify-write: read the granule, add ``value`` as a delta, and
+    write the sum back).  RMW operations make the *final database
+    state* depend on the serialization the scheduler chose, which is
+    what the serial-replay oracle (:mod:`repro.sim.oracle`) exploits.
+    """
+
+    kind: str  # "r", "w" or "m"
+    granule: GranuleId
+    value: Optional[int] = None  # written value, or the RMW delta
+
+    def __str__(self) -> str:
+        if self.kind == "w":
+            return f"w({self.granule}={self.value})"
+        if self.kind == "m":
+            return f"m({self.granule}+={self.value})"
+        return f"r({self.granule})"
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """A fully instantiated transaction ready to run."""
+
+    template: str
+    profile: Optional[str]
+    read_only: bool
+    ops: tuple[Op, ...]
+
+
+@dataclass(frozen=True)
+class TransactionTemplate:
+    """A transaction type: profile + segment-level access recipe.
+
+    ``recipe`` is a sequence of ``(segment, kind)`` pairs executed in
+    order; each pair becomes one operation on a randomly chosen granule
+    of that segment.  ``weight`` sets the template's share of the mix.
+    """
+
+    name: str
+    profile: Optional[str]
+    recipe: tuple[tuple[SegmentId, str], ...]
+    read_only: bool = False
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        for segment, kind in self.recipe:
+            if kind not in ("r", "w", "m"):
+                raise ReproError(f"bad op kind {kind!r} in {self.name!r}")
+            if self.read_only and kind in ("w", "m"):
+                raise ReproError(
+                    f"read-only template {self.name!r} contains a write"
+                )
+
+
+@dataclass
+class Workload:
+    """A weighted template mix over a partition's granule space.
+
+    Parameters
+    ----------
+    partition:
+        Supplies granule naming and profile validation.
+    templates:
+        The transaction mix.
+    granules_per_segment:
+        Size of each segment's granule space.
+    skew:
+        Hotspot skew (1.0 = uniform).
+    """
+
+    partition: HierarchicalPartition
+    templates: Sequence[TransactionTemplate]
+    granules_per_segment: int = 32
+    skew: float = 1.0
+    _weights: list[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ReproError("workload needs at least one template")
+        if self.granules_per_segment < 1:
+            raise ReproError("granules_per_segment must be >= 1")
+        for template in self.templates:
+            if template.profile is not None:
+                declared = self.partition.profile(template.profile)
+                for segment, kind in template.recipe:
+                    allowed = (
+                        declared.writes
+                        if kind in ("w", "m")
+                        else declared.accesses
+                    )
+                    if segment not in allowed:
+                        raise ReproError(
+                            f"template {template.name!r} op ({segment}, "
+                            f"{kind}) not allowed by profile "
+                            f"{template.profile!r}"
+                        )
+        self._weights = [t.weight for t in self.templates]
+
+    def pick_granule(
+        self, rng: random.Random, segment: SegmentId
+    ) -> GranuleId:
+        u = rng.random()
+        index = int(self.granules_per_segment * (u ** self.skew))
+        index = min(index, self.granules_per_segment - 1)
+        return self.partition.granule(segment, f"g{index}")
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        """Draw one transaction from the mix."""
+        template = rng.choices(list(self.templates), weights=self._weights)[0]
+        ops = []
+        for segment, kind in template.recipe:
+            if kind == "w":
+                value: Optional[int] = rng.randrange(1_000_000)
+            elif kind == "m":
+                value = rng.randrange(1, 100)  # RMW delta
+            else:
+                value = None
+            ops.append(Op(kind, self.pick_granule(rng, segment), value=value))
+        ops = tuple(ops)
+        return TxnSpec(
+            template=template.name,
+            profile=template.profile,
+            read_only=template.read_only,
+            ops=ops,
+        )

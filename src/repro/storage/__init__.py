@@ -1,0 +1,14 @@
+"""Multi-version storage: versions, chains, the store, garbage collection."""
+
+from repro.storage.chain import VersionChain
+from repro.storage.gc import GCReport, WatermarkGC
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+
+__all__ = [
+    "Version",
+    "VersionChain",
+    "MultiVersionStore",
+    "WatermarkGC",
+    "GCReport",
+]

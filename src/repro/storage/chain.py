@@ -1,0 +1,195 @@
+"""Version chains: all versions of one granule, ordered by write timestamp.
+
+The chain is kept sorted by ``ts`` (the writer's initiation timestamp),
+which is the version order ``<<`` used throughout the library.  Write
+timestamps are unique per granule — two transactions never share an
+initiation timestamp — so the order is total.
+
+The chain answers the visibility questions the protocols ask:
+
+* Protocol A / C: *latest committed version with ``ts`` strictly below a
+  wall* (:meth:`VersionChain.latest_before`);
+* MVTO: *latest version at or below my timestamp, committed or not*
+  (:meth:`VersionChain.latest_at_or_before`);
+* MV2PL read-only snapshots: *latest version committed before a commit-
+  time bound* (:meth:`VersionChain.latest_committed_before_commit_ts`);
+* single-version engines: *the newest version* (:meth:`VersionChain.head`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.version import Version
+from repro.txn.clock import Timestamp
+from repro.txn.transaction import GranuleId
+
+
+class VersionChain:
+    """Sorted container of the versions of one granule."""
+
+    def __init__(self, granule: GranuleId, initial_value: object = 0) -> None:
+        self.granule = granule
+        self._versions: list[Version] = [Version.bootstrap(granule, initial_value)]
+        self._ts_index: list[Timestamp] = [self._versions[0].ts]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def install(self, version: Version) -> None:
+        """Insert a new version, keeping the chain sorted by ``ts``."""
+        if version.granule != self.granule:
+            raise StorageError(
+                f"version for {version.granule!r} installed into chain "
+                f"of {self.granule!r}"
+            )
+        position = bisect.bisect_left(self._ts_index, version.ts)
+        if (
+            position < len(self._ts_index)
+            and self._ts_index[position] == version.ts
+        ):
+            raise StorageError(
+                f"{self.granule}: version with ts {version.ts} already exists"
+            )
+        self._versions.insert(position, version)
+        self._ts_index.insert(position, version.ts)
+
+    def remove(self, ts: Timestamp) -> Version:
+        """Remove and return the version with timestamp ``ts`` (abort path)."""
+        position = self._find(ts)
+        if position is None:
+            raise StorageError(f"{self.granule}: no version with ts {ts}")
+        self._ts_index.pop(position)
+        return self._versions.pop(position)
+
+    def commit_version(self, ts: Timestamp, commit_ts: Timestamp) -> Version:
+        """Mark the version written at ``ts`` committed at ``commit_ts``."""
+        version = self.version_at(ts)
+        version.committed = True
+        version.commit_ts = commit_ts
+        return version
+
+    def prune_below(self, keep_from_ts: Timestamp) -> list[Version]:
+        """Garbage-collect versions no reader at or above ``keep_from_ts``
+        can see.
+
+        Readers are handed the newest version *strictly below* their
+        wall, so the snapshot base that must survive is
+        ``latest_before(keep_from_ts)`` — strict, matching the read
+        rule exactly (a watermark equal to a version's timestamp must
+        keep the version *below* it).  Everything committed and older
+        than that base is pruned and returned.
+        """
+        base = self.latest_before(keep_from_ts, committed_only=True)
+        if base is None:
+            return []
+        pruned = [
+            v
+            for v in self._versions
+            if v.committed and v.ts < base.ts
+        ]
+        if pruned:
+            keep = [v for v in self._versions if v not in pruned]
+            self._versions = keep
+            self._ts_index = [v.ts for v in keep]
+        return pruned
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def version_at(self, ts: Timestamp) -> Version:
+        position = self._find(ts)
+        if position is None:
+            raise StorageError(f"{self.granule}: no version with ts {ts}")
+        return self._versions[position]
+
+    def has_version(self, ts: Timestamp) -> bool:
+        return self._find(ts) is not None
+
+    def latest_before(
+        self, wall: Timestamp, committed_only: bool = True
+    ) -> Optional[Version]:
+        """Newest version with ``ts`` strictly below ``wall``.
+
+        This is the Protocol A / Protocol C visibility rule:
+        ``TS(d^0) = max TS(d^v)`` over ``TS(d^v) < wall``.
+        """
+        position = bisect.bisect_left(self._ts_index, wall) - 1
+        while position >= 0:
+            version = self._versions[position]
+            if not committed_only or version.committed:
+                return version
+            position -= 1
+        return None
+
+    def latest_at_or_before(
+        self, ts: Timestamp, committed_only: bool = False
+    ) -> Optional[Version]:
+        """Newest version with write timestamp ``<= ts`` (MVTO read rule)."""
+        return self.latest_before(ts + 1, committed_only=committed_only)
+
+    def latest_committed_before_commit_ts(
+        self, bound: Timestamp
+    ) -> Optional[Version]:
+        """Newest version with ``commit_ts < bound`` (MV2PL snapshot rule).
+
+        Versions commit in commit-timestamp order but the chain is
+        sorted by write timestamp, so this scans; chains are short in
+        practice (GC) and correctness beats micro-optimisation here.
+        """
+        best: Optional[Version] = None
+        for version in self._versions:
+            if not version.committed or version.commit_ts is None:
+                continue
+            if version.commit_ts >= bound:
+                continue
+            if best is None or version.commit_ts > best.commit_ts:  # type: ignore[operator]
+                best = version
+        return best
+
+    def head(self) -> Version:
+        """The newest version regardless of commit state."""
+        return self._versions[-1]
+
+    def latest_committed(self) -> Version:
+        for version in reversed(self._versions):
+            if version.committed:
+                return version
+        raise StorageError(f"{self.granule}: no committed version")
+
+    def next_after(self, ts: Timestamp) -> Optional[Version]:
+        """The immediate successor version of ``ts`` in version order."""
+        position = bisect.bisect_right(self._ts_index, ts)
+        if position < len(self._versions):
+            return self._versions[position]
+        return None
+
+    def committed_count_after(self, ts: Timestamp) -> int:
+        """How many committed versions are newer than ``ts``.
+
+        This is the *staleness* of a read that returned version ``ts``:
+        0 means the read was fresh, k means k committed updates were
+        already invisible to it.
+        """
+        position = bisect.bisect_right(self._ts_index, ts)
+        return sum(1 for v in self._versions[position:] if v.committed)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def _find(self, ts: Timestamp) -> Optional[int]:
+        position = bisect.bisect_left(self._ts_index, ts)
+        if (
+            position < len(self._ts_index)
+            and self._ts_index[position] == ts
+        ):
+            return position
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VersionChain({self.granule}, {self._versions!r})"

@@ -1,0 +1,79 @@
+"""Versions of data granules.
+
+A *data granule* is the smallest unit of access the concurrency-control
+component cares about (paper, Section 4.0 notation).  Every write
+creates a new :class:`Version` stamped with the writer's initiation
+timestamp — ``TS(d^v)`` in the paper.  Versions additionally carry:
+
+* a ``committed`` flag and a ``commit_ts`` — multi-version 2PL reads
+  snapshots by *commit* time, while HDD and MVTO reason about
+  *initiation* time; storing both keeps one storage engine shared by
+  all schedulers;
+* a read timestamp ``rts`` — the registration that Protocol A is
+  designed to avoid.  Schedulers that must register reads (TO, MVTO,
+  Protocol B) bump it; the metrics layer counts those bumps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.txn.clock import BOOTSTRAP_TS, BOOTSTRAP_TXN_ID, Timestamp
+from repro.txn.transaction import GranuleId
+
+
+class Version:
+    """One version ``d^v`` of a granule ``d``."""
+
+    __slots__ = (
+        "granule",
+        "ts",
+        "value",
+        "writer_id",
+        "committed",
+        "commit_ts",
+        "rts",
+    )
+
+    def __init__(
+        self,
+        granule: GranuleId,
+        ts: Timestamp,
+        value: object,
+        writer_id: int,
+        committed: bool = False,
+        commit_ts: Optional[Timestamp] = None,
+    ) -> None:
+        self.granule = granule
+        self.ts = ts
+        self.value = value
+        self.writer_id = writer_id
+        self.committed = committed
+        self.commit_ts = commit_ts
+        #: Largest initiation timestamp among registered readers of this
+        #: version; ``None`` until somebody registers a read.
+        self.rts: Optional[Timestamp] = None
+
+    @classmethod
+    def bootstrap(cls, granule: GranuleId, value: object) -> "Version":
+        """The initial version every granule starts with (ts 0, committed)."""
+        return cls(
+            granule,
+            BOOTSTRAP_TS,
+            value,
+            writer_id=BOOTSTRAP_TXN_ID,
+            committed=True,
+            commit_ts=BOOTSTRAP_TS,
+        )
+
+    def register_read(self, reader_ts: Timestamp) -> None:
+        """Record a read timestamp (the overhead HDD avoids)."""
+        if self.rts is None or reader_ts > self.rts:
+            self.rts = reader_ts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "C" if self.committed else "U"
+        return (
+            f"Version({self.granule}^{self.ts}={self.value!r}, "
+            f"w=t{self.writer_id}, {state}, rts={self.rts})"
+        )

@@ -1,0 +1,45 @@
+"""Transactions, logical time, schedules and the serializability oracle."""
+
+from repro.txn.clock import (
+    BOOTSTRAP_TS,
+    BOOTSTRAP_TXN_ID,
+    EPSILON,
+    LogicalClock,
+    Timestamp,
+)
+from repro.txn.depgraph import (
+    Dependency,
+    build_dependency_graph,
+    find_dependency_cycle,
+    is_serializable,
+    serialization_order,
+)
+from repro.txn.schedule import Action, Schedule, Step
+from repro.txn.transaction import (
+    GranuleId,
+    SegmentId,
+    Transaction,
+    TransactionKind,
+    TransactionStatus,
+)
+
+__all__ = [
+    "BOOTSTRAP_TS",
+    "BOOTSTRAP_TXN_ID",
+    "EPSILON",
+    "LogicalClock",
+    "Timestamp",
+    "Dependency",
+    "build_dependency_graph",
+    "find_dependency_cycle",
+    "is_serializable",
+    "serialization_order",
+    "Action",
+    "Schedule",
+    "Step",
+    "GranuleId",
+    "SegmentId",
+    "Transaction",
+    "TransactionKind",
+    "TransactionStatus",
+]

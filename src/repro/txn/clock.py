@@ -1,0 +1,62 @@
+"""Logical time for the HDD reproduction.
+
+The paper's algorithms only rely on a total order over transaction
+initiation and commit events; wall-clock time is never needed.  We use a
+strictly monotonic integer clock so that every experiment is fully
+deterministic and the paper's ``m - epsilon`` arguments become ``m - 1``.
+
+Timestamps are plain ``int`` values.  ``0`` is reserved for the bootstrap
+transaction that installs the initial version of every granule, so real
+transactions always observe timestamps ``>= 1``.
+"""
+
+from __future__ import annotations
+
+Timestamp = int
+
+#: Timestamp of the bootstrap transaction that writes initial versions.
+BOOTSTRAP_TS: Timestamp = 0
+
+#: Transaction id of the bootstrap writer.
+BOOTSTRAP_TXN_ID: int = 0
+
+#: Smallest representable increment; the paper's ``epsilon``.
+EPSILON: Timestamp = 1
+
+
+class LogicalClock:
+    """A strictly monotonic integer clock.
+
+    Every call to :meth:`tick` returns a fresh, strictly larger
+    timestamp.  :attr:`now` peeks at the latest issued value without
+    advancing.  The clock can be advanced past a known time with
+    :meth:`advance_to`, which the simulator uses to model think time.
+    """
+
+    def __init__(self, start: Timestamp = BOOTSTRAP_TS) -> None:
+        if start < BOOTSTRAP_TS:
+            raise ValueError(f"clock cannot start before {BOOTSTRAP_TS}")
+        self._now: Timestamp = start
+
+    @property
+    def now(self) -> Timestamp:
+        """The most recently issued timestamp."""
+        return self._now
+
+    def tick(self) -> Timestamp:
+        """Advance the clock by one and return the new timestamp."""
+        self._now += 1
+        return self._now
+
+    def advance_to(self, timestamp: Timestamp) -> Timestamp:
+        """Move the clock forward to at least ``timestamp``.
+
+        Moving backwards is a no-op: the clock never regresses.
+        Returns the (possibly unchanged) current time.
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now})"

@@ -1,0 +1,168 @@
+"""Transaction objects and their lifecycle.
+
+A :class:`Transaction` is a passive record: schedulers mutate its status
+and bookkeeping while the driver (a test, an example, or the simulator)
+issues its reads and writes.  The lifecycle is::
+
+    ACTIVE --commit()--> COMMITTED
+    ACTIVE --abort()---> ABORTED
+
+The paper's notation maps onto attributes as follows:
+
+* ``I(t)``  -> :attr:`Transaction.initiation_ts` (assigned at begin)
+* ``C(t)``  -> :attr:`Transaction.commit_ts` (assigned at commit)
+* ``w(t)``  -> :attr:`Transaction.write_set`
+* ``r(t)``  -> :attr:`Transaction.read_set`
+* ``a(t)``  -> :meth:`Transaction.access_set`
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import InvalidTransactionState
+from repro.txn.clock import Timestamp
+
+GranuleId = str
+SegmentId = str
+
+
+class TransactionStatus(enum.Enum):
+    """The three terminal-or-not states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionKind(enum.Enum):
+    """Update vs read-only, the distinction Section 5 revolves around."""
+
+    UPDATE = "update"
+    READ_ONLY = "read_only"
+
+
+class Transaction:
+    """One client transaction as seen by a scheduler.
+
+    Parameters
+    ----------
+    txn_id:
+        Unique id assigned by the scheduler.
+    initiation_ts:
+        ``I(t)``, the logical initiation timestamp.
+    kind:
+        Update or read-only.
+    class_id:
+        For HDD update transactions, the transaction class (== the root
+        segment it writes).  ``None`` for read-only transactions and for
+        baselines that do not classify transactions.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        initiation_ts: Timestamp,
+        kind: TransactionKind = TransactionKind.UPDATE,
+        class_id: Optional[SegmentId] = None,
+    ) -> None:
+        self.txn_id = txn_id
+        self.initiation_ts = initiation_ts
+        self.kind = kind
+        self.class_id = class_id
+        self.status = TransactionStatus.ACTIVE
+        self.commit_ts: Optional[Timestamp] = None
+        self.abort_ts: Optional[Timestamp] = None
+        self.abort_reason: Optional[str] = None
+        self.read_set: set[GranuleId] = set()
+        self.write_set: set[GranuleId] = set()
+        #: Private workspace: granule -> value written (pre-commit image).
+        self.workspace: dict[GranuleId, object] = {}
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self.status is TransactionStatus.ACTIVE
+
+    @property
+    def is_committed(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self.status is TransactionStatus.ABORTED
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.kind is TransactionKind.READ_ONLY
+
+    @property
+    def end_ts(self) -> Optional[Timestamp]:
+        """Commit or abort time; ``None`` while active.
+
+        The activity-link machinery treats a transaction as *active at
+        m* iff ``initiation_ts < m < end_ts`` (paper Section 4.1, with
+        abort folded in as discussed in DESIGN.md).
+        """
+        if self.is_committed:
+            return self.commit_ts
+        if self.is_aborted:
+            return self.abort_ts
+        return None
+
+    def active_at(self, at_time: Timestamp) -> bool:
+        """Was this transaction active (uncommitted, un-aborted) at ``at_time``?"""
+        if self.initiation_ts >= at_time:
+            return False
+        end = self.end_ts
+        return end is None or end > at_time
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions (called by schedulers only)
+    # ------------------------------------------------------------------
+    def record_read(self, granule: GranuleId) -> None:
+        self._require_active("read")
+        self.read_set.add(granule)
+
+    def record_write(self, granule: GranuleId, value: object) -> None:
+        self._require_active("write")
+        self.write_set.add(granule)
+        self.workspace[granule] = value
+
+    def mark_committed(self, commit_ts: Timestamp) -> None:
+        self._require_active("commit")
+        if commit_ts <= self.initiation_ts:
+            raise InvalidTransactionState(
+                f"txn {self.txn_id}: commit ts {commit_ts} <= initiation "
+                f"ts {self.initiation_ts}"
+            )
+        self.status = TransactionStatus.COMMITTED
+        self.commit_ts = commit_ts
+
+    def mark_aborted(self, abort_ts: Timestamp, reason: str) -> None:
+        if self.is_aborted:
+            return  # idempotent: cascades may hit a transaction twice
+        self._require_active("abort")
+        self.status = TransactionStatus.ABORTED
+        self.abort_ts = abort_ts
+        self.abort_reason = reason
+
+    def access_set(self) -> set[GranuleId]:
+        """``a(t) = r(t) U w(t)`` from Section 3.2."""
+        return self.read_set | self.write_set
+
+    def _require_active(self, action: str) -> None:
+        if not self.is_active:
+            raise InvalidTransactionState(
+                f"cannot {action}: txn {self.txn_id} is {self.status.value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(id={self.txn_id}, I={self.initiation_ts}, "
+            f"kind={self.kind.value}, class={self.class_id}, "
+            f"status={self.status.value})"
+        )

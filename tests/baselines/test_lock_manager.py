@@ -1,0 +1,135 @@
+"""Tests for the S/X lock manager."""
+
+from repro.baselines.lock_manager import LockManager, LockMode, LockResult
+
+
+class TestBasicModes:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, "g", LockMode.SHARED) is LockResult.GRANTED
+        assert lm.acquire(2, "g", LockMode.SHARED) is LockResult.GRANTED
+        assert set(lm.holders("g")) == {1, 2}
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.EXCLUSIVE)
+        assert lm.acquire(2, "g", LockMode.SHARED) is LockResult.BLOCKED
+        assert lm.waiting("g") == [2]
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.SHARED)
+        assert lm.acquire(2, "g", LockMode.EXCLUSIVE) is LockResult.BLOCKED
+
+    def test_reacquire_held_lock_idempotent(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.SHARED)
+        assert lm.acquire(1, "g", LockMode.SHARED) is LockResult.GRANTED
+
+    def test_exclusive_covers_shared(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "g", LockMode.SHARED) is LockResult.GRANTED
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.SHARED)
+        assert lm.acquire(1, "g", LockMode.EXCLUSIVE) is LockResult.GRANTED
+        assert lm.holders("g") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.SHARED)
+        lm.acquire(2, "g", LockMode.SHARED)
+        assert lm.acquire(1, "g", LockMode.EXCLUSIVE) is LockResult.BLOCKED
+        # After 2 releases, pumping grants the upgrade.
+        woken = lm.release_all(2)
+        assert 1 in woken
+        assert lm.holders("g") == {1: LockMode.EXCLUSIVE}
+
+
+class TestRelease:
+    def test_release_grants_fifo(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.EXCLUSIVE)
+        lm.acquire(2, "g", LockMode.EXCLUSIVE)
+        lm.acquire(3, "g", LockMode.SHARED)
+        woken = lm.release_all(1)
+        assert woken == {2}
+        assert lm.holders("g") == {2: LockMode.EXCLUSIVE}
+        woken = lm.release_all(2)
+        assert woken == {3}
+
+    def test_release_grants_shared_batch(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.EXCLUSIVE)
+        lm.acquire(2, "g", LockMode.SHARED)
+        lm.acquire(3, "g", LockMode.SHARED)
+        woken = lm.release_all(1)
+        assert woken == {2, 3}
+        assert set(lm.holders("g")) == {2, 3}
+
+    def test_fairness_shared_does_not_overtake_queued_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.SHARED)
+        lm.acquire(2, "g", LockMode.EXCLUSIVE)  # queued
+        assert lm.acquire(3, "g", LockMode.SHARED) is LockResult.BLOCKED
+
+    def test_release_removes_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "g", LockMode.EXCLUSIVE)
+        lm.acquire(2, "g", LockMode.EXCLUSIVE)
+        lm.release_all(2)  # waiter aborts
+        assert lm.waiting("g") == []
+        woken = lm.release_all(1)
+        assert woken == set()
+
+    def test_locks_held_by(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.SHARED)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert lm.locks_held_by(1) == {"a", "b"}
+        lm.release_all(1)
+        assert lm.locks_held_by(1) == set()
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "b", LockMode.EXCLUSIVE) is LockResult.BLOCKED
+        # 2 -> a would close the cycle 2 -> 1 -> 2.
+        assert lm.acquire(2, "a", LockMode.EXCLUSIVE) is LockResult.DEADLOCK
+
+    def test_three_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.acquire(3, "c", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "b", LockMode.EXCLUSIVE) is LockResult.BLOCKED
+        assert lm.acquire(2, "c", LockMode.EXCLUSIVE) is LockResult.BLOCKED
+        assert lm.acquire(3, "a", LockMode.EXCLUSIVE) is LockResult.DEADLOCK
+
+    def test_shared_shared_no_false_deadlock(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.SHARED)
+        lm.acquire(2, "a", LockMode.SHARED)
+        lm.acquire(3, "b", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "b", LockMode.SHARED) is LockResult.BLOCKED
+        # 3 asking shared on a is compatible: no block, no deadlock.
+        assert lm.acquire(3, "a", LockMode.SHARED) is LockResult.GRANTED
+
+    def test_victim_not_left_in_queue(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        lm.acquire(2, "a", LockMode.EXCLUSIVE)  # deadlock, 2 is victim
+        assert lm.waiting("a") == []
+        # 2 releases its locks (abort); 1 gets b.
+        woken = lm.release_all(2)
+        assert 1 in woken
+        assert lm.holders("b") == {1: LockMode.EXCLUSIVE}

@@ -1,0 +1,73 @@
+"""Tests for the MV2PL baseline (Figure 10's third column)."""
+
+from repro.baselines.mv2pl import MultiversionTwoPhaseLocking
+from repro.errors import ProtocolViolation
+from repro.txn.depgraph import is_serializable
+
+import pytest
+
+
+class TestUpdatePath:
+    def test_updates_use_2pl(self):
+        s = MultiversionTwoPhaseLocking()
+        w = s.begin()
+        s.write(w, "d", 5)
+        r = s.begin()
+        assert s.read(r, "d").blocked  # update readers lock
+
+    def test_update_reads_register(self):
+        s = MultiversionTwoPhaseLocking()
+        t = s.begin()
+        s.read(t, "d")
+        assert s.stats.read_registrations == 1
+
+
+class TestReadOnlyPath:
+    def test_snapshot_read_never_blocks(self):
+        s = MultiversionTwoPhaseLocking()
+        w = s.begin()
+        s.write(w, "d", 5)  # X lock held
+        ro = s.begin(read_only=True)
+        outcome = s.read(ro, "d")
+        assert outcome.granted
+        assert outcome.value == 0  # snapshot before the writer committed
+        assert s.stats.read_registrations == 0
+        assert s.stats.unregistered_reads == 1
+
+    def test_snapshot_is_by_commit_time(self):
+        s = MultiversionTwoPhaseLocking()
+        w = s.begin()
+        s.write(w, "d", 5)
+        s.commit(w)
+        ro = s.begin(read_only=True)  # begins after commit
+        assert s.read(ro, "d").value == 5
+
+    def test_snapshot_excludes_later_commits(self):
+        s = MultiversionTwoPhaseLocking()
+        ro = s.begin(read_only=True)
+        w = s.begin()
+        s.write(w, "d", 5)
+        s.commit(w)
+        assert s.read(ro, "d").value == 0
+
+    def test_snapshot_consistent_across_granules(self):
+        s = MultiversionTwoPhaseLocking()
+        w1 = s.begin()
+        s.write(w1, "a", 1)
+        s.write(w1, "b", 1)
+        s.commit(w1)
+        ro = s.begin(read_only=True)
+        w2 = s.begin()
+        s.write(w2, "a", 2)
+        s.write(w2, "b", 2)
+        s.commit(w2)
+        assert s.read(ro, "a").value == 1
+        assert s.read(ro, "b").value == 1
+        s.commit(ro)
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_read_only_write_rejected(self):
+        s = MultiversionTwoPhaseLocking()
+        ro = s.begin(read_only=True)
+        with pytest.raises(ProtocolViolation):
+            s.write(ro, "d", 1)

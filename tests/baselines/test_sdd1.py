@@ -1,0 +1,110 @@
+"""Tests for the SDD-1-style pipelining baseline."""
+
+import pytest
+
+from repro.baselines.sdd1 import SDD1Pipelining
+from repro.errors import ProtocolViolation
+from repro.txn.depgraph import is_serializable
+
+
+class TestDeclaration:
+    def test_profile_required(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        with pytest.raises(ProtocolViolation):
+            s.begin()
+
+    def test_read_only_flag_must_match(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        with pytest.raises(ProtocolViolation):
+            s.begin(profile="report")  # read-only profile as update
+        with pytest.raises(ProtocolViolation):
+            s.begin(profile="type1_log_event", read_only=True)
+
+    def test_undeclared_access_rejected(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        t = s.begin(profile="type1_log_event")
+        with pytest.raises(ProtocolViolation):
+            s.read(t, "inventory:i1")
+        with pytest.raises(ProtocolViolation):
+            s.write(t, "inventory:i1", 1)
+
+
+class TestPipelining:
+    def test_class_mates_serialized(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        first = s.begin(profile="type1_log_event")
+        second = s.begin(profile="type1_log_event")
+        outcome = s.write(second, "events:e1", 1)
+        assert outcome.blocked
+        assert outcome.waiting_for == first.txn_id
+        s.write(first, "events:e2", 2)
+        s.commit(first)
+        assert s.write(second, "events:e1", 1).granted
+
+    def test_conflicting_class_blocks_read(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        writer = s.begin(profile="type1_log_event")  # writes events
+        reader = s.begin(profile="type2_post_inventory")  # reads events
+        outcome = s.read(reader, "events:e1")
+        assert outcome.blocked
+        assert s.stats.read_blocks == 1
+        s.write(writer, "events:e1", 7)
+        s.commit(writer)
+        assert s.read(reader, "events:e1").value == 7
+
+    def test_non_conflicting_classes_concurrent(self, fork_partition):
+        s = SDD1Pipelining(fork_partition)
+        left = s.begin(profile="w_left")
+        right = s.begin(profile="w_right")
+        # left/right only conflict through top, untouched here.
+        assert s.write(left, "left:g", 1).granted
+        assert s.write(right, "right:g", 2).granted
+        assert s.commit(left).granted
+        assert s.commit(right).granted
+
+    def test_younger_never_blocks_older(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        older = s.begin(profile="type2_post_inventory")
+        s.begin(profile="type1_log_event")  # younger, conflicting
+        assert s.read(older, "events:e1").granted
+
+    def test_no_read_registration(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        t = s.begin(profile="type2_post_inventory")
+        s.read(t, "events:e1")
+        assert s.stats.read_registrations == 0
+        assert s.stats.unregistered_reads == 1
+
+    def test_read_only_pipelines_too(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        writer = s.begin(profile="type1_log_event")
+        ro = s.begin(profile="report", read_only=True)
+        assert s.read(ro, "events:e1").blocked  # no special handling
+        s.write(writer, "events:e1", 1)
+        s.commit(writer)
+        assert s.read(ro, "events:e1").value == 1
+
+    def test_serializable_execution(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        t1 = s.begin(profile="type1_log_event")
+        s.write(t1, "events:e1", 5)
+        s.commit(t1)
+        t2 = s.begin(profile="type2_post_inventory")
+        assert s.read(t2, "events:e1").value == 5
+        s.write(t2, "inventory:i1", 50)
+        s.commit(t2)
+        ro = s.begin(profile="report", read_only=True)
+        assert s.read(ro, "inventory:i1").value == 50
+        s.commit(ro)
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_abort_unblocks_pipeline(self, inventory_partition):
+        s = SDD1Pipelining(inventory_partition)
+        first = s.begin(profile="type1_log_event")
+        s.write(first, "events:e1", 1)
+        second = s.begin(profile="type1_log_event")
+        assert s.write(second, "events:e2", 2).blocked
+        s.abort(first, "user")
+        assert s.write(second, "events:e2", 2).granted
+        # first's version expunged.
+        assert len(s.store.chain("events:e1")) == 1

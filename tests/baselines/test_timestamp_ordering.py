@@ -1,0 +1,146 @@
+"""Tests for the basic TO and MVTO baselines."""
+
+from repro.baselines.mvto import MultiversionTimestampOrdering
+from repro.baselines.timestamp_ordering import TimestampOrdering
+from repro.txn.depgraph import is_serializable
+
+
+class TestBasicTO:
+    def test_in_order_operations_granted(self):
+        s = TimestampOrdering()
+        t1 = s.begin()
+        s.write(t1, "d", 1)
+        s.commit(t1)
+        t2 = s.begin()
+        assert s.read(t2, "d").value == 1
+        s.write(t2, "d", 2)
+        assert s.commit(t2).granted
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_late_read_rejected(self):
+        s = TimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.write(young, "d", 9)
+        s.commit(young)
+        outcome = s.read(old, "d")
+        assert outcome.aborted
+        assert old.is_aborted
+        assert s.stats.read_rejections == 1
+
+    def test_late_write_rejected_by_read_timestamp(self):
+        s = TimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.read(young, "d")  # rts = I(young)
+        outcome = s.write(old, "d", 1)
+        assert outcome.aborted
+        assert s.stats.write_rejections == 1
+
+    def test_late_write_rejected_by_newer_version(self):
+        s = TimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.write(young, "d", 9)
+        s.commit(young)
+        assert s.write(old, "d", 1).aborted
+
+    def test_reader_waits_for_uncommitted_head(self):
+        s = TimestampOrdering()
+        w = s.begin()
+        s.write(w, "d", 9)
+        r = s.begin()
+        outcome = s.read(r, "d")
+        assert outcome.blocked
+        assert outcome.waiting_for == w.txn_id
+        s.commit(w)
+        assert s.read(r, "d").value == 9
+
+    def test_abort_rolls_back_and_unblocks(self):
+        s = TimestampOrdering()
+        w = s.begin()
+        s.write(w, "d", 9)
+        r = s.begin()
+        assert s.read(r, "d").blocked
+        s.abort(w, "user")
+        assert s.read(r, "d").value == 0
+
+    def test_registration_counted(self):
+        s = TimestampOrdering()
+        t = s.begin()
+        s.read(t, "d")
+        assert s.stats.read_registrations == 1
+
+    def test_unsafe_mode_leaves_no_timestamp(self):
+        s = TimestampOrdering(register_reads=False)
+        t = s.begin()
+        s.read(t, "d")
+        assert s.stats.read_registrations == 0
+        assert s.store.chain("d").head().rts is None
+
+
+class TestMVTO:
+    def test_old_reader_falls_back_to_old_version(self):
+        s = MultiversionTimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.write(young, "d", 9)
+        s.commit(young)
+        outcome = s.read(old, "d")
+        assert outcome.granted and outcome.value == 0
+        assert s.stats.read_rejections == 0
+
+    def test_write_between_read_and_reader_rejected(self):
+        s = MultiversionTimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.read(young, "d")  # reads d^0, rts = I(young)
+        outcome = s.write(old, "d", 1)  # would insert between 0 and reader
+        assert outcome.aborted
+
+    def test_write_above_registered_read_allowed(self):
+        s = MultiversionTimestampOrdering()
+        old = s.begin()
+        young = s.begin()
+        s.read(old, "d")  # rts = I(old) < I(young)
+        assert s.write(young, "d", 5).granted
+        s.commit(young)
+        assert s.commit(old).granted
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_reader_blocks_on_uncommitted_version(self):
+        s = MultiversionTimestampOrdering()
+        w = s.begin()
+        s.write(w, "d", 9)
+        r = s.begin()
+        assert s.read(r, "d").blocked
+        s.commit(w)
+        assert s.read(r, "d").value == 9
+
+    def test_interleaved_writers_keep_version_order(self):
+        s = MultiversionTimestampOrdering()
+        t1 = s.begin()
+        t2 = s.begin()
+        s.write(t2, "d", 20)
+        s.write(t1, "d", 10)  # installs BELOW t2's version
+        s.commit(t1)
+        s.commit(t2)
+        assert [v.value for v in s.store.chain("d")] == [0, 10, 20]
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_serializable_under_contention(self):
+        s = MultiversionTimestampOrdering()
+        txns = [s.begin() for _ in range(4)]
+        granted = 0
+        for i, t in enumerate(txns):
+            if not t.is_active:
+                continue
+            outcome = s.read(t, "hot")
+            if outcome.granted:
+                outcome = s.write(t, "hot", i)
+            if outcome.granted:
+                granted += 1
+        for t in txns:
+            if t.is_active:
+                s.commit(t)
+        assert is_serializable(s.schedule, mode="mvsg")

@@ -1,0 +1,114 @@
+"""Tests for the wound-wait deadlock-prevention policy."""
+
+import pytest
+
+from repro.baselines.lock_manager import LockManager, LockMode, LockResult
+from repro.baselines.two_phase_locking import TwoPhaseLocking
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.txn.depgraph import is_serializable
+
+
+class TestLockManagerPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LockManager(policy="nope")
+
+    def test_requires_timestamp(self):
+        lm = LockManager(policy="wound-wait")
+        lm.acquire(1, "g", LockMode.EXCLUSIVE, ts=10)
+        with pytest.raises(ValueError):
+            lm.acquire(2, "g", LockMode.EXCLUSIVE)  # no ts
+
+    def test_older_wounds_younger_holder(self):
+        lm = LockManager(policy="wound-wait")
+        assert lm.acquire(2, "g", LockMode.EXCLUSIVE, ts=20) is LockResult.GRANTED
+        result = lm.acquire(1, "g", LockMode.EXCLUSIVE, ts=10)
+        assert result is LockResult.BLOCKED  # waits while the victim dies
+        assert lm.take_wounded() == {2}
+        assert lm.take_wounded() == set()  # drained
+
+    def test_younger_waits_without_wounding(self):
+        lm = LockManager(policy="wound-wait")
+        lm.acquire(1, "g", LockMode.EXCLUSIVE, ts=10)
+        assert lm.acquire(2, "g", LockMode.EXCLUSIVE, ts=20) is LockResult.BLOCKED
+        assert lm.take_wounded() == set()
+
+    def test_compatible_holders_not_wounded(self):
+        lm = LockManager(policy="wound-wait")
+        lm.acquire(2, "g", LockMode.SHARED, ts=20)
+        assert lm.acquire(1, "g", LockMode.SHARED, ts=10) is LockResult.GRANTED
+        assert lm.take_wounded() == set()
+
+    def test_release_clears_timestamp_and_wounds(self):
+        lm = LockManager(policy="wound-wait")
+        lm.acquire(2, "g", LockMode.EXCLUSIVE, ts=20)
+        lm.acquire(1, "g", LockMode.EXCLUSIVE, ts=10)
+        lm.release_all(2)
+        assert lm.take_wounded() == set()  # victim already gone
+        assert lm.holders("g") == {1: LockMode.EXCLUSIVE}
+
+
+class TestWoundWait2PL:
+    def test_classic_deadlock_prevented(self):
+        """The crossing pattern that deadlocks under detection resolves
+        by wounding: the older transaction wins."""
+        s = TwoPhaseLocking(deadlock_policy="wound-wait")
+        older, younger = s.begin(), s.begin()
+        s.write(older, "a", 1)
+        s.write(younger, "b", 2)
+        outcome = s.write(older, "b", 3)  # older wounds younger
+        assert outcome.blocked
+        assert younger.is_aborted
+        assert s.stats.deadlock_aborts == 1
+        # The lock was freed by the wound; the retry goes through.
+        assert s.write(older, "b", 3).granted
+        assert s.commit(older).granted
+
+    def test_younger_requester_just_waits(self):
+        s = TwoPhaseLocking(deadlock_policy="wound-wait")
+        older, younger = s.begin(), s.begin()
+        s.write(older, "a", 1)
+        assert s.write(younger, "a", 2).blocked
+        assert not younger.is_aborted
+        s.commit(older)
+        assert s.write(younger, "a", 2).granted
+
+    def test_simulated_mix_serializable(self):
+        partition = build_inventory_partition()
+        scheduler = TwoPhaseLocking(deadlock_policy="wound-wait")
+        workload = build_inventory_workload(partition, granules_per_segment=6)
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=8,
+            seed=19,
+            target_commits=300,
+            max_steps=200_000,
+            audit=True,
+        ).run()
+        assert result.commits >= 300
+        assert is_serializable(scheduler.schedule, mode="mvsg")
+
+    def test_policies_trade_aborts(self):
+        """Wound-wait aborts preemptively; detection only on real
+        cycles — under the same contention, wound-wait kills at least
+        as many transactions."""
+
+        def aborts(policy):
+            partition = build_inventory_partition()
+            scheduler = TwoPhaseLocking(deadlock_policy=policy)
+            workload = build_inventory_workload(
+                partition, granules_per_segment=3, skew=2.5
+            )
+            Simulator(
+                scheduler,
+                workload,
+                clients=10,
+                seed=19,
+                target_commits=300,
+                max_steps=200_000,
+            ).run()
+            return scheduler.stats.deadlock_aborts
+
+        assert aborts("wound-wait") >= aborts("detect")

@@ -1,0 +1,129 @@
+"""Shared fixtures and the scripted-interleaving driver used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HierarchicalPartition, TransactionProfile
+from repro.scheduling import BaseScheduler, Outcome
+from repro.sim.inventory import build_inventory_partition
+from repro.txn.transaction import Transaction
+
+
+@pytest.fixture
+def inventory_partition() -> HierarchicalPartition:
+    """The paper's Figure 2 schema (events <- inventory <- orders)."""
+    return build_inventory_partition()
+
+
+@pytest.fixture
+def chain3_partition() -> HierarchicalPartition:
+    """A minimal 3-level chain: top <- mid <- bottom."""
+    return HierarchicalPartition(
+        segments=["top", "mid", "bottom"],
+        profiles=[
+            TransactionProfile.update("w_top", writes=["top"], reads=["top"]),
+            TransactionProfile.update(
+                "w_mid", writes=["mid"], reads=["top", "mid"]
+            ),
+            TransactionProfile.update(
+                "w_bottom", writes=["bottom"], reads=["top", "mid", "bottom"]
+            ),
+            TransactionProfile.read_only("scan", reads=["top", "mid", "bottom"]),
+        ],
+    )
+
+
+@pytest.fixture
+def fork_partition() -> HierarchicalPartition:
+    """A semi-tree with a fork: two lower classes reading one top.
+
+    ``left`` and ``right`` both read ``top``; they are NOT on one
+    critical path with each other — the shape Protocol C exists for.
+    """
+    return HierarchicalPartition(
+        segments=["top", "left", "right"],
+        profiles=[
+            TransactionProfile.update("w_top", writes=["top"]),
+            TransactionProfile.update(
+                "w_left", writes=["left"], reads=["top", "left"]
+            ),
+            TransactionProfile.update(
+                "w_right", writes=["right"], reads=["top", "right"]
+            ),
+            TransactionProfile.read_only("cross", reads=["left", "right"]),
+        ],
+    )
+
+
+class ScriptDriver:
+    """Run a scripted interleaving against one scheduler.
+
+    Transactions are named; commands are tuples:
+
+    * ``("begin", name)`` / ``("begin", name, profile)`` /
+      ``("begin", name, profile, "ro")``
+    * ``("r", name, granule)``
+    * ``("w", name, granule, value)``
+    * ``("c", name)``
+    * ``("a", name, reason)``
+
+    Outcomes are collected in order; :meth:`run` asserts every outcome
+    is granted unless the command is wrapped via :func:`expect`.
+    """
+
+    def __init__(self, scheduler: BaseScheduler) -> None:
+        self.scheduler = scheduler
+        self.txns: dict[str, Transaction] = {}
+        self.outcomes: list[Outcome] = []
+        self.values: dict[tuple[str, str], object] = {}
+
+    def execute(self, command: tuple) -> Outcome | None:
+        kind, name = command[0], command[1]
+        if kind == "begin":
+            profile = command[2] if len(command) > 2 else None
+            read_only = len(command) > 3 and command[3] == "ro"
+            self.txns[name] = self.scheduler.begin(
+                profile=profile, read_only=read_only
+            )
+            return None
+        txn = self.txns[name]
+        if kind == "r":
+            outcome = self.scheduler.read(txn, command[2])
+            if outcome.granted:
+                self.values[(name, command[2])] = outcome.value
+        elif kind == "w":
+            outcome = self.scheduler.write(txn, command[2], command[3])
+        elif kind == "c":
+            outcome = self.scheduler.commit(txn)
+        elif kind == "a":
+            self.scheduler.abort(txn, command[2] if len(command) > 2 else "test")
+            return None
+        else:
+            raise ValueError(f"unknown command {command!r}")
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run(self, script: list[tuple], expect_granted: bool = True):
+        results = []
+        for command in script:
+            outcome = self.execute(command)
+            if (
+                expect_granted
+                and outcome is not None
+                and not outcome.granted
+            ):
+                raise AssertionError(
+                    f"command {command!r} was not granted: {outcome}"
+                )
+            results.append(outcome)
+        return results
+
+    def value(self, txn_name: str, granule: str) -> object:
+        return self.values[(txn_name, granule)]
+
+
+@pytest.fixture
+def driver():
+    """Factory for :class:`ScriptDriver`."""
+    return ScriptDriver

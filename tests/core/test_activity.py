@@ -1,0 +1,269 @@
+"""Tests for activity logs and the activity link functions (§4.1, §5.1)."""
+
+import pytest
+
+from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.errors import NotComputableError, ReproError
+
+
+def brute_i_old(records, m):
+    """Reference: min start among records active at m, else m."""
+    active = [
+        start
+        for _, start, end in records
+        if start < m and (end is None or end > m)
+    ]
+    return min(active) if active else m
+
+
+def brute_c_late(records, m):
+    active = [
+        (start, end)
+        for _, start, end in records
+        if start < m and (end is None or end > m)
+    ]
+    if any(end is None for _, end in active):
+        raise NotComputableError("open interval")
+    ends = [end for _, end in active]
+    return max(ends) if ends else m
+
+
+def log_from(intervals) -> ClassActivityLog:
+    """Build a log from (txn_id, start, end-or-None) tuples."""
+    log = ClassActivityLog("T")
+    for txn_id, start, _ in intervals:
+        log.record_begin(txn_id, start)
+    for txn_id, _, end in intervals:
+        if end is not None:
+            log.record_end(txn_id, end)
+    return log
+
+
+class TestClassActivityLog:
+    INTERVALS = [(1, 2, 9), (2, 5, 7), (3, 10, None), (4, 12, 14)]
+
+    @pytest.mark.parametrize("m", range(0, 20))
+    def test_i_old_matches_brute_force(self, m):
+        log = log_from(self.INTERVALS)
+        assert log.i_old(m) == brute_i_old(self.INTERVALS, m)
+
+    @pytest.mark.parametrize("m", range(0, 20))
+    def test_c_late_matches_brute_force(self, m):
+        log = log_from(self.INTERVALS)
+        try:
+            expected = brute_c_late(self.INTERVALS, m)
+        except NotComputableError:
+            with pytest.raises(NotComputableError):
+                log.c_late(m)
+            assert not log.c_late_computable(m)
+        else:
+            assert log.c_late(m) == expected
+            assert log.c_late_computable(m)
+
+    def test_i_old_empty_log(self):
+        log = ClassActivityLog("T")
+        assert log.i_old(5) == 5
+        assert log.c_late(5) == 5
+
+    def test_i_old_boundaries_strict(self):
+        log = log_from([(1, 5, 10)])
+        assert log.i_old(5) == 5      # not active at its own initiation
+        assert log.i_old(6) == 5
+        assert log.i_old(10) == 10    # not active at its own end
+        assert log.i_old(11) == 11
+
+    def test_oldest_active_start(self):
+        log = log_from([(1, 2, 9), (2, 5, None)])
+        assert log.oldest_active_start() == 5
+        log.record_end(2, 20)
+        assert log.oldest_active_start() is None
+
+    def test_settled_through(self):
+        log = log_from([(1, 2, None)])
+        assert log.settled_through(2)
+        assert not log.settled_through(3)
+        log.record_end(1, 8)
+        assert log.settled_through(100)
+
+    def test_begin_must_be_monotonic(self):
+        log = ClassActivityLog("T")
+        log.record_begin(1, 5)
+        with pytest.raises(ReproError):
+            log.record_begin(2, 5)
+
+    def test_duplicate_begin_rejected(self):
+        log = ClassActivityLog("T")
+        log.record_begin(1, 5)
+        with pytest.raises(ReproError):
+            log.record_begin(1, 7)
+
+    def test_end_before_start_rejected(self):
+        log = ClassActivityLog("T")
+        log.record_begin(1, 5)
+        with pytest.raises(ReproError):
+            log.record_end(1, 5)
+
+    def test_end_of_unknown_txn_rejected(self):
+        with pytest.raises(ReproError):
+            ClassActivityLog("T").record_end(9, 10)
+
+    def test_records_accessor(self):
+        log = log_from([(1, 2, 9), (2, 5, None)])
+        assert log.records() == [(1, 2, 9), (2, 5, None)]
+
+    def test_large_log_scales(self):
+        # Exercise the segment tree growth path well past one doubling.
+        log = ClassActivityLog("T")
+        for i in range(1, 1000):
+            log.record_begin(i, 2 * i)
+            if i % 3:
+                log.record_end(i, 2 * i + 1)
+        # Oldest still-open interval is txn 3 (start 6).
+        assert log.i_old(10_000) == 6
+        # txn 2's interval is [4, 5): strictly not active at m=5, and
+        # txn 1 ended at 3, so i_old(5) falls back to m itself.
+        assert log.i_old(5) == 5
+        records = log.records()
+        for m in (5, 7, 100, 1999):
+            assert log.i_old(m) == brute_i_old(records, m)
+
+
+def chain_tracker():
+    """THG chain bottom -> mid -> top with a tracker."""
+    graph = Digraph(arcs=[("mid", "top"), ("bottom", "mid"), ("bottom", "top")])
+    return ActivityTracker(SemiTreeIndex(graph))
+
+
+class TestAFunction:
+    def test_identity_when_same_class(self):
+        tracker = chain_tracker()
+        assert tracker.a_func("mid", "mid", 17) == 17
+
+    def test_single_hop_is_i_old_of_target(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 5)
+        assert tracker.a_func("mid", "top", 10) == 5
+        tracker.record_end("top", 1, 8)
+        assert tracker.a_func("mid", "top", 10) == 10
+
+    def test_figure6_composition(self):
+        """The paper's Figure 6 worked example: CP = T_i - T_k - T_j,
+        A_i^j(m) = I_old_j(I_old_k(m))."""
+        tracker = chain_tracker()
+        # Class "mid" (k): oldest active at m=20 started at 12.
+        tracker.record_begin("mid", 1, 12)
+        # Class "top" (j): txn active at 12 started at 7.
+        tracker.record_begin("top", 2, 7)
+        tracker.record_end("top", 2, 30)
+        assert tracker.a_func("bottom", "top", 20) == 7
+        # And the intermediate value is indeed I_old_mid(20) = 12.
+        assert tracker.i_old("mid", 20) == 12
+
+    def test_no_critical_path_raises(self):
+        graph = Digraph(arcs=[("l", "top"), ("r", "top")])
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        with pytest.raises(ReproError):
+            tracker.a_func("l", "r", 5)
+
+    def test_a_func_from_below(self):
+        tracker = chain_tracker()
+        tracker.record_begin("bottom", 1, 6)
+        tracker.record_begin("top", 2, 3)
+        # fictitious class below "bottom": first hop applies I_old_bottom.
+        assert tracker.a_func_from_below("bottom", "bottom", 10) == 6
+        # two hops: I_old_top(I_old_mid(I_old_bottom(10))) = I_old_top(6) = 3
+        assert tracker.a_func_from_below("bottom", "top", 10) == 3
+
+    def test_monotone_in_time(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 4)
+        tracker.record_end("top", 1, 9)
+        tracker.record_begin("top", 2, 11)
+        values = [tracker.a_func("mid", "top", m) for m in range(1, 30)]
+        assert values == sorted(values)
+
+
+class TestBFunction:
+    def test_single_hop_is_c_late_of_start(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 5)
+        tracker.record_end("top", 1, 20)
+        # B_top^mid(m): C_late at "top" only (end class excluded).
+        assert tracker.b_func("top", "mid", 10) == 20
+        assert tracker.b_func("top", "mid", 25) == 25
+
+    def test_two_hop_composition(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 5)
+        tracker.record_end("top", 1, 20)
+        tracker.record_begin("mid", 2, 15)
+        tracker.record_end("mid", 2, 40)
+        # B_top^bottom(10) = C_late_mid(C_late_top(10)) = C_late_mid(20) = 40
+        assert tracker.b_func("top", "bottom", 10) == 40
+
+    def test_not_computable_with_open_interval(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 5)
+        with pytest.raises(NotComputableError):
+            tracker.b_func("top", "mid", 10)
+
+
+class TestEFunction:
+    def test_identity(self):
+        tracker = chain_tracker()
+        assert tracker.e_func("mid", "mid", 9) == 9
+
+    def test_ascending_equals_a(self):
+        tracker = chain_tracker()
+        tracker.record_begin("mid", 1, 12)
+        tracker.record_begin("top", 2, 7)
+        tracker.record_end("top", 2, 30)
+        assert tracker.e_func("bottom", "top", 20) == tracker.a_func(
+            "bottom", "top", 20
+        )
+
+    def test_descending_equals_b(self):
+        tracker = chain_tracker()
+        tracker.record_begin("top", 1, 5)
+        tracker.record_end("top", 1, 20)
+        tracker.record_begin("mid", 2, 15)
+        tracker.record_end("mid", 2, 40)
+        assert tracker.e_func("top", "bottom", 10) == tracker.b_func(
+            "top", "bottom", 10
+        )
+
+    def test_mixed_walk_over_fork(self):
+        graph = Digraph(arcs=[("l", "top"), ("r", "top")])
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        tracker.record_begin("top", 1, 8)
+        tracker.record_end("top", 1, 25)
+        # E_l^r(10): up-hop into top (I_old_top(10) = 8), then down-hop
+        # leaving top (C_late_top(8) = 8; txn 1 not active at 8).
+        assert tracker.e_func("l", "r", 10) == 8
+
+    def test_try_e_func_returns_none_when_blocked(self):
+        graph = Digraph(arcs=[("l", "top"), ("r", "top")])
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        tracker.record_begin("top", 1, 8)
+        tracker.record_begin("top", 2, 9)
+        tracker.record_end("top", 2, 12)
+        # Walk: I_old_top(15) = 8, then C_late_top(8) = 8 computable
+        # (nothing started before 8).  Use a later base to force the
+        # C_late over the open interval of txn 1.
+        assert tracker.try_e_func("l", "r", 15) == 8
+        graph2 = Digraph(arcs=[("l", "top"), ("r", "top")])
+        tracker2 = ActivityTracker(SemiTreeIndex(graph2))
+        tracker2.record_begin("top", 1, 8)
+        tracker2.record_end("top", 1, 12)
+        tracker2.record_begin("top", 2, 9)
+        # I_old_top(15) = 9 (txn2 open)... txn1 ended at 12, txn2 open.
+        # C_late_top(9) needs txn 1 (started 8 < 9) -> computable (ended).
+        assert tracker2.try_e_func("l", "r", 15) == 12
+
+    def test_disconnected_raises(self):
+        graph = Digraph(arcs=[("a", "b")])
+        graph.add_node("c")
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        with pytest.raises(ReproError):
+            tracker.e_func("a", "c", 5)

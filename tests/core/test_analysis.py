@@ -1,0 +1,141 @@
+"""Tests for the decomposition methodology (§7.2.1, §7.2.2)."""
+
+import pytest
+
+from repro.core.analysis import (
+    GranuleProfile,
+    coarsen_to_tst,
+    derive_partition,
+)
+from repro.core.graph import Digraph, is_transitive_semi_tree
+from repro.errors import PartitionError
+
+
+def apply_merge(graph: Digraph, leader: dict) -> Digraph:
+    merged = Digraph(nodes=set(leader.values()))
+    for u, v in graph.arcs:
+        if leader[u] != leader[v]:
+            merged.add_arc(leader[u], leader[v])
+    return merged
+
+
+class TestCoarsenToTST:
+    def test_tst_untouched(self):
+        g = Digraph(arcs=[("b", "a"), ("c", "b"), ("c", "a")])
+        leader = coarsen_to_tst(g)
+        assert all(leader[n] == n for n in g.nodes)
+
+    def test_diamond_merged(self):
+        g = Digraph(arcs=[("m1", "top"), ("m2", "top"), ("b", "m1"), ("b", "m2")])
+        leader = coarsen_to_tst(g)
+        merged = apply_merge(g, leader)
+        assert is_transitive_semi_tree(merged)
+        assert merged.node_count() < g.node_count()
+
+    def test_antiparallel_merged(self):
+        g = Digraph(arcs=[("a", "b"), ("b", "a")])
+        leader = coarsen_to_tst(g)
+        assert leader["a"] == leader["b"]
+
+    def test_directed_cycle_collapsed(self):
+        g = Digraph(arcs=[(1, 2), (2, 3), (3, 1), (0, 1)])
+        leader = coarsen_to_tst(g)
+        merged = apply_merge(g, leader)
+        assert is_transitive_semi_tree(merged)
+        assert leader[1] == leader[2] == leader[3]
+
+    def test_grid_eventually_tst(self):
+        # 3x2 grid of dependencies: heavily non-TST.
+        g = Digraph()
+        for i in range(3):
+            for j in range(2):
+                if i + 1 < 3:
+                    g.add_arc((i, j), (i + 1, j))
+                if j + 1 < 2:
+                    g.add_arc((i, j), (i, j + 1))
+        leader = coarsen_to_tst(g)
+        assert is_transitive_semi_tree(apply_merge(g, leader))
+
+    def test_empty_graph(self):
+        assert coarsen_to_tst(Digraph()) == {}
+
+
+class TestDerivePartition:
+    def test_inventory_like_profiles(self):
+        profiles = [
+            GranuleProfile.of("t1", writes=["sale1", "sale2", "arr1"]),
+            GranuleProfile.of(
+                "t2", writes=["inv1", "inv2"], reads=["sale1", "sale2", "arr1"]
+            ),
+            GranuleProfile.of("t3", writes=["ord1"], reads=["arr1", "inv1", "ord1"]),
+        ]
+        derived = derive_partition(profiles)
+        # Three natural segments survive (no coarsening needed).
+        assert len(derived.segment_members) == 3
+        events = derived.segment_of("sale1")
+        assert derived.segment_of("arr1") == events
+        assert derived.segment_of("inv1") == derived.segment_of("inv2")
+        assert is_transitive_semi_tree(derived.partition.dhg)
+
+    def test_conflicting_writers_forced_together(self):
+        profiles = [
+            GranuleProfile.of("t1", writes=["x"], reads=["y"]),
+            GranuleProfile.of("t2", writes=["y"], reads=["x"]),
+        ]
+        derived = derive_partition(profiles)
+        assert derived.segment_of("x") == derived.segment_of("y")
+
+    def test_read_only_profiles_preserved(self):
+        profiles = [
+            GranuleProfile.of("w", writes=["a"]),
+            GranuleProfile.of("r", reads=["a"]),
+        ]
+        derived = derive_partition(profiles)
+        assert derived.partition.profile("r").is_read_only
+
+    def test_granule_map_used_by_partition(self):
+        profiles = [GranuleProfile.of("w", writes=["a"], reads=["b"])]
+        derived = derive_partition(profiles)
+        for granule in ("a", "b"):
+            assert derived.partition.segment_of(granule) == derived.segment_of(
+                granule
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            derive_partition([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PartitionError):
+            derive_partition(
+                [GranuleProfile.of("t", writes=["a"]), GranuleProfile.of("t", writes=["b"])]
+            )
+
+    def test_multi_write_profile_clusters_own_granules(self):
+        profiles = [
+            GranuleProfile.of("t1", writes=["p", "q", "r"]),
+        ]
+        derived = derive_partition(profiles)
+        assert (
+            derived.segment_of("p")
+            == derived.segment_of("q")
+            == derived.segment_of("r")
+        )
+
+    def test_derived_partition_is_runnable(self):
+        """End-to-end: a derived partition drives the HDD scheduler."""
+        from repro.core.scheduler import HDDScheduler
+
+        profiles = [
+            GranuleProfile.of("log", writes=["e1", "e2"]),
+            GranuleProfile.of("post", writes=["i1"], reads=["e1", "e2", "i1"]),
+        ]
+        derived = derive_partition(profiles)
+        s = HDDScheduler(derived.partition)
+        t = s.begin(profile="log")
+        s.write(t, "e1", 5)
+        s.commit(t)
+        t2 = s.begin(profile="post")
+        assert s.read(t2, "e1").value == 5
+        s.write(t2, "i1", 50)
+        assert s.commit(t2).granted

@@ -1,0 +1,143 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schedulers", "nope"])
+
+
+class TestInfo:
+    def test_inventory_schema(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "orders -> inventory" in out
+        assert "type1_log_event" in out
+
+    def test_chain_schema(self, capsys):
+        assert main(["info", "--schema", "chain", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "L2 -> L1" in out
+
+
+class TestAnomaly:
+    @pytest.mark.parametrize("figure", ["3", "4"])
+    def test_cycle_reported(self, capsys, figure):
+        assert main(["anomaly", "--figure", figure]) == 0
+        out = capsys.readouterr().out
+        assert "dependency cycle found" in out
+        assert "reads-from" in out
+
+
+class TestCompare:
+    def test_table_printed(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--commits",
+                "80",
+                "--clients",
+                "4",
+                "--schedulers",
+                "hdd",
+                "2pl",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler" in out
+        assert "hdd" in out and "2pl" in out
+
+    def test_deterministic_for_seed(self, capsys):
+        argv = ["compare", "--commits", "60", "--schedulers", "hdd", "--seed", "5"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestSweep:
+    def test_ro_share_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--commits",
+                "60",
+                "--schedulers",
+                "hdd",
+                "--knob",
+                "ro_share",
+                "--values",
+                "0.0",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ro_share" in out
+        assert out.count("hdd") == 2
+
+    def test_depth_sweep_uses_chain(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--commits",
+                "60",
+                "--clients",
+                "4",
+                "--schedulers",
+                "hdd",
+                "--knob",
+                "depth",
+                "--values",
+                "2",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "depth" in out
+
+    def test_clients_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--commits",
+                "60",
+                "--schedulers",
+                "sdd1",
+                "--knob",
+                "clients",
+                "--values",
+                "2",
+                "6",
+            ]
+        )
+        assert code == 0
+
+class TestClaimsSchema:
+    def test_compare_on_claims(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--commits",
+                "60",
+                "--clients",
+                "4",
+                "--schedulers",
+                "hdd",
+                "--workload-schema",
+                "claims",
+            ]
+        )
+        assert code == 0
+        assert "hdd" in capsys.readouterr().out

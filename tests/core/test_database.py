@@ -1,0 +1,139 @@
+"""Tests for the user-facing Database facade."""
+
+import pytest
+
+from repro.baselines import TwoPhaseLocking, TimestampOrdering
+from repro.core.scheduler import HDDScheduler
+from repro.database import Database, WouldBlock
+from repro.errors import TransactionAborted
+from repro.sim.inventory import build_inventory_partition
+
+
+@pytest.fixture
+def db(inventory_partition):
+    return Database(inventory_partition)
+
+
+class TestTransactionContext:
+    def test_commit_on_clean_exit(self, db):
+        with db.transaction("type1_log_event") as txn:
+            txn.write("events:a", 10)
+        assert db.read_committed("events:a") == 10
+
+    def test_abort_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction("type1_log_event") as txn:
+                txn.write("events:a", 10)
+                raise RuntimeError("boom")
+        assert db.read_committed("events:a") == 0
+        assert db.stats.aborts == 1
+
+    def test_read_your_writes(self, db):
+        with db.transaction("type1_log_event") as txn:
+            txn.write("events:a", 5)
+            assert txn.read("events:a") == 5
+
+    def test_read_modify_write(self, db):
+        db.seed({"events:counter": 100})
+        with db.transaction("type1_log_event") as txn:
+            new = txn.read_modify_write("events:counter", lambda v: v + 1)
+        assert new == 101
+        assert db.read_committed("events:counter") == 101
+
+    def test_read_only_transaction(self, db):
+        with db.transaction("type1_log_event") as txn:
+            txn.write("events:a", 3)
+        with db.transaction(read_only=True) as txn:
+            assert txn.read("events:a") == 3
+
+
+class TestRetries:
+    def test_run_retries_scheduler_aborts(self, inventory_partition):
+        db = Database(inventory_partition)
+        # Provoke an abort: a younger transaction reads the granule so
+        # an older transaction's write is rejected (MVTO rule); the
+        # facade's run() retries with a fresh timestamp and succeeds.
+        profile = "type1_log_event"
+        first = db.scheduler.begin(profile=profile)
+        younger = db.scheduler.begin(profile=profile)
+        assert db.scheduler.read(younger, "events:a").granted
+        assert db.scheduler.commit(younger).granted
+        outcome = db.scheduler.write(first, "events:a", 1)
+        assert outcome.aborted
+        # The facade's run() hides all of this:
+        db.run(lambda txn: txn.write("events:a", 99), profile=profile)
+        assert db.read_committed("events:a") == 99
+
+    def test_run_gives_up_after_retries(self, inventory_partition):
+        db = Database(inventory_partition)
+
+        calls = {"n": 0}
+
+        def always_poisoned(txn):
+            calls["n"] += 1
+            raise TransactionAborted(txn.txn.txn_id, "poison")
+
+        with pytest.raises(TransactionAborted, match="poison"):
+            db.run(always_poisoned, profile="type1_log_event", retries=3)
+        assert calls["n"] == 4  # initial + 3 retries
+
+    def test_run_returns_value(self, db):
+        db.seed({"events:x": 7})
+        assert db.run(lambda t: t.read("events:x"), read_only=True) == 7
+
+
+class TestBlocking:
+    def test_would_block_raised(self, inventory_partition):
+        db = Database(
+            inventory_partition,
+            scheduler=TwoPhaseLocking(),
+            block_polls=5,
+        )
+        holder = db.scheduler.begin()
+        db.scheduler.write(holder, "events:a", 1)  # X lock held forever
+        with pytest.raises(WouldBlock):
+            with db.transaction() as txn:
+                txn.read("events:a")
+
+    def test_wall_block_resolved_by_polling(self, fork_partition):
+        """A Protocol C reader blocked on the first wall is unblocked by
+        the facade's poll loop (clock ticks mature the cadence)."""
+        scheduler = HDDScheduler(fork_partition, wall_interval=3)
+        scheduler.walls.released.clear()  # simulate a cold wall manager
+        db = Database(fork_partition, scheduler=scheduler)
+        value = db.run(lambda t: t.read("left:g"), read_only=True)
+        assert value == 0
+
+
+class TestFacadeUtilities:
+    def test_check_serializable(self, db):
+        with db.transaction("type1_log_event") as txn:
+            txn.write("events:a", 1)
+        assert db.check_serializable()
+        assert db.check_serializable(mode="paper")
+
+    def test_collect_garbage_delegates(self, db):
+        for value in range(5):
+            with db.transaction("type1_log_event") as txn:
+                txn.write("events:a", value)
+        report = db.collect_garbage()
+        assert report.pruned_versions >= 0
+
+    def test_collect_garbage_unsupported(self, inventory_partition):
+        # 2PL has no version GC (single committed version discipline).
+        db = Database(inventory_partition, scheduler=TwoPhaseLocking())
+        with pytest.raises(Exception):
+            db.collect_garbage()
+
+    def test_collect_garbage_on_mvto_baseline(self, inventory_partition):
+        db = Database(inventory_partition, scheduler=TimestampOrdering())
+        for value in range(4):
+            with db.transaction() as txn:
+                txn.write("events:a", value)
+        report = db.collect_garbage()
+        assert report.pruned_versions > 0
+
+    def test_seed_and_stats(self, db):
+        db.seed({"events:s": 11})
+        assert db.read_committed("events:s") == 11
+        assert db.stats.commits >= 1

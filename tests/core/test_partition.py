@@ -1,0 +1,205 @@
+"""Tests for partitions, DHG construction and transaction classes (§3.2)."""
+
+import pytest
+
+from repro.core.partition import (
+    HierarchicalPartition,
+    PartitionSummary,
+    TransactionProfile,
+    build_dhg,
+)
+from repro.errors import PartitionError
+
+
+class TestProfiles:
+    def test_update_profile(self):
+        p = TransactionProfile.update("t", writes=["a"], reads=["b"])
+        assert not p.is_read_only
+        assert p.accesses == {"a", "b"}
+        assert p.root_segment == "a"
+
+    def test_read_only_profile(self):
+        p = TransactionProfile.read_only("t", reads=["a", "b"])
+        assert p.is_read_only
+        with pytest.raises(PartitionError):
+            _ = p.root_segment
+
+    def test_multi_write_root_rejected(self):
+        p = TransactionProfile.update("t", writes=["a", "b"])
+        with pytest.raises(PartitionError):
+            _ = p.root_segment
+
+
+class TestDHGConstruction:
+    def test_arcs_from_writes_to_accesses(self):
+        dhg = build_dhg(
+            ["a", "b", "c"],
+            [
+                TransactionProfile.update("t1", writes=["b"], reads=["a"]),
+                TransactionProfile.update("t2", writes=["c"], reads=["a", "b"]),
+            ],
+        )
+        assert sorted(dhg.arcs) == [("b", "a"), ("c", "a"), ("c", "b")]
+
+    def test_own_segment_access_makes_no_arc(self):
+        dhg = build_dhg(
+            ["a"],
+            [TransactionProfile.update("t", writes=["a"], reads=["a"])],
+        )
+        assert dhg.arcs == []
+
+    def test_read_only_profiles_ignored(self):
+        dhg = build_dhg(
+            ["a", "b"],
+            [TransactionProfile.read_only("t", reads=["a", "b"])],
+        )
+        assert dhg.arcs == []
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(PartitionError):
+            build_dhg(
+                ["a"],
+                [TransactionProfile.update("t", writes=["a"], reads=["zz"])],
+            )
+
+    def test_multi_write_profile_creates_antiparallel_arcs(self):
+        # The paper's §3.2 property: writing two segments makes the
+        # graph non-TST via D_i -> D_j and D_j -> D_i.
+        dhg = build_dhg(
+            ["a", "b"],
+            [TransactionProfile.update("t", writes=["a", "b"])],
+        )
+        assert dhg.has_arc("a", "b") and dhg.has_arc("b", "a")
+
+
+class TestValidation:
+    def test_inventory_partition_valid(self, inventory_partition):
+        assert sorted(inventory_partition.index.critical_arcs()) == [
+            ("inventory", "events"),
+            ("orders", "inventory"),
+        ]
+        assert ("orders", "events") in inventory_partition.dhg.arcs
+
+    def test_multi_write_profile_rejected(self):
+        with pytest.raises(PartitionError, match="exactly one write segment"):
+            HierarchicalPartition(
+                segments=["a", "b"],
+                profiles=[TransactionProfile.update("t", writes=["a", "b"])],
+            )
+
+    def test_non_tst_dhg_rejected(self):
+        # Diamond: two writers of different segments reading a common
+        # top through different middles.
+        with pytest.raises(PartitionError, match="transitive semi-tree"):
+            HierarchicalPartition(
+                segments=["top", "m1", "m2", "bottom"],
+                profiles=[
+                    TransactionProfile.update("a", writes=["m1"], reads=["top"]),
+                    TransactionProfile.update("b", writes=["m2"], reads=["top"]),
+                    TransactionProfile.update(
+                        "c", writes=["bottom"], reads=["m1", "m2"]
+                    ),
+                ],
+            )
+
+    def test_mutual_readers_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartition(
+                segments=["a", "b"],
+                profiles=[
+                    TransactionProfile.update("t1", writes=["a"], reads=["b"]),
+                    TransactionProfile.update("t2", writes=["b"], reads=["a"]),
+                ],
+            )
+
+    def test_duplicate_segments_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartition(segments=["a", "a"], profiles=[])
+
+    def test_duplicate_profiles_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartition(
+                segments=["a"],
+                profiles=[
+                    TransactionProfile.update("t", writes=["a"]),
+                    TransactionProfile.update("t", writes=["a"]),
+                ],
+            )
+
+
+class TestClassification:
+    def test_classes_rooted_in_write_segment(self, inventory_partition):
+        classes = inventory_partition.classes
+        assert classes["events"] == ["type1_log_event"]
+        assert classes["inventory"] == ["type2_post_inventory"]
+        assert classes["orders"] == ["type3_reorder"]
+
+    def test_read_only_profiles_not_classified(self, inventory_partition):
+        all_classified = [
+            name
+            for names in inventory_partition.classes.values()
+            for name in names
+        ]
+        assert "report" not in all_classified
+
+    def test_thg_equals_dhg(self, inventory_partition):
+        assert inventory_partition.thg() == inventory_partition.dhg
+
+
+class TestGranuleMapping:
+    def test_convention_mapping(self, inventory_partition):
+        assert inventory_partition.segment_of("events:sale-1") == "events"
+
+    def test_unknown_segment_in_granule(self, inventory_partition):
+        with pytest.raises(PartitionError):
+            inventory_partition.segment_of("nope:x")
+
+    def test_missing_separator(self, inventory_partition):
+        with pytest.raises(PartitionError):
+            inventory_partition.segment_of("plain")
+
+    def test_granule_builder(self, inventory_partition):
+        assert inventory_partition.granule("events", "s1") == "events:s1"
+        with pytest.raises(PartitionError):
+            inventory_partition.granule("nope", "s1")
+
+    def test_explicit_map(self):
+        partition = HierarchicalPartition(
+            segments=["a"],
+            profiles=[TransactionProfile.update("t", writes=["a"])],
+            granule_map={"x": "a"},
+        )
+        assert partition.segment_of("x") == "a"
+        with pytest.raises(PartitionError):
+            partition.segment_of("y")
+
+
+class TestQueries:
+    def test_is_higher(self, inventory_partition):
+        assert inventory_partition.is_higher("events", "orders")
+        assert inventory_partition.is_higher("inventory", "orders")
+        assert not inventory_partition.is_higher("orders", "events")
+
+    def test_read_only_on_one_critical_path(self, inventory_partition):
+        assert inventory_partition.read_only_on_one_critical_path(
+            ["events", "inventory"]
+        )
+        assert inventory_partition.read_only_on_one_critical_path(
+            ["events", "inventory", "orders"]
+        )
+
+    def test_fork_not_on_one_path(self, fork_partition):
+        assert not fork_partition.read_only_on_one_critical_path(
+            ["left", "right"]
+        )
+        assert fork_partition.read_only_on_one_critical_path(["left", "top"])
+
+    def test_profile_lookup(self, inventory_partition):
+        assert inventory_partition.profile("report").is_read_only
+        with pytest.raises(PartitionError):
+            inventory_partition.profile("nope")
+
+    def test_summary_renders(self, inventory_partition):
+        text = PartitionSummary(inventory_partition).render()
+        assert "orders -> inventory" in text
+        assert "Transitively induced arcs:" in text

@@ -1,0 +1,131 @@
+"""Tests for topologically-follows and the PSR audit (§4.3)."""
+
+import pytest
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.core.relation import audit_psr, topologically_follows
+from repro.errors import ReproError
+from repro.txn.schedule import Schedule
+
+
+def tracker_with_chain():
+    graph = Digraph(
+        arcs=[("mid", "top"), ("bottom", "mid"), ("bottom", "top")]
+    )
+    return ActivityTracker(SemiTreeIndex(graph))
+
+
+class TestSameClass:
+    def test_later_initiation_follows(self):
+        tracker = tracker_with_chain()
+        assert topologically_follows("mid", 10, "mid", 5, tracker)
+        assert not topologically_follows("mid", 5, "mid", 10, tracker)
+        assert not topologically_follows("mid", 5, "mid", 5, tracker)
+
+
+class TestCrossClass:
+    def test_t1_higher_uses_case2(self):
+        tracker = tracker_with_chain()
+        # A_mid^top(I(t2)): t2 in mid at I=10; some top txn active at 10
+        # started at 4 -> wall 4.
+        tracker.record_begin("top", 1, 4)
+        assert topologically_follows("top", 4, "mid", 10, tracker)
+        assert not topologically_follows("top", 3, "mid", 10, tracker)
+
+    def test_t2_higher_uses_case3(self):
+        tracker = tracker_with_chain()
+        tracker.record_begin("top", 1, 4)
+        # t1 in mid at I=10: wall A_mid^top(10) = 4; t2 (top) must have
+        # initiated strictly before 4.
+        assert topologically_follows("mid", 10, "top", 3, tracker)
+        assert not topologically_follows("mid", 10, "top", 4, tracker)
+
+    def test_incomparable_classes_raise(self):
+        graph = Digraph(arcs=[("l", "top"), ("r", "top")])
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        with pytest.raises(ReproError):
+            topologically_follows("l", 5, "r", 3, tracker)
+
+
+class TestAntiSymmetry:
+    @pytest.mark.parametrize(
+        "c1, i1, c2, i2",
+        [
+            ("mid", 10, "mid", 5),
+            ("top", 4, "mid", 10),
+            ("mid", 10, "top", 3),
+            ("bottom", 20, "top", 2),
+        ],
+    )
+    def test_never_both_directions(self, c1, i1, c2, i2):
+        tracker = tracker_with_chain()
+        tracker.record_begin("top", 1, 4)
+        tracker.record_begin("mid", 2, 8)
+        forward = topologically_follows(c1, i1, c2, i2, tracker)
+        backward = topologically_follows(c2, i2, c1, i1, tracker)
+        assert not (forward and backward)
+
+
+class TestPSRAudit:
+    def test_clean_schedule_passes(self):
+        tracker = tracker_with_chain()
+        tracker.record_begin("top", 1, 1)
+        tracker.record_end("top", 1, 3)
+        tracker.record_begin("mid", 2, 5)
+        tracker.record_end("mid", 2, 8)
+        schedule = Schedule()
+        schedule.record_write(1, "top:g", 1)
+        schedule.record_commit(1)
+        schedule.record_read(2, "top:g", 1)  # mid reads top's version
+        schedule.record_write(2, "mid:h", 5)
+        schedule.record_commit(2)
+        violations = audit_psr(
+            schedule,
+            txn_classes={1: "top", 2: "mid"},
+            txn_initiations={1: 1, 2: 5},
+            tracker=tracker,
+        )
+        assert violations == []
+
+    def test_premature_read_flagged(self):
+        tracker = tracker_with_chain()
+        # top txn 1 still ACTIVE when mid txn 2 initiates: the A wall
+        # at I(t2)=5 is I_old_top(5) = 1, so reading t1's version (made
+        # at I=1, not < 1) violates the PSR.
+        tracker.record_begin("top", 1, 1)
+        tracker.record_begin("mid", 2, 5)
+        tracker.record_end("top", 1, 7)
+        tracker.record_end("mid", 2, 9)
+        schedule = Schedule()
+        schedule.record_write(1, "top:g", 1)
+        schedule.record_read(2, "top:g", 1)
+        schedule.record_write(2, "mid:h", 5)
+        schedule.record_commit(1)
+        schedule.record_commit(2)
+        violations = audit_psr(
+            schedule,
+            txn_classes={1: "top", 2: "mid"},
+            txn_initiations={1: 1, 2: 5},
+            tracker=tracker,
+        )
+        assert len(violations) == 1
+        assert violations[0].kind == "reads-from"
+        assert "does not satisfy" in str(violations[0])
+
+    def test_read_only_txns_skipped(self):
+        tracker = tracker_with_chain()
+        tracker.record_begin("top", 1, 1)
+        tracker.record_end("top", 1, 3)
+        schedule = Schedule()
+        schedule.record_write(1, "top:g", 1)
+        schedule.record_commit(1)
+        schedule.record_read(99, "top:g", 1)  # unclassified reader
+        schedule.record_commit(99)
+        violations = audit_psr(
+            schedule,
+            txn_classes={1: "top"},
+            txn_initiations={1: 1, 99: 50},
+            tracker=tracker,
+        )
+        assert violations == []

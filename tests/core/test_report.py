@@ -1,0 +1,48 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import ReportScale, generate_report
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    return generate_report(ReportScale(commits=60, clients=4, open_loop_steps=1500))
+
+
+class TestGenerator:
+    def test_contains_all_sections(self, quick_report):
+        for heading in (
+            "# HDD reproduction report",
+            "## Figure 10, measured",
+            "## Efficacy: registrations vs read-only share",
+            "## Inter-controller message budget",
+            "## Open-loop capacity",
+        ):
+            assert heading in quick_report
+
+    def test_all_schedulers_in_comparison(self, quick_report):
+        for name in ("hdd", "2pl", "to", "mvto", "mv2pl", "sdd1"):
+            assert f"| {name} |" in quick_report
+
+    def test_tables_are_markdown(self, quick_report):
+        assert "|---|" in quick_report
+
+    def test_quick_scale(self):
+        scale = ReportScale.quick()
+        assert scale.commits < ReportScale().commits
+
+
+class TestCLICommand:
+    def test_report_to_stdout(self, capsys):
+        # Tiny scale via --quick keeps the test fast.
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "# HDD reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "-o", str(target)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "## Figure 10, measured" in target.read_text()

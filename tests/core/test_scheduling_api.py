@@ -1,0 +1,134 @@
+"""Tests for the shared scheduler API types (outcomes, stats, base)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidTransactionState,
+    NotComputableError,
+    PartitionError,
+    ProtocolViolation,
+    ReproError,
+    StorageError,
+    TransactionAborted,
+)
+from repro.scheduling import (
+    Outcome,
+    OutcomeKind,
+    SchedulerStats,
+    aborted,
+    blocked,
+    granted,
+)
+from repro.baselines import TwoPhaseLocking
+
+
+class TestOutcomes:
+    def test_granted(self):
+        outcome = granted(value=7, version_ts=3)
+        assert outcome.granted and not outcome.blocked and not outcome.aborted
+        assert outcome.value == 7 and outcome.version_ts == 3
+
+    def test_blocked(self):
+        outcome = blocked(waiting_for=9)
+        assert outcome.blocked
+        assert outcome.waiting_for == 9
+
+    def test_aborted(self):
+        outcome = aborted("reason")
+        assert outcome.aborted
+        assert outcome.reason == "reason"
+
+    def test_outcomes_frozen(self):
+        with pytest.raises(AttributeError):
+            granted().value = 5  # type: ignore[misc]
+
+    def test_kinds_distinct(self):
+        assert len({o.kind for o in (granted(), blocked(1), aborted("x"))}) == 3
+        assert OutcomeKind.GRANTED.value == "granted"
+
+
+class TestSchedulerStats:
+    def test_count_abort_groups_reasons(self):
+        stats = SchedulerStats()
+        stats.count_abort("deadlock")
+        stats.count_abort("deadlock")
+        stats.count_abort("timestamp")
+        assert stats.aborts == 3
+        assert stats.aborts_by_reason == {"deadlock": 2, "timestamp": 1}
+
+    def test_as_row_normalises_by_commits(self):
+        stats = SchedulerStats()
+        stats.commits = 4
+        stats.read_registrations = 8
+        row = stats.as_row()
+        assert row["read_registrations_per_commit"] == 2.0
+
+    def test_as_row_zero_commit_guard(self):
+        assert SchedulerStats().as_row()["read_registrations_per_commit"] == 0
+
+
+class TestBaseScheduler:
+    def test_txn_ids_monotonic(self):
+        scheduler = TwoPhaseLocking()
+        ids = [scheduler.begin().txn_id for _ in range(5)]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_initiation_timestamps_strictly_increase(self):
+        scheduler = TwoPhaseLocking()
+        timestamps = [scheduler.begin().initiation_ts for _ in range(5)]
+        assert timestamps == sorted(set(timestamps))
+
+    def test_operations_on_finished_txn_rejected(self):
+        scheduler = TwoPhaseLocking()
+        txn = scheduler.begin()
+        scheduler.commit(txn)
+        with pytest.raises(InvalidTransactionState):
+            scheduler.read(txn, "g")
+        with pytest.raises(InvalidTransactionState):
+            scheduler.commit(txn)
+
+    def test_committed_and_active_listings(self):
+        scheduler = TwoPhaseLocking()
+        first = scheduler.begin()
+        second = scheduler.begin()
+        scheduler.commit(first)
+        assert [t.txn_id for t in scheduler.committed_transactions()] == [
+            first.txn_id
+        ]
+        assert [t.txn_id for t in scheduler.active_transactions()] == [
+            second.txn_id
+        ]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            PartitionError,
+            ProtocolViolation,
+            InvalidTransactionState,
+            StorageError,
+            NotComputableError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_transaction_aborted_carries_context(self):
+        error = TransactionAborted(7, "deadlock victim")
+        assert error.txn_id == 7
+        assert error.reason == "deadlock victim"
+        assert "transaction 7" in str(error)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,168 @@
+"""Tests for time walls and the release discipline (§5.1-5.2)."""
+
+import pytest
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.core.timewall import TimeWall, TimeWallManager
+from repro.errors import ReproError
+from repro.txn.clock import LogicalClock
+
+
+def fork_setup():
+    graph = Digraph(arcs=[("l", "top"), ("r", "top")])
+    tracker = ActivityTracker(SemiTreeIndex(graph))
+    clock = LogicalClock()
+    return tracker, clock
+
+
+class TestRelease:
+    def test_first_poll_releases_on_quiet_system(self):
+        tracker, clock = fork_setup()
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=5, start_class="l")
+        wall = manager.poll()
+        assert wall is not None
+        assert wall.base_time == 10
+        assert wall.components["l"] == 10
+        # E_l^top(10) = I_old_top(10) = 10 (no activity).
+        assert wall.components["top"] == 10
+        assert wall.components["r"] == 10
+
+    def test_release_blocked_by_unsettled_class(self):
+        tracker, clock = fork_setup()
+        tracker.record_begin("l", 1, 3)
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=5, start_class="l")
+        assert manager.poll() is None  # txn 1 active below component 10
+        assert manager.computations_blocked >= 1
+        tracker.record_end("l", 1, 11)
+        clock.advance_to(12)
+        wall = manager.poll()
+        assert wall is not None
+
+    def test_open_upper_txn_walled_off_not_blocking(self):
+        """An open transaction in an up-hop class does NOT block release:
+        the I_old hop walls it off (component drops to its initiation)."""
+        tracker, clock = fork_setup()
+        tracker.record_begin("top", 1, 3)  # still running
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=5, start_class="l")
+        wall = manager.poll()
+        assert wall is not None
+        assert wall.components["top"] == 3
+        assert wall.components["r"] == 3
+
+    def test_release_blocked_by_uncomputable_c_late(self):
+        """Two consecutive down-hops can hit a genuinely uncomputable
+        C_late: an open transaction below the value being propagated."""
+        graph = Digraph(arcs=[("s", "a"), ("b", "a"), ("c", "b")])
+        tracker = ActivityTracker(SemiTreeIndex(graph))
+        clock = LogicalClock()
+        tracker.record_begin("a", 1, 2)
+        tracker.record_end("a", 1, 8)
+        tracker.record_begin("b", 2, 3)  # open
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=5, start_class="s")
+        # E_s^c(10) = C_late_b(C_late_a(I_old_a(10))) = C_late_b(10):
+        # txn 2 (started 3 < 10) is still open -> not computable.
+        assert manager.poll() is None
+        tracker.record_end("b", 2, 11)
+        clock.advance_to(12)
+        assert manager.poll() is not None
+
+    def test_cadence(self):
+        tracker, clock = fork_setup()
+        manager = TimeWallManager(tracker, clock, interval=10, start_class="l")
+        clock.advance_to(1)
+        first = manager.poll()
+        assert first is not None
+        clock.advance_to(5)
+        assert manager.poll() is None  # not due yet
+        clock.advance_to(12)
+        second = manager.poll()
+        assert second is not None
+        assert second.base_time == 12
+
+    def test_force_release_raises_when_blocked(self):
+        tracker, clock = fork_setup()
+        tracker.record_begin("l", 1, 3)
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, start_class="l")
+        with pytest.raises(ReproError):
+            manager.force_release()
+
+    def test_default_start_class_is_lowest(self):
+        tracker, clock = fork_setup()
+        manager = TimeWallManager(tracker, clock)
+        assert manager.start_class in ("l", "r")
+
+    def test_bad_interval(self):
+        tracker, clock = fork_setup()
+        with pytest.raises(ValueError):
+            TimeWallManager(tracker, clock, interval=0)
+
+    def test_unknown_start_class(self):
+        tracker, clock = fork_setup()
+        with pytest.raises(ReproError):
+            TimeWallManager(tracker, clock, start_class="nope")
+
+
+class TestWallFor:
+    def test_newest_wall_before_initiation(self):
+        tracker, clock = fork_setup()
+        manager = TimeWallManager(tracker, clock, interval=5, start_class="l")
+        clock.advance_to(1)
+        w1 = manager.poll()
+        clock.advance_to(8)
+        w2 = manager.poll()
+        assert w1 is not None and w2 is not None
+        assert manager.wall_for(w2.release_ts + 1) is w2
+        assert manager.wall_for(w1.release_ts + 1) is w1
+        assert manager.wall_for(w1.release_ts) is None
+
+    def test_component_lookup(self):
+        tracker, clock = fork_setup()
+        manager = TimeWallManager(tracker, clock, start_class="l")
+        clock.advance_to(3)
+        wall = manager.poll()
+        assert wall.component("top") == 3
+        with pytest.raises(ReproError):
+            wall.component("nope")
+
+    def test_str_rendering(self):
+        wall = TimeWall("l", 3, 4, {"l": 3, "top": 3})
+        assert "TW(m=3" in str(wall)
+
+
+class TestWallSemantics:
+    def test_components_respect_activity(self):
+        """A released wall's component in a down-hop class reflects
+        C_late, its up-hop classes reflect I_old."""
+        tracker, clock = fork_setup()
+        # top txn: [4, 9); l txn: [2, 6).
+        tracker.record_begin("l", 1, 2)
+        tracker.record_begin("top", 2, 4)
+        tracker.record_end("l", 1, 6)
+        tracker.record_end("top", 2, 9)
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=1, start_class="l")
+        wall = manager.poll()
+        assert wall is not None
+        assert wall.components["l"] == 10
+        # E_l^top(10) = I_old_top(10) = 10 (txn 2 finished).
+        assert wall.components["top"] == 10
+        # E_l^r(10) = C_late_top(I_old_top(10)) = C_late_top(10) = 10.
+        assert wall.components["r"] == 10
+
+    def test_wall_with_live_upper_activity(self):
+        tracker, clock = fork_setup()
+        tracker.record_begin("top", 2, 4)  # still running
+        clock.advance_to(10)
+        manager = TimeWallManager(tracker, clock, interval=1, start_class="l")
+        # E_l^top(10) = I_old_top(10) = 4; C_late_top(4) = 4 computable
+        # (nothing initiated before 4); settled everywhere.
+        wall = manager.poll()
+        assert wall is not None
+        assert wall.components["top"] == 4
+        assert wall.components["r"] == 4

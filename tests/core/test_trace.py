@@ -1,0 +1,123 @@
+"""Tests for trace-driven decomposition (§7.2.2 end to end)."""
+
+import pytest
+
+from repro.baselines import TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.core.trace import (
+    collect_trace_profiles,
+    derive_partition_from_trace,
+)
+from repro.errors import ReproError
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.txn.depgraph import is_serializable
+from repro.txn.schedule import Schedule
+
+
+class TestCollectProfiles:
+    def test_basic_fold(self):
+        schedule = Schedule()
+        schedule.record_write(1, "a", 1)
+        schedule.record_commit(1)
+        schedule.record_read(2, "a", 1)
+        schedule.record_write(2, "b", 2)
+        schedule.record_commit(2)
+        profiles = collect_trace_profiles(schedule, {1: "loader", 2: "deriver"})
+        by_name = {p.name: p for p in profiles}
+        assert by_name["loader"].writes == {"a"}
+        assert by_name["deriver"].reads == {"a"}
+        assert by_name["deriver"].writes == {"b"}
+        assert by_name["deriver"].transactions == 1
+
+    def test_uncommitted_excluded_by_default(self):
+        schedule = Schedule()
+        schedule.record_write(1, "a", 1)
+        schedule.record_abort(1)
+        assert collect_trace_profiles(schedule, {1: "x"}) == []
+
+    def test_unclassified_txns_skipped(self):
+        schedule = Schedule()
+        schedule.record_write(1, "a", 1)
+        schedule.record_commit(1)
+        assert collect_trace_profiles(schedule, {}) == []
+
+    def test_callable_classifier(self):
+        schedule = Schedule()
+        schedule.record_write(1, "a", 1)
+        schedule.record_commit(1)
+        profiles = collect_trace_profiles(
+            schedule, lambda txn_id: f"type{txn_id}"
+        )
+        assert profiles[0].name == "type1"
+
+    def test_read_write_granule_counts_as_write(self):
+        schedule = Schedule()
+        schedule.record_read(1, "a", 0)
+        schedule.record_write(1, "a", 1)
+        schedule.record_commit(1)
+        frozen = collect_trace_profiles(schedule, {1: "x"})[0].freeze()
+        assert frozen.writes == {"a"}
+        assert frozen.reads == frozenset()
+
+
+class TestEndToEndMigration:
+    """The migration story: observe a flat 2PL system, infer the
+    hierarchy, rerun under HDD."""
+
+    def run_legacy_and_classify(self):
+        partition = build_inventory_partition()
+        scheduler = TwoPhaseLocking()
+        workload = build_inventory_workload(partition, granules_per_segment=4)
+        simulator = Simulator(
+            scheduler,
+            workload,
+            clients=6,
+            seed=8,
+            target_commits=400,
+            max_steps=200_000,
+        )
+        simulator.run()
+        type_of = {
+            txn_id: spec.template
+            for txn_id, spec in simulator.committed_specs.items()
+            if not spec.read_only  # read-only txns do not shape the DHG
+        }
+        return scheduler.schedule, type_of
+
+    def test_inferred_hierarchy_matches_ground_truth(self):
+        schedule, type_of = self.run_legacy_and_classify()
+        derived = derive_partition_from_trace(schedule, type_of)
+        # Three segments, chain-shaped reduction, exactly like Figure 2.
+        assert len(derived.segment_members) == 3
+        reduction_arcs = derived.partition.index.critical_arcs()
+        assert len(reduction_arcs) == 2
+        # Granules cluster by their true segment.
+        segments_by_prefix = {}
+        for granule, segment in derived.granule_map.items():
+            prefix = granule.split(":")[0]
+            segments_by_prefix.setdefault(prefix, set()).add(segment)
+        for prefix, segments in segments_by_prefix.items():
+            assert len(segments) == 1, f"{prefix} split across {segments}"
+
+    def test_rerun_under_hdd_with_derived_partition(self):
+        schedule, type_of = self.run_legacy_and_classify()
+        derived = derive_partition_from_trace(schedule, type_of)
+        scheduler = HDDScheduler(derived.partition)
+        # Drive each inferred profile through one transaction.
+        for profile in derived.partition.profiles.values():
+            if profile.is_read_only:
+                continue
+            txn = scheduler.begin(profile=profile.name)
+            read_targets = sorted(profile.reads - profile.writes)
+            for segment in read_targets[:2]:
+                granule = derived.segment_members[segment][0]
+                assert scheduler.read(txn, granule).granted
+            own = derived.segment_members[profile.root_segment][0]
+            assert scheduler.write(txn, own, 1).granted
+            assert scheduler.commit(txn).granted
+        assert is_serializable(scheduler.schedule)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError):
+            derive_partition_from_trace(Schedule(), {})

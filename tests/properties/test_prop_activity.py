@@ -1,0 +1,183 @@
+"""Property tests for the activity link machinery.
+
+Verifies the paper's Properties 2.1 and 2.2 (the A/B inverse laws),
+monotonicity of all time-mapping functions, and the segment-tree log
+against a brute-force reference, on randomly generated activity
+histories over randomly shaped chains.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.errors import NotComputableError
+
+
+@st.composite
+def interval_sets(draw, max_txns=12, horizon=60):
+    """Non-overlapping-start interval sets: [(id, start, end|None)]."""
+    count = draw(st.integers(0, max_txns))
+    starts = draw(
+        st.lists(
+            st.integers(1, horizon), min_size=count, max_size=count, unique=True
+        )
+    )
+    starts.sort()
+    intervals = []
+    for index, start in enumerate(starts):
+        open_ended = draw(st.booleans())
+        if open_ended:
+            intervals.append((index + 1, start, None))
+        else:
+            duration = draw(st.integers(1, 25))
+            intervals.append((index + 1, start, start + duration))
+    return intervals
+
+
+def build_log(intervals, class_id="T") -> ClassActivityLog:
+    log = ClassActivityLog(class_id)
+    for txn_id, start, _ in intervals:
+        log.record_begin(txn_id, start)
+    for txn_id, _, end in intervals:
+        if end is not None:
+            log.record_end(txn_id, end)
+    return log
+
+
+def brute_i_old(intervals, m):
+    active = [
+        s for _, s, e in intervals if s < m and (e is None or e > m)
+    ]
+    return min(active) if active else m
+
+
+def brute_c_late(intervals, m):
+    relevant = [
+        (s, e) for _, s, e in intervals if s < m and (e is None or e > m)
+    ]
+    if any(e is None for _, e in relevant):
+        return None  # not computable
+    ends = [e for _, e in relevant]
+    return max(ends) if ends else m
+
+
+class TestLogAgainstBruteForce:
+    @given(interval_sets(), st.integers(0, 100))
+    @settings(max_examples=300, deadline=None)
+    def test_i_old(self, intervals, m):
+        log = build_log(intervals)
+        assert log.i_old(m) == brute_i_old(intervals, m)
+
+    @given(interval_sets(), st.integers(0, 100))
+    @settings(max_examples=300, deadline=None)
+    def test_c_late(self, intervals, m):
+        log = build_log(intervals)
+        expected = brute_c_late(intervals, m)
+        if expected is None:
+            assert not log.c_late_computable(m)
+        else:
+            assert log.c_late(m) == expected
+
+    @given(interval_sets(), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_i_old_monotone(self, intervals, m1, m2):
+        if m1 > m2:
+            m1, m2 = m2, m1
+        log = build_log(intervals)
+        assert log.i_old(m1) <= log.i_old(m2)
+
+    @given(interval_sets(), st.integers(0, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_i_old_bounded_by_m(self, intervals, m):
+        assert build_log(intervals).i_old(m) <= m
+
+    @given(interval_sets(), st.integers(0, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_c_late_at_least_m(self, intervals, m):
+        log = build_log(intervals)
+        if log.c_late_computable(m):
+            assert log.c_late(m) >= m
+
+
+@st.composite
+def chain_histories(draw, max_classes=4, max_txns_per_class=6, horizon=50):
+    """A chain THG plus fully-closed activity histories per class."""
+    depth = draw(st.integers(2, max_classes))
+    classes = [f"C{i}" for i in range(depth)]
+    # Chain: C(i+1) -> C(i), so C0 is the top.
+    arcs = [(classes[i + 1], classes[i]) for i in range(depth - 1)]
+    graph = Digraph(nodes=classes, arcs=arcs)
+    tracker = ActivityTracker(SemiTreeIndex(graph))
+    txn_id = 0
+    for cls in classes:
+        count = draw(st.integers(0, max_txns_per_class))
+        starts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, horizon),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        )
+        for start in starts:
+            txn_id += 1
+            duration = draw(st.integers(1, 20))
+            tracker.record_begin(cls, txn_id, start)
+            tracker.record_end(cls, txn_id, start + duration)
+    return tracker, classes
+
+
+class TestABInverseProperties:
+    """Paper Properties 2.1 and 2.2 with the integer-clock epsilon."""
+
+    @given(chain_histories(), st.integers(0, 80))
+    @settings(max_examples=300, deadline=None)
+    def test_property_2_1(self, history, m):
+        tracker, classes = history
+        low, high = classes[-1], classes[0]
+        try:
+            b = tracker.b_func(high, low, m)
+        except NotComputableError:
+            return
+        assert tracker.a_func(low, high, b) >= m
+
+    @given(chain_histories(), st.integers(1, 80))
+    @settings(max_examples=300, deadline=None)
+    def test_property_2_2(self, history, m):
+        tracker, classes = history
+        low, high = classes[-1], classes[0]
+        try:
+            b = tracker.b_func(high, low, m)
+        except NotComputableError:
+            return
+        assert tracker.a_func(low, high, b - 1) < m
+
+    @given(chain_histories(), st.integers(0, 80), st.integers(0, 80))
+    @settings(max_examples=200, deadline=None)
+    def test_a_func_monotone(self, history, m1, m2):
+        tracker, classes = history
+        if m1 > m2:
+            m1, m2 = m2, m1
+        low, high = classes[-1], classes[0]
+        assert tracker.a_func(low, high, m1) <= tracker.a_func(low, high, m2)
+
+    @given(chain_histories(), st.integers(0, 80))
+    @settings(max_examples=200, deadline=None)
+    def test_e_equals_a_on_ascending_walks(self, history, m):
+        tracker, classes = history
+        low, high = classes[-1], classes[0]
+        assert tracker.e_func(low, high, m) == tracker.a_func(low, high, m)
+
+    @given(chain_histories(), st.integers(0, 80))
+    @settings(max_examples=200, deadline=None)
+    def test_e_equals_b_on_descending_walks(self, history, m):
+        tracker, classes = history
+        low, high = classes[-1], classes[0]
+        try:
+            b = tracker.b_func(high, low, m)
+        except NotComputableError:
+            return
+        assert tracker.e_func(high, low, m) == b

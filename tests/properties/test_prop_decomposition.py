@@ -1,0 +1,120 @@
+"""Property tests for the §7.2 decomposition pipeline and §7.1.1
+restructuring: any access pattern in, a legal partition out."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import GranuleProfile, derive_partition
+from repro.core.graph import is_transitive_semi_tree
+from repro.core.restructure import (
+    RestructuringHDDScheduler,
+    plan_restructure,
+    restructured_partition,
+)
+from repro.sim.inventory import build_inventory_partition
+from repro.txn.depgraph import is_serializable
+
+GRANULES = [f"g{i}" for i in range(10)]
+
+
+@st.composite
+def granule_profiles(draw, max_profiles=5):
+    count = draw(st.integers(1, max_profiles))
+    profiles = []
+    for index in range(count):
+        writes = draw(
+            st.sets(st.sampled_from(GRANULES), min_size=0, max_size=3)
+        )
+        reads = draw(
+            st.sets(st.sampled_from(GRANULES), min_size=0, max_size=4)
+        )
+        if not writes and not reads:
+            reads = {GRANULES[0]}
+        profiles.append(
+            GranuleProfile(
+                f"p{index}", writes=frozenset(writes), reads=frozenset(reads)
+            )
+        )
+    return profiles
+
+
+@given(granule_profiles())
+@settings(max_examples=200, deadline=None)
+def test_derive_partition_always_legal(profiles):
+    derived = derive_partition(profiles)
+    # The result is a validated TST partition...
+    assert is_transitive_semi_tree(derived.partition.dhg)
+    # ...covering every granule exactly once...
+    covered = [
+        granule
+        for members in derived.segment_members.values()
+        for granule in members
+    ]
+    accessed = {g for p in profiles for g in p.accesses}
+    assert sorted(covered) == sorted(accessed)
+    # ...and every update profile has exactly one root segment.
+    for profile in derived.partition.profiles.values():
+        if not profile.is_read_only:
+            assert len(profile.writes) == 1
+
+
+@given(granule_profiles())
+@settings(max_examples=100, deadline=None)
+def test_derive_partition_deterministic(profiles):
+    first = derive_partition(profiles)
+    second = derive_partition(profiles)
+    assert first.granule_map == second.granule_map
+
+
+@st.composite
+def adhoc_patterns(draw):
+    segments = ["events", "inventory", "orders"]
+    writes = draw(st.sets(st.sampled_from(segments), min_size=1, max_size=3))
+    reads = draw(st.sets(st.sampled_from(segments), min_size=0, max_size=3))
+    return sorted(writes), sorted(reads)
+
+
+@given(adhoc_patterns())
+@settings(max_examples=100, deadline=None)
+def test_plan_restructure_always_legalises(pattern):
+    writes, reads = pattern
+    partition = build_inventory_partition()
+    plan = plan_restructure(partition, writes=writes, reads=reads)
+    merged = restructured_partition(partition, plan, adhoc_profile="adhoc")
+    # The merged partition validates (TST) and hosts the ad-hoc profile.
+    assert is_transitive_semi_tree(merged.dhg)
+    adhoc = merged.profile("adhoc")
+    assert len(adhoc.writes) == 1
+    root = adhoc.root_segment
+    for read in adhoc.reads:
+        assert read == root or merged.is_higher(read, root)
+
+
+@given(adhoc_patterns(), st.integers(0, 1_000))
+@settings(max_examples=25, deadline=None)
+def test_traffic_across_restructure_serializable(pattern, seed):
+    """Run traffic, restructure mid-flight, run the ad-hoc transaction
+    and more traffic: the whole history stays serializable."""
+    writes, reads = pattern
+    scheduler = RestructuringHDDScheduler(build_inventory_partition())
+
+    def one(profile, granule, value):
+        txn = scheduler.begin(profile=profile)
+        scheduler.write(txn, granule, value)
+        scheduler.commit(txn)
+
+    one("type1_log_event", f"events:s{seed % 7}", seed)
+    one("type2_post_inventory", f"inventory:i{seed % 5}", seed)
+    scheduler.run_adhoc_profile("adhoc", writes=writes, reads=reads)
+    txn = scheduler.begin(profile="adhoc")
+    for segment in reads:
+        assert scheduler.read(
+            txn, scheduler.partition.granule(segment, "x")
+        ).granted
+    root = scheduler.partition.profile("adhoc").root_segment
+    assert scheduler.write(
+        txn, scheduler.partition.granule(root, "y"), seed
+    ).granted
+    assert scheduler.commit(txn).granted
+    one("type1_log_event", f"events:s{(seed + 1) % 7}", seed + 1)
+    assert is_serializable(scheduler.schedule, mode="mvsg")

@@ -1,0 +1,126 @@
+"""Property tests for the dependency-graph oracle on random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.txn.depgraph import (
+    build_dependency_graph,
+    is_serializable,
+    serialization_order,
+)
+from repro.txn.schedule import Schedule
+
+
+@st.composite
+def random_schedules(draw, max_txns=5, max_steps=14, granules=("x", "y", "z")):
+    """Random multi-version schedules with consistent version choices.
+
+    Writers install at a per-txn timestamp (its id, which also encodes
+    begin order); readers pick any version that exists at that point in
+    the schedule.  A random subset of transactions commits.
+    """
+    n_txns = draw(st.integers(1, max_txns))
+    steps = draw(st.integers(1, max_steps))
+    schedule = Schedule()
+    existing: dict[str, list[int]] = {g: [0] for g in granules}
+    writers: dict[tuple[str, int], int] = {}
+    for _ in range(steps):
+        txn = draw(st.integers(1, n_txns))
+        granule = draw(st.sampled_from(list(granules)))
+        if draw(st.booleans()):
+            version = draw(st.sampled_from(existing[granule]))
+            schedule.record_read(txn, granule, version)
+        else:
+            if (granule, txn) in writers:
+                continue  # one version per txn per granule
+            schedule.record_write(txn, granule, txn)
+            existing[granule].append(txn)
+            writers[(granule, txn)] = txn
+    for txn in range(1, n_txns + 1):
+        if draw(st.booleans()):
+            schedule.record_commit(txn)
+        else:
+            schedule.record_abort(txn)
+    return schedule
+
+
+@st.composite
+def serial_schedules(draw, max_txns=5, granules=("x", "y")):
+    """Strictly serial executions: each txn runs to commit alone,
+    always reading the newest committed version."""
+    n_txns = draw(st.integers(1, max_txns))
+    schedule = Schedule()
+    newest = {g: 0 for g in granules}
+    for txn in range(1, n_txns + 1):
+        ops = draw(st.integers(1, 4))
+        for _ in range(ops):
+            granule = draw(st.sampled_from(list(granules)))
+            if draw(st.booleans()):
+                schedule.record_read(txn, granule, newest[granule])
+            else:
+                schedule.record_write(txn, granule, txn)
+                newest[granule] = txn
+        schedule.record_commit(txn)
+    return schedule
+
+
+@given(serial_schedules())
+@settings(max_examples=300, deadline=None)
+def test_serial_schedules_always_serializable(schedule):
+    assert is_serializable(schedule, mode="paper")
+    assert is_serializable(schedule, mode="mvsg")
+
+
+@given(serial_schedules())
+@settings(max_examples=200, deadline=None)
+def test_serial_order_recovered(schedule):
+    """On a serial execution the oracle's order equals execution order
+    wherever transactions are actually constrained."""
+    order = serialization_order(schedule)
+    graph, _ = build_dependency_graph(schedule)
+    position = {txn: i for i, txn in enumerate(order)}
+    for later, earlier in graph.arcs:
+        assert position[earlier] < position[later]
+
+
+@given(random_schedules())
+@settings(max_examples=400, deadline=None)
+def test_paper_edges_subset_of_mvsg(schedule):
+    paper, _ = build_dependency_graph(schedule, mode="paper")
+    mvsg, _ = build_dependency_graph(schedule, mode="mvsg")
+    for arc in paper.arcs:
+        assert mvsg.has_arc(*arc)
+
+
+@given(random_schedules())
+@settings(max_examples=400, deadline=None)
+def test_mvsg_acyclic_implies_paper_acyclic(schedule):
+    if is_serializable(schedule, mode="mvsg"):
+        assert is_serializable(schedule, mode="paper")
+
+
+@given(random_schedules())
+@settings(max_examples=300, deadline=None)
+def test_aborted_txns_never_affect_the_graph(schedule):
+    """Dropping aborted transactions' steps entirely leaves TG equal."""
+    graph_before, _ = build_dependency_graph(schedule, mode="mvsg")
+    aborted = schedule.aborted_txn_ids()
+    filtered = Schedule()
+    for step in schedule.steps:
+        if step.txn_id in aborted:
+            continue
+        filtered.steps.append(step)
+    graph_after, _ = build_dependency_graph(filtered, mode="mvsg")
+    assert graph_before == graph_after
+
+
+@given(random_schedules())
+@settings(max_examples=300, deadline=None)
+def test_serialization_order_respects_every_dependency(schedule):
+    if not is_serializable(schedule, mode="paper"):
+        return
+    order = serialization_order(schedule)
+    graph, _ = build_dependency_graph(schedule, mode="paper")
+    position = {txn: i for i, txn in enumerate(order)}
+    for later, earlier in graph.arcs:
+        assert position[earlier] < position[later]

@@ -1,0 +1,76 @@
+"""Property tests for topologically-follows (paper Properties 1.1, 1.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activity import ActivityTracker
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.core.relation import topologically_follows
+
+
+@st.composite
+def chain_trackers(draw, depth=3, horizon=40):
+    """A 3-class chain with closed random histories (C0 on top)."""
+    classes = [f"C{i}" for i in range(depth)]
+    arcs = [(classes[i + 1], classes[i]) for i in range(depth - 1)]
+    tracker = ActivityTracker(SemiTreeIndex(Digraph(nodes=classes, arcs=arcs)))
+    txn_id = 0
+    for cls in classes:
+        count = draw(st.integers(0, 5))
+        starts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, horizon),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        )
+        for start in starts:
+            txn_id += 1
+            tracker.record_begin(cls, txn_id, start)
+            tracker.record_end(cls, txn_id, start + draw(st.integers(1, 15)))
+    return tracker, classes
+
+
+transaction_placements = st.tuples(
+    st.integers(0, 2), st.integers(1, 50)
+)  # (class index, initiation)
+
+
+@given(chain_trackers(), transaction_placements, transaction_placements)
+@settings(max_examples=400, deadline=None)
+def test_property_1_1_antisymmetry(history, t1, t2):
+    tracker, classes = history
+    c1, i1 = classes[t1[0]], t1[1]
+    c2, i2 = classes[t2[0]], t2[1]
+    forward = topologically_follows(c1, i1, c2, i2, tracker)
+    backward = topologically_follows(c2, i2, c1, i1, tracker)
+    assert not (forward and backward)
+
+
+@given(
+    chain_trackers(),
+    transaction_placements,
+    transaction_placements,
+    transaction_placements,
+)
+@settings(max_examples=400, deadline=None)
+def test_property_1_2_critical_path_transitivity(history, t1, t2, t3):
+    tracker, classes = history
+    c1, i1 = classes[t1[0]], t1[1]
+    c2, i2 = classes[t2[0]], t2[1]
+    c3, i3 = classes[t3[0]], t3[1]
+    if topologically_follows(c1, i1, c2, i2, tracker) and topologically_follows(
+        c2, i2, c3, i3, tracker
+    ):
+        assert topologically_follows(c1, i1, c3, i3, tracker)
+
+
+@given(chain_trackers(), st.integers(1, 50), st.integers(1, 50))
+@settings(max_examples=300, deadline=None)
+def test_same_class_reduces_to_initiation_order(history, i1, i2):
+    tracker, classes = history
+    cls = classes[1]
+    assert topologically_follows(cls, i1, cls, i2, tracker) == (i1 > i2)

@@ -1,0 +1,141 @@
+"""Property tests: semi-tree recognition against brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import (
+    Digraph,
+    SemiTreeIndex,
+    is_semi_tree,
+    is_transitive_semi_tree,
+)
+
+
+@st.composite
+def small_digraphs(draw, max_nodes=6):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda a: a[0] != a[1]),
+            max_size=n * 2,
+        )
+    )
+    return Digraph(nodes=range(n), arcs=arcs)
+
+
+def count_undirected_paths(graph: Digraph, source, target) -> int:
+    """Brute force: number of simple undirected paths source -> target,
+    treating each arc as a distinct edge (antiparallel = two edges)."""
+    edges = []
+    for u, v in graph.arcs:
+        edges.append((u, v))
+
+    count = 0
+
+    def extend(node, used_edges):
+        nonlocal count
+        if node == target:
+            count += 1
+            return
+        for index, (u, v) in enumerate(edges):
+            if index in used_edges:
+                continue
+            if u == node:
+                other = v
+            elif v == node:
+                other = u
+            else:
+                continue
+            # Simple paths: do not revisit nodes.
+            if other in visited:
+                continue
+            visited.add(other)
+            extend(other, used_edges | {index})
+            visited.discard(other)
+
+    visited = {source}
+    extend(source, frozenset())
+    return count
+
+
+@given(small_digraphs())
+@settings(max_examples=200, deadline=None)
+def test_semi_tree_matches_path_uniqueness(graph):
+    expected = all(
+        count_undirected_paths(graph, u, v) <= 1
+        for u in graph.nodes
+        for v in graph.nodes
+        if u != v
+    )
+    assert is_semi_tree(graph) == expected
+
+
+@given(small_digraphs())
+@settings(max_examples=200, deadline=None)
+def test_tst_iff_reduction_is_semi_tree(graph):
+    if not graph.is_acyclic():
+        assert not is_transitive_semi_tree(graph)
+        return
+    reduction = graph.transitive_reduction()
+    assert is_transitive_semi_tree(graph) == is_semi_tree(reduction)
+
+
+@given(small_digraphs())
+@settings(max_examples=150, deadline=None)
+def test_closure_reduction_roundtrip(graph):
+    """For DAGs: closure(reduction) == closure(graph)."""
+    if not graph.is_acyclic():
+        return
+    reduction = graph.transitive_reduction()
+    assert reduction.transitive_closure() == graph.transitive_closure()
+
+
+@given(small_digraphs())
+@settings(max_examples=150, deadline=None)
+def test_reduction_is_minimal(graph):
+    """Removing any reduction arc changes the closure."""
+    if not graph.is_acyclic():
+        return
+    reduction = graph.transitive_reduction()
+    closure = graph.transitive_closure()
+    for u, v in reduction.arcs:
+        smaller = reduction.copy()
+        smaller.remove_arc(u, v)
+        assert smaller.transitive_closure() != closure
+
+
+@given(small_digraphs())
+@settings(max_examples=200, deadline=None)
+def test_index_critical_paths_unique_and_critical(graph):
+    if not is_transitive_semi_tree(graph):
+        return
+    index = SemiTreeIndex(graph)
+    for i in graph.nodes:
+        for j in graph.nodes:
+            path = index.critical_path(i, j)
+            if path is None:
+                continue
+            assert path[0] == i and path[-1] == j
+            for u, v in zip(path, path[1:]):
+                assert index.is_critical_arc(u, v)
+            # A critical path is also the (unique) undirected path.
+            assert index.undirected_critical_path(i, j) == path
+
+
+@given(small_digraphs())
+@settings(max_examples=200, deadline=None)
+def test_higher_than_is_a_strict_partial_order(graph):
+    if not is_transitive_semi_tree(graph):
+        return
+    index = SemiTreeIndex(graph)
+    nodes = graph.nodes
+    for a in nodes:
+        assert not index.is_higher(a, a)
+        for b in nodes:
+            if index.is_higher(a, b):
+                assert not index.is_higher(b, a)
+            for c in nodes:
+                if index.is_higher(a, b) and index.is_higher(b, c):
+                    assert index.is_higher(a, c)

@@ -1,0 +1,90 @@
+"""Tests for the write-ahead log and its serialisation."""
+
+import io
+
+import pytest
+
+from repro.errors import StorageError
+from repro.recovery.log import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    WriteAheadLog,
+    WriteRecord,
+    record_from_line,
+    record_to_line,
+)
+
+SAMPLE_RECORDS = [
+    BeginRecord(1, 10),
+    WriteRecord(1, "events:a", 10, 42),
+    CommitRecord(1, 12),
+    BeginRecord(2, 13),
+    WriteRecord(2, "events:b", 13, "text"),
+    AbortRecord(2),
+    CheckpointRecord(snapshot={"events:a": (10, 12, 42)}),
+]
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("record", SAMPLE_RECORDS, ids=lambda r: r.kind)
+    def test_roundtrip(self, record):
+        assert record_from_line(record_to_line(record)) == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            record_from_line('{"kind": "mystery"}')
+
+    def test_lines_are_single_line_json(self):
+        for record in SAMPLE_RECORDS:
+            assert "\n" not in record_to_line(record)
+
+
+class TestWALPersistence:
+    def test_dump_load_roundtrip(self):
+        wal = WriteAheadLog(records=list(SAMPLE_RECORDS))
+        buffer = io.StringIO()
+        assert wal.dump(buffer) == len(SAMPLE_RECORDS)
+        buffer.seek(0)
+        loaded = WriteAheadLog.load(buffer)
+        assert loaded.records == wal.records
+
+    def test_load_skips_blank_lines(self):
+        buffer = io.StringIO(
+            record_to_line(SAMPLE_RECORDS[0]) + "\n\n"
+            + record_to_line(SAMPLE_RECORDS[2]) + "\n"
+        )
+        loaded = WriteAheadLog.load(buffer)
+        assert len(loaded) == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(records=list(SAMPLE_RECORDS))
+        path = tmp_path / "wal.jsonl"
+        with open(path, "w") as stream:
+            wal.dump(stream)
+        with open(path) as stream:
+            loaded = WriteAheadLog.load(stream)
+        assert loaded.records == wal.records
+
+
+class TestCheckpointTruncation:
+    def test_last_checkpoint_index(self):
+        wal = WriteAheadLog(records=list(SAMPLE_RECORDS))
+        assert wal.last_checkpoint_index() == len(SAMPLE_RECORDS) - 1
+        assert WriteAheadLog().last_checkpoint_index() is None
+
+    def test_truncate(self):
+        wal = WriteAheadLog(records=list(SAMPLE_RECORDS))
+        dropped = wal.truncate_to_last_checkpoint()
+        assert dropped == len(SAMPLE_RECORDS) - 1
+        assert isinstance(wal.records[0], CheckpointRecord)
+
+    def test_truncate_without_checkpoint_is_noop(self):
+        wal = WriteAheadLog(records=SAMPLE_RECORDS[:3])
+        assert wal.truncate_to_last_checkpoint() == 0
+        assert len(wal) == 3
+
+    def test_committed_ids(self):
+        wal = WriteAheadLog(records=list(SAMPLE_RECORDS))
+        assert wal.committed_txn_ids() == {1}

@@ -1,0 +1,130 @@
+"""Figure 1: the lost-update anomaly (paper §1.1).
+
+Two transactions deposit/withdraw against Smith's account.  Without
+concurrency control both read the same old balance and the first update
+is lost; every shipped scheduler prevents the loss.
+"""
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.sim.inventory import build_inventory_partition
+from repro.txn.depgraph import find_dependency_cycle, is_serializable
+
+INITIAL = 100
+DEPOSIT = 50
+WITHDRAW = 30
+ACCOUNT = "events:smith"  # any single granule
+
+
+def seed_balance(scheduler) -> None:
+    scheduler.store.seed(ACCOUNT, INITIAL)
+
+
+class TestUncontrolledInterleaving:
+    """2PL with read locks disabled reproduces the figure exactly."""
+
+    def run_lost_update(self):
+        s = TwoPhaseLocking(read_locks=False)
+        seed_balance(s)
+        t1, t2 = s.begin(), s.begin()
+        balance1 = s.read(t1, ACCOUNT).value   # t1 reads 100
+        balance2 = s.read(t2, ACCOUNT).value   # t2 reads 100
+        s.write(t1, ACCOUNT, balance1 + DEPOSIT)
+        s.commit(t1)
+        s.write(t2, ACCOUNT, balance2 - WITHDRAW)
+        s.commit(t2)
+        return s
+
+    def test_update_is_lost(self):
+        s = self.run_lost_update()
+        final = s.store.chain(ACCOUNT).latest_committed().value
+        assert final == INITIAL - WITHDRAW  # 70: the deposit vanished
+        assert final != INITIAL + DEPOSIT - WITHDRAW
+
+    def test_oracle_catches_it(self):
+        s = self.run_lost_update()
+        assert not is_serializable(s.schedule, mode="mvsg")
+        cycle = find_dependency_cycle(s.schedule, mode="mvsg")
+        assert cycle is not None
+
+    def test_paper_tg_blind_spot_documented(self):
+        """The literal paper TG misses this pattern (see depgraph docs);
+        recorded here so the divergence stays visible."""
+        s = self.run_lost_update()
+        assert is_serializable(s.schedule, mode="paper")
+
+
+def run_rmw_pair(scheduler, deltas, profile=None) -> int:
+    """Run one read-modify-write transaction per delta, interleaved.
+
+    A minimal retry-until-commit driver: round-robin over the clients,
+    blocked operations are retried on later turns, aborted transactions
+    restart from scratch.  This is how a real application reacts to
+    each scheduler's decisions, so whatever the scheduler does, both
+    updates must land.  Returns the final balance.
+    """
+    clients = [
+        {"delta": delta, "txn": None, "pc": 0, "value": None}
+        for delta in deltas
+    ]
+    for _ in range(200):
+        if all(c["pc"] == 3 for c in clients):
+            break
+        for client in clients:
+            if client["pc"] == 3:
+                continue
+            if client["txn"] is None or not client["txn"].is_active:
+                client["txn"] = scheduler.begin(profile=profile)
+                client["pc"] = 0
+            txn = client["txn"]
+            if client["pc"] == 0:
+                outcome = scheduler.read(txn, ACCOUNT)
+                if outcome.granted:
+                    client["value"] = outcome.value
+                    client["pc"] = 1
+            elif client["pc"] == 1:
+                outcome = scheduler.write(
+                    txn, ACCOUNT, client["value"] + client["delta"]
+                )
+                if outcome.granted:
+                    client["pc"] = 2
+            elif client["pc"] == 2:
+                outcome = scheduler.commit(txn)
+                if outcome.granted:
+                    client["pc"] = 3
+            if outcome.aborted:
+                client["txn"] = None  # restart next turn
+                client["pc"] = 0
+    else:
+        raise AssertionError("RMW pair did not finish in 200 rounds")
+    return scheduler.store.chain(ACCOUNT).latest_committed().value
+
+
+class TestProtectedSchedulers:
+    EXPECTED = INITIAL + DEPOSIT - WITHDRAW
+
+    def check(self, scheduler, profile=None):
+        seed_balance(scheduler)
+        final = run_rmw_pair(scheduler, [DEPOSIT, -WITHDRAW], profile=profile)
+        assert final == self.EXPECTED
+        assert is_serializable(scheduler.schedule, mode="mvsg")
+
+    def test_2pl_preserves_both_updates(self):
+        self.check(TwoPhaseLocking())
+
+    def test_to_preserves_both_updates(self):
+        self.check(TimestampOrdering())
+
+    def test_mvto_preserves_both_updates(self):
+        self.check(MultiversionTimestampOrdering())
+
+    def test_hdd_preserves_both_updates(self):
+        # Both transactions are type-1 (events class): Protocol B.
+        self.check(
+            HDDScheduler(build_inventory_partition()),
+            profile="type1_log_event",
+        )

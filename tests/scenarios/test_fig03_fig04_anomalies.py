@@ -1,0 +1,152 @@
+"""Figures 3 and 4: the paper's inventory anomaly constructions (§1.2.1).
+
+Both figures show the same three-transaction pattern over the inventory
+schema: a type-3 reorder transaction reads the *new* inventory level
+(computed by type 2 from a merchandise-arrival event) but the *old*
+event stream — an inconsistent view that produces a dependency cycle
+t1 -> t3 -> t2 -> t1.  Figure 3 builds it under 2PL with the type-3
+reads unlocked; Figure 4 under timestamp ordering with the type-3 reads
+unstamped.  With the protections on, the exact timing is impossible;
+under HDD the same timing is *allowed* but yields a consistent (old,
+old) view instead.
+"""
+
+from repro.baselines.timestamp_ordering import TimestampOrdering
+from repro.baselines.two_phase_locking import TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.sim.inventory import build_inventory_partition
+from repro.txn.depgraph import find_dependency_cycle, is_serializable
+
+EVENT = "events:arrival-y"      # merchandise-arrival record y
+LEVEL = "inventory:item-x"      # current inventory level of item x
+ORDER = "orders:item-x"         # reorder record
+
+
+def drive_figure_timing(scheduler, use_profiles=False):
+    """The exact interleaving of Figures 3/4.
+
+    All three transactions are live concurrently (initiation order t1 <
+    t2 < t3, as timestamp ordering requires for the anomaly): t3 reads
+    the event stream first, t1 then logs the arrival, t2 recomputes the
+    inventory from it, and t3 finally reads the (new) inventory and
+    decides to reorder.  Returns t3's two views.
+    """
+    def begin(profile):
+        return scheduler.begin(profile=profile) if use_profiles else scheduler.begin()
+
+    t1 = begin("type1_log_event")
+    t2 = begin("type2_post_inventory")
+    t3 = begin("type3_reorder")
+
+    event_seen = scheduler.read(t3, EVENT)
+
+    assert scheduler.write(t1, EVENT, "arrived").granted
+    assert scheduler.commit(t1).granted
+
+    arrival = scheduler.read(t2, EVENT)
+    assert arrival.granted
+    assert scheduler.write(t2, LEVEL, 17).granted
+    assert scheduler.commit(t2).granted
+
+    level_seen = scheduler.read(t3, LEVEL)
+    assert scheduler.write(t3, ORDER, "reorder").granted
+    assert scheduler.commit(t3).granted
+    return event_seen, level_seen, (t1, t2, t3)
+
+
+class TestFigure3:
+    """2PL: without read locks the anomaly occurs; with them it cannot."""
+
+    def test_anomaly_without_read_locks(self):
+        s = TwoPhaseLocking(read_locks=False)
+        event_seen, level_seen, _ = drive_figure_timing(s)
+        assert event_seen.value == 0          # old event stream...
+        assert level_seen.value == 17         # ...but new inventory
+        assert not is_serializable(s.schedule, mode="paper")
+        cycle = find_dependency_cycle(s.schedule, mode="paper")
+        assert cycle is not None and len(cycle) == 3
+
+    def test_read_locks_make_timing_impossible(self):
+        s = TwoPhaseLocking(read_locks=True)
+        t3 = s.begin()
+        assert s.read(t3, EVENT).granted       # S lock held to commit
+        t1 = s.begin()
+        outcome = s.write(t1, EVENT, "arrived")
+        assert outcome.blocked                  # the figure's timing dies here
+        assert s.stats.write_blocks == 1
+
+
+class TestFigure4:
+    """TO: without read timestamps the anomaly occurs; with them the
+    late conflicting write is rejected."""
+
+    def test_anomaly_without_read_timestamps(self):
+        s = TimestampOrdering(register_reads=False)
+        event_seen, level_seen, _ = drive_figure_timing(s)
+        assert event_seen.value == 0
+        assert level_seen.value == 17
+        assert not is_serializable(s.schedule, mode="paper")
+
+    def test_read_timestamps_reject_the_late_write(self):
+        """Same timing, timestamps on: t3's read of the event stream
+        leaves rts = I(t3), so t1's conflicting write (older timestamp)
+        is rejected — the anomaly's first link is cut."""
+        s = TimestampOrdering(register_reads=True)
+        t1 = s.begin()
+        s.begin()  # t2, unused after t1 dies
+        t3 = s.begin()
+        assert s.read(t3, EVENT).granted        # leaves rts = I(t3)
+        outcome = s.write(t1, EVENT, "arrived")
+        assert outcome.aborted
+        assert s.stats.write_rejections == 1
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_older_reader_write_rejected_variant(self):
+        """The dual construction: reader first, writer with an OLDER
+        timestamp arrives later — the read timestamp rejects it."""
+        s = TimestampOrdering(register_reads=True)
+        t_old = s.begin()
+        t_young = s.begin()
+        assert s.read(t_young, EVENT).granted   # rts = I(t_young)
+        assert s.write(t_old, EVENT, "x").aborted
+
+
+class TestHDDSameTiming:
+    """HDD admits the exact Figure 3/4 timing and stays serializable:
+    t3's walls freeze a consistent (old event, old inventory) view."""
+
+    def test_consistent_old_view(self):
+        s = HDDScheduler(build_inventory_partition())
+        event_seen, level_seen, _ = drive_figure_timing(s, use_profiles=True)
+        assert event_seen.value == 0
+        assert level_seen.value == 0            # old, but CONSISTENT
+        assert is_serializable(s.schedule, mode="paper")
+        assert is_serializable(s.schedule, mode="mvsg")
+
+    def test_no_read_overhead_for_t3(self):
+        s = HDDScheduler(build_inventory_partition())
+        drive_figure_timing(s, use_profiles=True)
+        # t3's reads of events/inventory and t2's read of events are
+        # all cross-class: unregistered.  Only intra-class reads (none
+        # here) would register.
+        assert s.stats.read_registrations == 0
+        assert s.stats.unregistered_reads == 3
+        assert s.stats.read_blocks == 0
+
+    def test_late_start_sees_everything(self):
+        """If t3 instead starts after t2 commits, it sees the new event
+        AND the new level — freshness costs nothing but timing."""
+        s = HDDScheduler(build_inventory_partition())
+        t1 = s.begin(profile="type1_log_event")
+        s.write(t1, EVENT, "arrived")
+        s.commit(t1)
+        t2 = s.begin(profile="type2_post_inventory")
+        s.read(t2, EVENT)
+        s.write(t2, LEVEL, 17)
+        s.commit(t2)
+        t3 = s.begin(profile="type3_reorder")
+        assert s.read(t3, EVENT).value == "arrived"
+        assert s.read(t3, LEVEL).value == 17
+        s.write(t3, ORDER, "reorder")
+        s.commit(t3)
+        assert is_serializable(s.schedule, mode="mvsg")

@@ -1,0 +1,120 @@
+"""Tests for the claims-pipeline case study schema (§7.4)."""
+
+import pytest
+
+from repro.baselines import TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.sim.claims import build_claims_partition, build_claims_workload
+from repro.sim.engine import Simulator
+from repro.sim.oracle import replay_serially
+from repro.txn.depgraph import is_serializable
+
+
+class TestSchema:
+    def test_partition_valid_and_fork_shaped(self):
+        partition = build_claims_partition()
+        reduction = sorted(partition.index.critical_arcs())
+        assert reduction == [
+            ("adjudication", "intake"),
+            ("adjudication", "policy"),
+            ("ledger", "payments"),
+            ("payments", "adjudication"),
+        ]
+        # The deep readers' arcs are transitively induced, not critical.
+        assert ("ledger", "adjudication") in partition.dhg.arcs
+        assert not partition.index.is_critical_arc("ledger", "adjudication")
+
+    def test_read_only_path_classification(self):
+        partition = build_claims_partition()
+        assert partition.read_only_on_one_critical_path(
+            ["intake", "adjudication"]
+        )
+        assert partition.read_only_on_one_critical_path(
+            ["payments", "ledger"]
+        )
+        # The audit spans the fork: no single critical path.
+        assert not partition.read_only_on_one_critical_path(
+            ["intake", "policy"]
+        )
+
+    def test_higher_than_order(self):
+        partition = build_claims_partition()
+        assert partition.is_higher("intake", "ledger")
+        assert partition.is_higher("policy", "adjudication")
+        assert not partition.is_higher("policy", "intake")
+
+
+class TestWorkload:
+    def test_mix_respects_profiles(self):
+        workload = build_claims_workload()
+        import random
+
+        rng = random.Random(3)
+        partition = workload.partition
+        for _ in range(200):
+            spec = workload.next_transaction(rng)
+            profile = partition.profile(spec.profile)
+            for op in spec.ops:
+                segment = partition.segment_of(op.granule)
+                if op.kind in ("w", "m"):
+                    assert segment in profile.writes
+                else:
+                    assert segment in profile.accesses
+
+    def test_read_only_share(self):
+        workload = build_claims_workload(read_only_share=0.5)
+        ro = sum(t.weight for t in workload.templates if t.read_only)
+        total = sum(t.weight for t in workload.templates)
+        assert abs(ro / total - 0.5) < 1e-9
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda p: HDDScheduler(p),
+        lambda p: HDDScheduler(p, protocol_b="to"),
+        lambda p: TwoPhaseLocking(),
+    ],
+)
+class TestExecution:
+    def test_serializable_with_oracle_and_replay(self, make):
+        partition = build_claims_partition()
+        scheduler = make(partition)
+        workload = build_claims_workload(partition, granules_per_segment=8)
+        simulator = Simulator(
+            scheduler,
+            workload,
+            clients=10,
+            seed=23,
+            target_commits=400,
+            max_steps=300_000,
+            audit=True,
+        )
+        simulator.run()
+        assert is_serializable(scheduler.schedule, mode="paper")
+        report = replay_serially(scheduler, simulator.committed_specs)
+        assert report.ok, str(report)
+
+
+class TestHDDAdvantageOnDeepHierarchy:
+    def test_registration_gap_wider_than_inventory(self):
+        """Five levels of derived data -> a larger share of reads cross
+        class boundaries -> HDD's relative saving grows."""
+
+        def registrations_per_commit(make):
+            partition = build_claims_partition()
+            scheduler = make(partition)
+            workload = build_claims_workload(partition, granules_per_segment=8)
+            result = Simulator(
+                scheduler,
+                workload,
+                clients=10,
+                seed=23,
+                target_commits=400,
+                max_steps=300_000,
+            ).run()
+            return scheduler.stats.read_registrations / result.commits
+
+        hdd = registrations_per_commit(lambda p: HDDScheduler(p))
+        tpl = registrations_per_commit(lambda p: TwoPhaseLocking())
+        assert hdd < tpl / 5

@@ -1,0 +1,116 @@
+"""Edge-case tests for the simulator engine."""
+
+from repro.baselines import TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.workload import TransactionTemplate, Workload
+
+
+def single_granule_workload(partition) -> Workload:
+    return Workload(
+        partition=partition,
+        templates=[
+            TransactionTemplate(
+                name="rw",
+                profile="type1_log_event",
+                recipe=(("events", "r"), ("events", "w")),
+            )
+        ],
+        granules_per_segment=1,
+    )
+
+
+class TestStallHandling:
+    def test_external_lock_holder_bounds_progress(self):
+        """A lock held by a transaction no client manages can never be
+        released; the engine must neither crash nor spin forever — it
+        runs out its step budget with zero commits."""
+        partition = build_inventory_partition()
+        scheduler = TwoPhaseLocking()
+        hog = scheduler.begin()
+        scheduler.write(hog, "events:g0", 0)  # X lock held forever
+        workload = single_granule_workload(partition)
+        result = Simulator(
+            scheduler, workload, clients=3, seed=1, max_steps=5_000
+        ).run()
+        assert result.commits == 0
+        assert result.steps == 5_000
+
+    def test_stall_report_names_all_clients(self):
+        partition = build_inventory_partition()
+        scheduler = HDDScheduler(partition)
+        workload = single_granule_workload(partition)
+        simulator = Simulator(scheduler, workload, clients=3, seed=1, max_steps=10)
+        simulator.run()
+        report = simulator._stall_report()
+        for client_id in range(3):
+            assert f"c{client_id}=" in report
+
+
+class TestExternallyKilledTransactions:
+    def test_wounded_client_restarts(self):
+        """A client whose transaction was wounded by another client's
+        older transaction restarts transparently."""
+        partition = build_inventory_partition()
+        scheduler = TwoPhaseLocking(deadlock_policy="wound-wait")
+        workload = single_granule_workload(partition)
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=6,
+            seed=7,
+            target_commits=100,
+            max_steps=100_000,
+            audit=True,
+        ).run()
+        assert result.commits >= 100
+        # Wounds occurred and each shows up as a client restart.
+        if scheduler.stats.deadlock_aborts:
+            assert result.restarts >= scheduler.stats.deadlock_aborts
+
+
+class TestThinkTimeAndBackoff:
+    def test_restart_backoff_delays_retry(self):
+        partition = build_inventory_partition()
+
+        def commits_with_backoff(backoff):
+            scheduler = HDDScheduler(
+                build_inventory_partition(), protocol_b="to"
+            )
+            workload = Workload(
+                partition=build_inventory_partition(),
+                templates=[
+                    TransactionTemplate(
+                        name="hot",
+                        profile="type1_log_event",
+                        recipe=(("events", "m"),),
+                    )
+                ],
+                granules_per_segment=1,
+            )
+            return Simulator(
+                scheduler,
+                workload,
+                clients=6,
+                seed=2,
+                max_steps=4_000,
+                restart_backoff=backoff,
+            ).run()
+
+        fast = commits_with_backoff(0)
+        slow = commits_with_backoff(50)
+        assert fast.commits != slow.commits  # backoff changes the trace
+
+    def test_zero_think_time_valid(self):
+        partition = build_inventory_partition()
+        workload = build_inventory_workload(partition, granules_per_segment=4)
+        result = Simulator(
+            HDDScheduler(partition),
+            workload,
+            clients=2,
+            seed=0,
+            target_commits=20,
+            think_time=0,
+        ).run()
+        assert result.commits >= 20

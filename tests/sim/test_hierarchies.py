@@ -1,0 +1,102 @@
+"""Tests for the synthetic hierarchy builders."""
+
+import random
+
+import pytest
+
+from repro.core.graph import is_transitive_semi_tree
+from repro.errors import ReproError
+from repro.sim.engine import Simulator
+from repro.sim.hierarchies import (
+    build_hierarchy_workload,
+    chain_partition,
+    random_tst,
+    star_partition,
+    tree_partition,
+)
+from repro.core.scheduler import HDDScheduler
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("depth", [1, 2, 4, 7])
+    def test_chain_valid(self, depth):
+        partition = chain_partition(depth)
+        assert len(partition.segments) == depth
+        assert is_transitive_semi_tree(partition.dhg)
+
+    def test_chain_reads_go_up(self):
+        partition = chain_partition(4)
+        profile = partition.profile("update_L3")
+        assert profile.reads == {"L0", "L1", "L2", "L3"}
+        assert partition.is_higher("L0", "L3")
+
+    @pytest.mark.parametrize("leaves", [1, 3, 8])
+    def test_star_valid(self, leaves):
+        partition = star_partition(leaves)
+        assert len(partition.segments) == leaves + 1
+        assert is_transitive_semi_tree(partition.dhg)
+        for i in range(leaves):
+            assert partition.is_higher("hub", f"leaf{i}")
+
+    @pytest.mark.parametrize("depth,branching", [(1, 1), (2, 2), (3, 2), (2, 4)])
+    def test_tree_valid(self, depth, branching):
+        partition = tree_partition(depth, branching)
+        expected_nodes = sum(branching**i for i in range(depth))
+        assert len(partition.segments) == expected_nodes
+        assert is_transitive_semi_tree(partition.dhg)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ReproError):
+            chain_partition(0)
+        with pytest.raises(ReproError):
+            star_partition(0)
+        with pytest.raises(ReproError):
+            tree_partition(0, 2)
+
+
+class TestRandomTST:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_tst(self, seed):
+        rng = random.Random(seed)
+        graph = random_tst(10, rng, extra_transitive=5)
+        assert is_transitive_semi_tree(graph)
+
+    def test_extra_arcs_added_when_possible(self):
+        rng = random.Random(1)
+        bare = random_tst(12, random.Random(1), extra_transitive=0)
+        rich = random_tst(12, rng, extra_transitive=100)
+        assert rich.arc_count() >= bare.arc_count()
+
+
+class TestHierarchyWorkload:
+    def test_runs_on_chain(self):
+        partition = chain_partition(4)
+        workload = build_hierarchy_workload(partition)
+        result = Simulator(
+            HDDScheduler(partition),
+            workload,
+            clients=6,
+            seed=2,
+            target_commits=150,
+            audit=True,
+        ).run()
+        assert result.commits >= 150
+
+    def test_runs_on_tree(self):
+        partition = tree_partition(3, 2)
+        workload = build_hierarchy_workload(partition)
+        result = Simulator(
+            HDDScheduler(partition),
+            workload,
+            clients=6,
+            seed=2,
+            target_commits=150,
+            audit=True,
+        ).run()
+        assert result.commits >= 150
+
+    def test_top_class_recipe_has_no_upward_reads(self):
+        partition = chain_partition(3)
+        workload = build_hierarchy_workload(partition)
+        top = next(t for t in workload.templates if t.name == "update_L0")
+        assert all(segment == "L0" for segment, _ in top.recipe)

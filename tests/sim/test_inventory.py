@@ -1,0 +1,94 @@
+"""Tests for the paper's Figure 2 inventory schema and workload."""
+
+import random
+
+import pytest
+
+from repro.sim.inventory import (
+    build_inventory_partition,
+    build_inventory_workload,
+)
+
+
+class TestSchema:
+    def test_dhg_shape_matches_figure2(self):
+        partition = build_inventory_partition()
+        assert sorted(partition.dhg.arcs) == [
+            ("inventory", "events"),
+            ("orders", "events"),
+            ("orders", "inventory"),
+        ]
+        # The transitive reduction is the chain.
+        assert sorted(partition.index.critical_arcs()) == [
+            ("inventory", "events"),
+            ("orders", "inventory"),
+        ]
+
+    def test_level_check_on_one_critical_path(self):
+        partition = build_inventory_partition()
+        assert partition.read_only_on_one_critical_path(
+            partition.profile("level_check").reads
+        )
+
+    def test_report_covers_all_segments(self):
+        partition = build_inventory_partition()
+        assert partition.profile("report").reads == {
+            "events",
+            "inventory",
+            "orders",
+        }
+
+
+class TestWorkload:
+    def test_default_mix(self):
+        workload = build_inventory_workload()
+        names = {t.name for t in workload.templates}
+        assert names == {
+            "type1_log_event",
+            "type2_post_inventory",
+            "type3_reorder",
+            "report",
+            "level_check",
+        }
+
+    def test_read_only_share(self):
+        workload = build_inventory_workload(read_only_share=0.5)
+        ro_weight = sum(t.weight for t in workload.templates if t.read_only)
+        total = sum(t.weight for t in workload.templates)
+        assert abs(ro_weight / total - 0.5) < 1e-9
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            build_inventory_workload(read_only_share=1.0)
+
+    def test_event_reads_parameter(self):
+        workload = build_inventory_workload(event_reads=6)
+        type2 = next(
+            t for t in workload.templates if t.name == "type2_post_inventory"
+        )
+        event_reads = [
+            1 for segment, kind in type2.recipe
+            if segment == "events" and kind == "r"
+        ]
+        assert len(event_reads) == 6
+
+    def test_type1_is_pure_insert(self):
+        workload = build_inventory_workload()
+        type1 = next(
+            t for t in workload.templates if t.name == "type1_log_event"
+        )
+        assert type1.recipe == (("events", "w"),)
+
+    def test_specs_respect_profiles(self):
+        workload = build_inventory_workload()
+        rng = random.Random(4)
+        partition = workload.partition
+        for _ in range(100):
+            spec = workload.next_transaction(rng)
+            profile = partition.profile(spec.profile)
+            for op in spec.ops:
+                segment = partition.segment_of(op.granule)
+                if op.kind == "w":
+                    assert segment in profile.writes
+                else:
+                    assert segment in profile.accesses

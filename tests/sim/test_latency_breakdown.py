@@ -1,0 +1,84 @@
+"""Tests for blocked-time accounting and baseline GC."""
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    SDD1Pipelining,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+
+
+def run(make_scheduler, seed=9, commits=300):
+    partition = build_inventory_partition()
+    scheduler = make_scheduler(partition)
+    workload = build_inventory_workload(partition, granules_per_segment=6)
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=8,
+        seed=seed,
+        target_commits=commits,
+        max_steps=300_000,
+    ).run()
+    return result, scheduler
+
+
+class TestBlockedTime:
+    def test_hdd_nearly_wait_free(self):
+        result, _ = run(lambda p: HDDScheduler(p))
+        assert result.blocked_steps_per_commit < 1.0
+
+    def test_sdd1_dominated_by_waiting(self):
+        hdd_result, _ = run(lambda p: HDDScheduler(p))
+        sdd1_result, _ = run(lambda p: SDD1Pipelining(p))
+        assert (
+            sdd1_result.blocked_steps_per_commit
+            > 10 * max(hdd_result.blocked_steps_per_commit, 0.1)
+        )
+
+    def test_2pl_blocking_between(self):
+        tpl_result, _ = run(lambda p: TwoPhaseLocking())
+        sdd1_result, _ = run(lambda p: SDD1Pipelining(p))
+        assert 0 < tpl_result.blocked_steps_per_commit
+        assert (
+            tpl_result.blocked_steps_per_commit
+            < sdd1_result.blocked_steps_per_commit
+        )
+
+    def test_zero_commit_guard(self):
+        from repro.sim.metrics import SimulationResult
+
+        assert SimulationResult("x", 0, 0, 0).blocked_steps_per_commit == 0
+
+
+class TestBaselineGC:
+    def test_mvto_gc_prunes_quiescent_history(self):
+        result, scheduler = run(lambda p: MultiversionTimestampOrdering())
+        before = scheduler.store.total_versions()
+        report = scheduler.collect_garbage()
+        after = scheduler.store.total_versions()
+        assert report.pruned_versions > 0
+        assert after == before - report.pruned_versions
+
+    def test_mvto_gc_respects_active_reader(self):
+        scheduler = MultiversionTimestampOrdering()
+        for value in range(5):
+            txn = scheduler.begin()
+            scheduler.write(txn, "g", value)
+            scheduler.commit(txn)
+        reader = scheduler.begin()  # pins the watermark at its I
+        for value in range(5, 8):
+            txn = scheduler.begin()
+            scheduler.write(txn, "g", value)
+            scheduler.commit(txn)
+        scheduler.collect_garbage()
+        outcome = scheduler.read(reader, "g")
+        assert outcome.granted and outcome.value == 4  # newest before I
+
+    def test_watermark_with_no_active_txns_is_now(self):
+        scheduler = MultiversionTimestampOrdering()
+        txn = scheduler.begin()
+        scheduler.commit(txn)
+        assert scheduler.safe_watermark() == scheduler.clock.now

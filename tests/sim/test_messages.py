@@ -1,0 +1,96 @@
+"""Tests for the §7.5 message-cost model."""
+
+from repro.baselines import SDD1Pipelining, TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.sim.messages import MessageReport, message_report
+
+
+def run(scheduler, partition, seed=6, commits=300):
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    return Simulator(
+        scheduler,
+        workload,
+        clients=8,
+        seed=seed,
+        target_commits=commits,
+        max_steps=200_000,
+    ).run()
+
+
+class TestCostModel:
+    def test_data_messages_are_two_per_op(self):
+        partition = build_inventory_partition()
+        scheduler = HDDScheduler(partition)
+        txn = scheduler.begin(profile="type1_log_event")
+        scheduler.write(txn, "events:a", 1)
+        scheduler.commit(txn)
+        report = message_report(scheduler, partition.segment_of)
+        assert report.data_messages == 2  # one write
+        assert report.commit_fanout_messages == 2  # one segment touched
+
+    def test_registration_messages_counted(self):
+        partition = build_inventory_partition()
+        scheduler = HDDScheduler(partition)
+        writer = scheduler.begin(profile="type1_log_event")
+        scheduler.write(writer, "events:a", 1)
+        scheduler.commit(writer)
+        reader = scheduler.begin(profile="type1_log_event")
+        scheduler.read(reader, "events:a")  # intra-class: registers
+        scheduler.commit(reader)
+        report = message_report(scheduler, partition.segment_of)
+        assert report.registration_messages == 1
+
+    def test_wall_broadcasts_scaled_by_segments(self):
+        partition = build_inventory_partition()
+        scheduler = HDDScheduler(partition, wall_interval=1)
+        for value in range(5):
+            txn = scheduler.begin(profile="type1_log_event")
+            scheduler.write(txn, "events:a", value)
+            scheduler.commit(txn)
+        report = message_report(scheduler, partition.segment_of)
+        walls = len(scheduler.walls.released)
+        assert report.wall_broadcast_messages == 3 * walls
+
+    def test_per_commit_normalisation(self):
+        report = MessageReport(data_messages=20, registration_messages=10)
+        row = report.per_commit(10)
+        assert row["data/commit"] == 2.0
+        assert row["sync/commit"] == 1.0
+
+    def test_zero_commit_guard(self):
+        assert MessageReport().per_commit(0)["total/commit"] == 0.0
+
+
+class TestSection75Claim:
+    def test_hdd_fewer_sync_messages_than_2pl(self):
+        partition = build_inventory_partition()
+        hdd = HDDScheduler(partition)
+        hdd_result = run(hdd, partition)
+        hdd_report = message_report(hdd, partition.segment_of)
+
+        partition2 = build_inventory_partition()
+        tpl = TwoPhaseLocking()
+        tpl_result = run(tpl, partition2)
+        tpl_report = message_report(tpl, partition2.segment_of)
+
+        hdd_sync = hdd_report.synchronization_messages / hdd_result.commits
+        tpl_sync = tpl_report.synchronization_messages / tpl_result.commits
+        assert hdd_sync < tpl_sync
+
+    def test_hdd_fewer_sync_messages_than_sdd1(self):
+        partition = build_inventory_partition()
+        hdd = HDDScheduler(partition)
+        hdd_result = run(hdd, partition)
+        hdd_report = message_report(hdd, partition.segment_of)
+
+        partition2 = build_inventory_partition()
+        sdd1 = SDD1Pipelining(partition2)
+        sdd1_result = run(sdd1, partition2)
+        sdd1_report = message_report(sdd1, partition2.segment_of)
+
+        hdd_sync = hdd_report.synchronization_messages / hdd_result.commits
+        sdd1_sync = sdd1_report.synchronization_messages / sdd1_result.commits
+        # SDD-1's blocking round trips dominate.
+        assert hdd_sync < sdd1_sync / 2

@@ -1,0 +1,75 @@
+"""Tests for simulation metrics."""
+
+from repro.scheduling import SchedulerStats
+from repro.sim.metrics import SimulationResult, format_table, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7], 0.95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1, 3], 0.5) == 2.0
+
+    def test_p95(self):
+        samples = list(range(1, 101))
+        assert abs(percentile(samples, 0.95) - 95.05) < 1e-9
+
+    def test_order_independent(self):
+        assert percentile([5, 1, 3], 0.5) == percentile([1, 3, 5], 0.5)
+
+
+class TestSimulationResult:
+    def make(self) -> SimulationResult:
+        stats = SchedulerStats()
+        stats.commits = 10
+        stats.aborts = 2
+        stats.read_registrations = 30
+        return SimulationResult(
+            scheduler_name="x",
+            steps=100,
+            commits=10,
+            restarts=2,
+            latencies=[5, 10, 15],
+            stats=stats,
+        )
+
+    def test_throughput(self):
+        assert self.make().throughput == 0.1
+
+    def test_zero_steps(self):
+        result = SimulationResult("x", steps=0, commits=0, restarts=0)
+        assert result.throughput == 0.0
+        assert result.mean_latency == 0.0
+
+    def test_latency_stats(self):
+        result = self.make()
+        assert result.mean_latency == 10.0
+        assert result.p95_latency > 10.0
+
+    def test_abort_rate(self):
+        assert self.make().abort_rate == 0.2
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        assert summary["scheduler"] == "x"
+        assert summary["read_registrations_per_commit"] == 3.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [
+            {"name": "hdd", "value": 1},
+            {"name": "two-phase", "value": 22},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

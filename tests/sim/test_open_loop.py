@@ -1,0 +1,68 @@
+"""Tests for the open-loop (arrival-process) simulation mode."""
+
+import pytest
+
+from repro.baselines import SDD1Pipelining
+from repro.core.scheduler import HDDScheduler
+from repro.errors import ReproError
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+
+
+def run_open(make_scheduler, rate, steps=8_000, clients=8, seed=13):
+    partition = build_inventory_partition()
+    scheduler = make_scheduler(partition)
+    workload = build_inventory_workload(partition, granules_per_segment=8)
+    return Simulator(
+        scheduler,
+        workload,
+        clients=clients,
+        seed=seed,
+        max_steps=steps,
+        arrival_rate=rate,
+        audit=True,
+    ).run()
+
+
+class TestOpenLoopBasics:
+    def test_invalid_rate_rejected(self):
+        partition = build_inventory_partition()
+        workload = build_inventory_workload(partition)
+        with pytest.raises(ReproError):
+            Simulator(
+                HDDScheduler(partition), workload, arrival_rate=0.0
+            )
+
+    def test_light_load_drains(self):
+        result = run_open(lambda p: HDDScheduler(p), rate=0.02)
+        assert result.commits > 50
+        assert result.backlog <= 2  # system keeps up
+
+    def test_heavy_load_builds_backlog(self):
+        result = run_open(lambda p: HDDScheduler(p), rate=2.0)
+        assert result.backlog > 100  # offered load beyond capacity
+
+    def test_latency_includes_queueing(self):
+        light = run_open(lambda p: HDDScheduler(p), rate=0.02)
+        heavy = run_open(lambda p: HDDScheduler(p), rate=0.5)
+        assert heavy.mean_latency > light.mean_latency
+
+    def test_deterministic(self):
+        first = run_open(lambda p: HDDScheduler(p), rate=0.1)
+        second = run_open(lambda p: HDDScheduler(p), rate=0.1)
+        assert first.commits == second.commits
+        assert first.latencies == second.latencies
+
+    def test_integer_rates_supported(self):
+        result = run_open(lambda p: HDDScheduler(p), rate=1.0, steps=2_000)
+        assert result.commits > 0
+
+
+class TestSaturation:
+    def test_sdd1_saturates_before_hdd(self):
+        """At a load HDD absorbs, SDD-1's pipelining already queues."""
+        rate = 0.12
+        hdd = run_open(lambda p: HDDScheduler(p), rate=rate)
+        sdd1 = run_open(lambda p: SDD1Pipelining(p), rate=rate)
+        assert hdd.backlog < sdd1.backlog
+        assert hdd.mean_latency < sdd1.mean_latency

@@ -1,0 +1,82 @@
+"""Tests for read-staleness tracking — the cost side of HDD's bargain."""
+
+import pytest
+
+from repro.baselines import TwoPhaseLocking
+from repro.core.scheduler import HDDScheduler
+from repro.sim.engine import Simulator
+from repro.sim.inventory import build_inventory_partition, build_inventory_workload
+from repro.storage.chain import VersionChain
+from repro.storage.version import Version
+
+
+class TestChainHelper:
+    def test_committed_count_after(self):
+        chain = VersionChain("s:g")
+        for ts in (3, 5, 8):
+            chain.install(Version("s:g", ts, ts, writer_id=ts))
+        chain.commit_version(5, 105)
+        chain.commit_version(8, 108)
+        assert chain.committed_count_after(0) == 2  # 5 and 8 (3 uncommitted)
+        assert chain.committed_count_after(5) == 1
+        assert chain.committed_count_after(8) == 0
+
+
+def run(scheduler, seed=5, commits=300):
+    partition = build_inventory_partition()
+    workload = build_inventory_workload(partition, granules_per_segment=6)
+    return Simulator(
+        scheduler,
+        workload,
+        clients=8,
+        seed=seed,
+        target_commits=commits,
+        max_steps=200_000,
+        track_staleness=True,
+    ).run()
+
+
+class TestSimulatedStaleness:
+    def test_samples_collected(self):
+        result = run(HDDScheduler(build_inventory_partition()))
+        assert len(result.staleness_samples) > 100
+        assert result.mean_staleness >= 0
+
+    def test_2pl_reads_are_always_fresh(self):
+        """Strict 2PL readers hold locks: every read sees the newest
+        committed version."""
+        result = run(TwoPhaseLocking())
+        assert result.fresh_read_fraction == 1.0
+        assert result.mean_staleness == 0.0
+
+    def test_hdd_trades_freshness_for_overhead(self):
+        """HDD's walls admit bounded staleness — nonzero but small."""
+        result = run(HDDScheduler(build_inventory_partition()))
+        assert result.mean_staleness > 0.0  # the cost is real
+        assert result.fresh_read_fraction > 0.5  # but most reads are fresh
+        assert result.p95_staleness < 10
+
+    def test_wall_interval_controls_read_only_staleness(self):
+        stale = []
+        for interval in (2, 200):
+            result = run(
+                HDDScheduler(
+                    build_inventory_partition(), wall_interval=interval
+                )
+            )
+            stale.append(result.mean_staleness)
+        assert stale[0] <= stale[1]  # tighter cadence, fresher reads
+
+    def test_disabled_by_default(self):
+        partition = build_inventory_partition()
+        workload = build_inventory_workload(partition, granules_per_segment=6)
+        result = Simulator(
+            HDDScheduler(partition),
+            workload,
+            clients=4,
+            seed=1,
+            target_commits=50,
+        ).run()
+        assert result.staleness_samples == []
+        assert result.mean_staleness == 0.0
+        assert result.fresh_read_fraction == 0.0

@@ -1,0 +1,126 @@
+"""Tests for workload specification and generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.inventory import build_inventory_partition
+from repro.sim.workload import TransactionTemplate, Workload
+
+
+@pytest.fixture
+def partition():
+    return build_inventory_partition()
+
+
+def simple_workload(partition, **kwargs) -> Workload:
+    defaults = dict(granules_per_segment=8)
+    defaults.update(kwargs)
+    return Workload(
+        partition=partition,
+        templates=[
+            TransactionTemplate(
+                name="t1",
+                profile="type1_log_event",
+                recipe=(("events", "w"),),
+                weight=2.0,
+            ),
+            TransactionTemplate(
+                name="report",
+                profile="report",
+                recipe=(("events", "r"), ("inventory", "r")),
+                read_only=True,
+                weight=1.0,
+            ),
+        ],
+        **defaults,
+    )
+
+
+class TestValidation:
+    def test_bad_op_kind(self):
+        with pytest.raises(ReproError):
+            TransactionTemplate("t", None, recipe=(("events", "x"),))
+
+    def test_read_only_template_with_write(self):
+        with pytest.raises(ReproError):
+            TransactionTemplate(
+                "t", None, recipe=(("events", "w"),), read_only=True
+            )
+
+    def test_profile_mismatch_rejected(self, partition):
+        with pytest.raises(ReproError, match="not allowed"):
+            Workload(
+                partition=partition,
+                templates=[
+                    TransactionTemplate(
+                        name="bad",
+                        profile="type1_log_event",
+                        recipe=(("inventory", "w"),),
+                    )
+                ],
+            )
+
+    def test_empty_templates_rejected(self, partition):
+        with pytest.raises(ReproError):
+            Workload(partition=partition, templates=[])
+
+    def test_bad_granule_count(self, partition):
+        with pytest.raises(ReproError):
+            simple_workload(partition, granules_per_segment=0)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self, partition):
+        wl = simple_workload(partition)
+        a = [wl.next_transaction(random.Random(7)) for _ in range(5)]
+        b = [wl.next_transaction(random.Random(7)) for _ in range(5)]
+        assert a == b
+
+    def test_granules_follow_convention(self, partition):
+        wl = simple_workload(partition)
+        spec = wl.next_transaction(random.Random(1))
+        for op in spec.ops:
+            segment = op.granule.split(":")[0]
+            assert segment in ("events", "inventory")
+
+    def test_weights_respected(self, partition):
+        wl = simple_workload(partition)
+        rng = random.Random(3)
+        names = [wl.next_transaction(rng).template for _ in range(600)]
+        t1_share = names.count("t1") / len(names)
+        assert 0.55 < t1_share < 0.78  # expected 2/3
+
+    def test_writes_carry_values(self, partition):
+        wl = simple_workload(partition)
+        spec = wl.next_transaction(random.Random(1))
+        for op in spec.ops:
+            if op.kind == "w":
+                assert op.value is not None
+            else:
+                assert op.value is None
+
+    def test_skew_concentrates_accesses(self, partition):
+        uniform = simple_workload(partition, skew=1.0)
+        skewed = simple_workload(partition, skew=4.0)
+        rng_u, rng_s = random.Random(5), random.Random(5)
+
+        def hot_share(wl, rng):
+            hits = 0
+            total = 0
+            for _ in range(400):
+                for op in wl.next_transaction(rng).ops:
+                    total += 1
+                    index = int(op.granule.rsplit("g", 1)[1])
+                    hits += index == 0
+            return hits / total
+
+        assert hot_share(skewed, rng_s) > 2 * hot_share(uniform, rng_u)
+
+    def test_read_only_flag_propagates(self, partition):
+        wl = simple_workload(partition)
+        rng = random.Random(0)
+        specs = [wl.next_transaction(rng) for _ in range(50)]
+        reports = [s for s in specs if s.template == "report"]
+        assert reports and all(s.read_only for s in reports)

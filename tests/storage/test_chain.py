@@ -1,0 +1,127 @@
+"""Tests for version chains and their visibility queries."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chain import VersionChain
+from repro.storage.version import Version
+
+
+def chain_with(*ts_values: int, granule: str = "s:g") -> VersionChain:
+    chain = VersionChain(granule, initial_value=0)
+    for ts in ts_values:
+        chain.install(Version(granule, ts, value=ts * 10, writer_id=ts))
+    return chain
+
+
+class TestInstall:
+    def test_bootstrap_present(self):
+        chain = VersionChain("s:g", initial_value=7)
+        assert len(chain) == 1
+        assert chain.head().value == 7
+
+    def test_sorted_insert_out_of_order(self):
+        chain = chain_with(5, 3, 8)
+        assert [v.ts for v in chain] == [0, 3, 5, 8]
+
+    def test_duplicate_ts_rejected(self):
+        chain = chain_with(5)
+        with pytest.raises(StorageError):
+            chain.install(Version("s:g", 5, 1, writer_id=9))
+
+    def test_wrong_granule_rejected(self):
+        chain = VersionChain("s:g")
+        with pytest.raises(StorageError):
+            chain.install(Version("s:other", 5, 1, writer_id=9))
+
+    def test_remove(self):
+        chain = chain_with(5, 7)
+        removed = chain.remove(5)
+        assert removed.ts == 5
+        assert [v.ts for v in chain] == [0, 7]
+        with pytest.raises(StorageError):
+            chain.remove(5)
+
+
+class TestVisibility:
+    def test_latest_before_strict(self):
+        chain = chain_with(3, 5)
+        for ts in (3, 5):
+            chain.commit_version(ts, ts + 100)
+        assert chain.latest_before(5).ts == 3  # strict: wall 5 excludes ts 5
+        assert chain.latest_before(6).ts == 5
+        assert chain.latest_before(1).ts == 0
+
+    def test_latest_before_skips_uncommitted(self):
+        chain = chain_with(3, 5)
+        chain.commit_version(3, 103)
+        assert chain.latest_before(10, committed_only=True).ts == 3
+        assert chain.latest_before(10, committed_only=False).ts == 5
+
+    def test_latest_before_none_when_wall_at_zero(self):
+        chain = chain_with()
+        assert chain.latest_before(0) is None
+
+    def test_latest_at_or_before_inclusive(self):
+        chain = chain_with(3, 5)
+        assert chain.latest_at_or_before(5).ts == 5
+        assert chain.latest_at_or_before(4).ts == 3
+
+    def test_latest_committed(self):
+        chain = chain_with(3)
+        assert chain.latest_committed().ts == 0
+        chain.commit_version(3, 100)
+        assert chain.latest_committed().ts == 3
+
+    def test_latest_committed_before_commit_ts(self):
+        chain = chain_with(3, 5)
+        chain.commit_version(5, 50)   # ts 5 commits FIRST
+        chain.commit_version(3, 60)   # older write commits later
+        assert chain.latest_committed_before_commit_ts(55).ts == 5
+        assert chain.latest_committed_before_commit_ts(61).ts == 3
+        assert chain.latest_committed_before_commit_ts(50).ts == 0
+
+    def test_next_after(self):
+        chain = chain_with(3, 5)
+        assert chain.next_after(0).ts == 3
+        assert chain.next_after(3).ts == 5
+        assert chain.next_after(5) is None
+
+    def test_version_at(self):
+        chain = chain_with(3)
+        assert chain.version_at(3).ts == 3
+        with pytest.raises(StorageError):
+            chain.version_at(4)
+
+
+class TestPrune:
+    def test_prune_keeps_snapshot_base(self):
+        chain = chain_with(3, 5, 8)
+        for ts in (3, 5, 8):
+            chain.commit_version(ts, ts + 100)
+        pruned = chain.prune_below(6)
+        # Newest committed <= 6 is ts 5; everything older goes.
+        assert [v.ts for v in pruned] == [0, 3]
+        assert [v.ts for v in chain] == [5, 8]
+
+    def test_prune_never_removes_uncommitted(self):
+        chain = chain_with(3, 5)
+        chain.commit_version(5, 105)
+        pruned = chain.prune_below(10)
+        assert [v.ts for v in pruned] == [0]
+        assert [v.ts for v in chain] == [3, 5]
+
+    def test_prune_noop_when_nothing_below(self):
+        chain = chain_with()
+        assert chain.prune_below(5) == []
+        assert len(chain) == 1
+
+    def test_prune_at_exact_version_ts_keeps_strict_base(self):
+        """A watermark equal to a version's ts: readers at that wall see
+        strictly below it, so the version below must survive."""
+        chain = chain_with(3, 5, 8)
+        for ts in (3, 5, 8):
+            chain.commit_version(ts, ts + 100)
+        chain.prune_below(5)
+        assert [v.ts for v in chain] == [3, 5, 8]
+        assert chain.latest_before(5).ts == 3

@@ -1,0 +1,59 @@
+"""Tests for the multi-version store."""
+
+import pytest
+
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+
+
+class TestLazyBootstrap:
+    def test_chain_created_on_demand(self):
+        store = MultiVersionStore(initial_value=9)
+        chain = store.chain("s:g")
+        assert chain.head().value == 9
+        assert "s:g" in store
+
+    def test_same_chain_returned(self):
+        store = MultiVersionStore()
+        assert store.chain("s:g") is store.chain("s:g")
+
+    def test_callable_initial_value(self):
+        store = MultiVersionStore(initial_value=lambda g: len(g))
+        assert store.chain("abc:d").head().value == 5
+
+    def test_seed_explicit(self):
+        store = MultiVersionStore()
+        store.seed("s:g", 123)
+        assert store.chain("s:g").head().value == 123
+        with pytest.raises(KeyError):
+            store.seed("s:g", 5)
+
+
+class TestQueries:
+    def test_install_routes_to_chain(self):
+        store = MultiVersionStore()
+        store.install(Version("s:g", 4, 44, writer_id=1))
+        assert store.chain("s:g").head().ts == 4
+
+    def test_total_versions(self):
+        store = MultiVersionStore()
+        store.chain("a:1")
+        store.install(Version("a:1", 3, 1, writer_id=1))
+        store.chain("b:2")
+        assert store.total_versions() == 3
+
+    def test_committed_value_with_wall(self):
+        store = MultiVersionStore(initial_value=0)
+        chain = store.chain("s:g")
+        chain.install(Version("s:g", 3, 30, writer_id=1, committed=True, commit_ts=4))
+        assert store.committed_value("s:g") == 30
+        assert store.committed_value("s:g", before=3) == 0
+        with pytest.raises(KeyError):
+            store.committed_value("s:g", before=0)
+
+    def test_granules_and_iter(self):
+        store = MultiVersionStore()
+        store.chain("a:1")
+        store.chain("b:2")
+        assert sorted(store.granules()) == ["a:1", "b:2"]
+        assert len(list(store)) == 2

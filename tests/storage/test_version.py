@@ -1,0 +1,36 @@
+"""Tests for versions of data granules."""
+
+from repro.storage.version import Version
+from repro.txn.clock import BOOTSTRAP_TS, BOOTSTRAP_TXN_ID
+
+
+class TestBootstrap:
+    def test_bootstrap_is_committed_at_zero(self):
+        v = Version.bootstrap("s:g", 42)
+        assert v.ts == BOOTSTRAP_TS
+        assert v.writer_id == BOOTSTRAP_TXN_ID
+        assert v.committed
+        assert v.commit_ts == BOOTSTRAP_TS
+        assert v.value == 42
+
+    def test_fresh_version_uncommitted(self):
+        v = Version("s:g", 5, 1, writer_id=7)
+        assert not v.committed
+        assert v.commit_ts is None
+        assert v.rts is None
+
+
+class TestReadRegistration:
+    def test_register_read_keeps_max(self):
+        v = Version("s:g", 5, 1, writer_id=7)
+        v.register_read(10)
+        v.register_read(8)
+        assert v.rts == 10
+        v.register_read(12)
+        assert v.rts == 12
+
+    def test_register_read_from_none(self):
+        v = Version("s:g", 5, 1, writer_id=7)
+        assert v.rts is None
+        v.register_read(3)
+        assert v.rts == 3

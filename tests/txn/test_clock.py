@@ -1,0 +1,45 @@
+"""Tests for the logical clock."""
+
+import pytest
+
+from repro.txn.clock import BOOTSTRAP_TS, EPSILON, LogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_bootstrap(self):
+        clock = LogicalClock()
+        assert clock.now == BOOTSTRAP_TS
+
+    def test_tick_is_strictly_monotonic(self):
+        clock = LogicalClock()
+        seen = [clock.tick() for _ in range(100)]
+        assert seen == sorted(set(seen))
+        assert seen[0] == BOOTSTRAP_TS + 1
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.tick()
+        before = clock.now
+        assert clock.now == before
+
+    def test_advance_to_moves_forward(self):
+        clock = LogicalClock()
+        assert clock.advance_to(50) == 50
+        assert clock.now == 50
+        assert clock.tick() == 51
+
+    def test_advance_to_never_regresses(self):
+        clock = LogicalClock(start=10)
+        assert clock.advance_to(5) == 10
+        assert clock.now == 10
+
+    def test_custom_start(self):
+        clock = LogicalClock(start=7)
+        assert clock.tick() == 8
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(start=-1)
+
+    def test_epsilon_is_one_tick(self):
+        assert EPSILON == 1

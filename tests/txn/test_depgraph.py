@@ -1,0 +1,161 @@
+"""Tests for the serializability oracle (paper Section 2)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.txn.depgraph import (
+    build_dependency_graph,
+    find_dependency_cycle,
+    is_serializable,
+    serialization_order,
+)
+from repro.txn.schedule import Schedule
+
+
+def serial_two_txn() -> Schedule:
+    """t1 writes d, commits; t2 reads d, writes d, commits."""
+    s = Schedule()
+    s.record_write(1, "d", 1)
+    s.record_commit(1)
+    s.record_read(2, "d", 1)
+    s.record_write(2, "d", 2)
+    s.record_commit(2)
+    return s
+
+
+def figure3_style_cycle() -> Schedule:
+    """The 3-transaction cycle of the paper's Figure 3.
+
+    t3 reads the old event record (e^0) and the new inventory (i^2);
+    t1 wrote e^1 (overwriting what t3 read), t2 read e^1 and wrote i^2.
+    """
+    s = Schedule()
+    s.record_read(3, "e", 0)   # t3 sees old event
+    s.record_write(1, "e", 1)  # t1 logs the arrival
+    s.record_commit(1)
+    s.record_read(2, "e", 1)   # t2 sees the arrival
+    s.record_write(2, "i", 2)  # ... and posts new inventory
+    s.record_commit(2)
+    s.record_read(3, "i", 2)   # t3 sees new inventory but not the event
+    s.record_write(3, "o", 3)
+    s.record_commit(3)
+    return s
+
+
+class TestReadsFrom:
+    def test_reads_from_edge(self):
+        graph, deps = build_dependency_graph(serial_two_txn())
+        assert graph.has_arc(2, 1)
+        kinds = {(d.later, d.earlier): d.kind for d in deps}
+        assert kinds[(2, 1)] == "reads-from"
+
+    def test_bootstrap_reads_excluded_by_default(self):
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_commit(1)
+        graph, deps = build_dependency_graph(s)
+        assert graph.nodes == [1]
+        assert deps == []
+
+    def test_bootstrap_included_on_request(self):
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_commit(1)
+        graph, _ = build_dependency_graph(s, include_bootstrap=True)
+        assert graph.has_arc(1, 0)
+
+
+class TestOverwritesRead:
+    def test_overwrite_edge_points_writer_to_reader(self):
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_write(2, "d", 2)
+        s.record_commit(1)
+        s.record_commit(2)
+        graph, deps = build_dependency_graph(s)
+        assert graph.has_arc(2, 1)
+        assert deps[0].kind == "overwrites-read"
+
+    def test_only_immediate_successor_in_paper_mode(self):
+        # d^0 read by t1; versions d^2 (t2), d^3 (t3).  Paper mode only
+        # links the immediate successor's writer (t2) to t1.
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_write(2, "d", 2)
+        s.record_write(3, "d", 3)
+        for txn in (1, 2, 3):
+            s.record_commit(txn)
+        graph, _ = build_dependency_graph(s, mode="paper")
+        assert graph.has_arc(2, 1)
+        assert not graph.has_arc(3, 1)
+
+    def test_mvsg_mode_links_all_later_writers(self):
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_write(2, "d", 2)
+        s.record_write(3, "d", 3)
+        for txn in (1, 2, 3):
+            s.record_commit(txn)
+        graph, _ = build_dependency_graph(s, mode="mvsg")
+        assert graph.has_arc(2, 1)
+        assert graph.has_arc(3, 1)
+
+    def test_aborted_writer_creates_no_edge(self):
+        s = Schedule()
+        s.record_read(1, "d", 0)
+        s.record_write(2, "d", 2)
+        s.record_commit(1)
+        s.record_abort(2)
+        graph, deps = build_dependency_graph(s)
+        assert deps == []
+
+
+class TestSerializability:
+    def test_serial_schedule_is_serializable(self):
+        assert is_serializable(serial_two_txn())
+
+    def test_figure3_cycle_detected(self):
+        s = figure3_style_cycle()
+        assert not is_serializable(s)
+        cycle = find_dependency_cycle(s)
+        assert cycle is not None
+        participants = {d.later for d in cycle}
+        assert participants == {1, 2, 3}
+
+    def test_no_cycle_returns_none(self):
+        assert find_dependency_cycle(serial_two_txn()) is None
+
+    def test_serialization_order_respects_dependencies(self):
+        order = serialization_order(serial_two_txn())
+        assert order.index(1) < order.index(2)
+
+    def test_serialization_order_raises_on_cycle(self):
+        with pytest.raises(PartitionError):
+            serialization_order(figure3_style_cycle())
+
+
+class TestLostUpdateSubtlety:
+    """Documented divergence: the literal paper TG misses the classic
+    blind read-modify-write lost update; the MVSG mode catches it."""
+
+    @staticmethod
+    def lost_update() -> Schedule:
+        s = Schedule()
+        s.record_read(1, "bal", 0)
+        s.record_read(2, "bal", 0)
+        s.record_write(1, "bal", 5)
+        s.record_write(2, "bal", 6)
+        s.record_commit(1)
+        s.record_commit(2)
+        return s
+
+    def test_paper_mode_is_blind_to_it(self):
+        assert is_serializable(self.lost_update(), mode="paper")
+
+    def test_mvsg_mode_catches_it(self):
+        assert not is_serializable(self.lost_update(), mode="mvsg")
+
+    def test_mvsg_cycle_is_reported(self):
+        cycle = find_dependency_cycle(self.lost_update(), mode="mvsg")
+        assert cycle is not None
+        assert {d.later for d in cycle} == {1, 2}

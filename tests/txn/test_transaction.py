@@ -1,0 +1,120 @@
+"""Tests for the transaction lifecycle object."""
+
+import pytest
+
+from repro.errors import InvalidTransactionState
+from repro.txn.transaction import (
+    Transaction,
+    TransactionKind,
+    TransactionStatus,
+)
+
+
+def make_txn(**kwargs) -> Transaction:
+    defaults = dict(txn_id=1, initiation_ts=10)
+    defaults.update(kwargs)
+    return Transaction(**defaults)
+
+
+class TestLifecycle:
+    def test_starts_active(self):
+        txn = make_txn()
+        assert txn.is_active
+        assert txn.status is TransactionStatus.ACTIVE
+        assert txn.end_ts is None
+
+    def test_commit_sets_timestamp(self):
+        txn = make_txn()
+        txn.mark_committed(20)
+        assert txn.is_committed
+        assert txn.commit_ts == 20
+        assert txn.end_ts == 20
+
+    def test_abort_sets_timestamp_and_reason(self):
+        txn = make_txn()
+        txn.mark_aborted(15, "deadlock")
+        assert txn.is_aborted
+        assert txn.abort_ts == 15
+        assert txn.abort_reason == "deadlock"
+        assert txn.end_ts == 15
+
+    def test_commit_before_initiation_rejected(self):
+        txn = make_txn(initiation_ts=10)
+        with pytest.raises(InvalidTransactionState):
+            txn.mark_committed(10)
+
+    def test_double_commit_rejected(self):
+        txn = make_txn()
+        txn.mark_committed(20)
+        with pytest.raises(InvalidTransactionState):
+            txn.mark_committed(30)
+
+    def test_abort_after_commit_rejected(self):
+        txn = make_txn()
+        txn.mark_committed(20)
+        with pytest.raises(InvalidTransactionState):
+            txn.mark_aborted(25, "late")
+
+    def test_abort_is_idempotent(self):
+        txn = make_txn()
+        txn.mark_aborted(15, "first")
+        txn.mark_aborted(16, "second")  # no-op for cascades
+        assert txn.abort_ts == 15
+        assert txn.abort_reason == "first"
+
+    def test_operations_on_finished_txn_rejected(self):
+        txn = make_txn()
+        txn.mark_committed(20)
+        with pytest.raises(InvalidTransactionState):
+            txn.record_read("seg:g")
+        with pytest.raises(InvalidTransactionState):
+            txn.record_write("seg:g", 1)
+
+
+class TestActivityPredicate:
+    """``active_at`` drives I_old/C_late; boundaries are strict (paper §4.1)."""
+
+    def test_active_between_start_and_end(self):
+        txn = make_txn(initiation_ts=10)
+        txn.mark_committed(20)
+        assert txn.active_at(15)
+
+    def test_not_active_at_initiation(self):
+        # I(t) < m is strict: not active at its own initiation instant.
+        txn = make_txn(initiation_ts=10)
+        assert not txn.active_at(10)
+
+    def test_not_active_at_commit_instant(self):
+        # C(t) > m is strict: not active at its own commit instant.
+        txn = make_txn(initiation_ts=10)
+        txn.mark_committed(20)
+        assert not txn.active_at(20)
+
+    def test_running_txn_active_forever_forward(self):
+        txn = make_txn(initiation_ts=10)
+        assert txn.active_at(1_000_000)
+
+    def test_aborted_txn_interval_closes(self):
+        txn = make_txn(initiation_ts=10)
+        txn.mark_aborted(12, "x")
+        assert txn.active_at(11)
+        assert not txn.active_at(12)
+
+
+class TestSets:
+    def test_access_set_is_union(self):
+        txn = make_txn()
+        txn.record_read("a:1")
+        txn.record_write("b:2", 5)
+        assert txn.access_set() == {"a:1", "b:2"}
+
+    def test_workspace_tracks_latest_value(self):
+        txn = make_txn()
+        txn.record_write("a:1", 5)
+        txn.record_write("a:1", 9)
+        assert txn.workspace["a:1"] == 9
+        assert txn.write_set == {"a:1"}
+
+    def test_read_only_kind(self):
+        txn = make_txn(kind=TransactionKind.READ_ONLY)
+        assert txn.is_read_only
