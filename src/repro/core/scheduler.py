@@ -102,12 +102,17 @@ class HDDScheduler(BaseScheduler):
         )
         #: Declared read segments of read-only transactions.
         self._ro_segments: dict[int, Optional[frozenset[SegmentId]]] = {}
-        #: Time wall pinned by each Protocol C transaction.
+        #: Time wall pinned by each Protocol C transaction.  Pinning is
+        #: mirrored into the wall manager so retirement never drops a
+        #: wall someone is still reading below.
         self._ro_walls: dict[int, TimeWall] = {}
-        #: Cached per-transaction Protocol A walls (the A function is
+        #: Cached per-transaction walls, ``txn_id -> segment -> wall``
+        #: (Protocol A walls for update transactions, fictitious-class
+        #: walls for declared-path readers).  The A function is
         #: deterministic for a fixed (class, segment, I), so caching is
-        #: purely an optimisation).
-        self._a_wall_cache: dict[tuple[int, SegmentId], Timestamp] = {}
+        #: purely an optimisation; the nesting makes :meth:`_forget` one
+        #: dict pop instead of a sweep over every segment.
+        self._a_wall_cache: dict[int, dict[SegmentId, Timestamp]] = {}
         #: Attempt a wall release at every read-only begin, trading wall
         #: computation for snapshot freshness (used by the Database
         #: facade; the paper's periodic cadence is the default).
@@ -178,14 +183,14 @@ class HDDScheduler(BaseScheduler):
         self, txn: Transaction, granule: GranuleId, segment: SegmentId
     ) -> Outcome:
         """Protocol A: wall ``A_i^j(I(t))``, no registration, no waiting."""
-        cache_key = (txn.txn_id, segment)
-        wall = self._a_wall_cache.get(cache_key)
+        cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+        wall = cache.get(segment)
         if wall is None:
             assert txn.class_id is not None
             wall = self.tracker.a_func(
                 txn.class_id, segment, txn.initiation_ts
             )
-            self._a_wall_cache[cache_key] = wall
+            cache[segment] = wall
         return self._read_below_wall(txn, granule, wall)
 
     def _read_only_read(
@@ -199,10 +204,14 @@ class HDDScheduler(BaseScheduler):
                     f"{sorted(declared)} but read {segment!r}"
                 )
             if self.partition.read_only_on_one_critical_path(declared):
-                bottom = self.partition.index.lowest_of(list(declared))
-                wall = self.tracker.a_func_from_below(
-                    bottom, segment, txn.initiation_ts
-                )
+                cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+                wall = cache.get(segment)
+                if wall is None:
+                    bottom = self.partition.index.lowest_of(list(declared))
+                    wall = self.tracker.a_func_from_below(
+                        bottom, segment, txn.initiation_ts
+                    )
+                    cache[segment] = wall
                 return self._read_below_wall(txn, granule, wall)
         return self._protocol_c_read(txn, granule, segment)
 
@@ -231,6 +240,7 @@ class HDDScheduler(BaseScheduler):
                 self.stats.wall_blocks += 1
                 return blocked(waiting_for=WAIT_TIMEWALL)
             self._ro_walls[txn.txn_id] = wall_obj
+            self.walls.pin(wall_obj)
         return self._read_below_wall(
             txn, granule, wall_obj.component(segment)
         )
@@ -327,9 +337,10 @@ class HDDScheduler(BaseScheduler):
 
     def _forget(self, txn: Transaction) -> None:
         self._ro_segments.pop(txn.txn_id, None)
-        self._ro_walls.pop(txn.txn_id, None)
-        for segment in self.partition.segments:
-            self._a_wall_cache.pop((txn.txn_id, segment), None)
+        pinned = self._ro_walls.pop(txn.txn_id, None)
+        if pinned is not None:
+            self.walls.unpin(pinned)
+        self._a_wall_cache.pop(txn.txn_id, None)
 
     # ------------------------------------------------------------------
     # Time walls and garbage collection
@@ -337,6 +348,27 @@ class HDDScheduler(BaseScheduler):
     def poll_walls(self) -> Optional[TimeWall]:
         """Drive the Protocol C wall-release loop."""
         return self.walls.poll()
+
+    def retire_walls(self) -> int:
+        """Retire released walls no present or future reader can be handed.
+
+        A wall is *live* iff it is pinned by an active Protocol C
+        transaction, is the newest released wall (the only one a future
+        reader can be handed — components are monotone in the wall base
+        time), or is ``wall_for(I(t))`` of an active read-only
+        transaction that has not pinned yet (walls released from now on
+        carry ``RT > I(t)``, so that choice is already fixed).
+        Everything else is dropped from the manager; returns the number
+        retired (DESIGN.md §8).
+        """
+        keep: set[Timestamp] = set()
+        for txn in self.active_transactions():
+            if not txn.is_read_only or txn.txn_id in self._ro_walls:
+                continue
+            candidate = self.walls.wall_for(txn.initiation_ts)
+            if candidate is not None:
+                keep.add(candidate.release_ts)
+        return self.walls.retire(keep)
 
     def safe_watermarks(self) -> dict[SegmentId, Timestamp]:
         """Per-segment GC watermarks no present or future read can undercut.
@@ -354,32 +386,59 @@ class HDDScheduler(BaseScheduler):
           bottom class, which can reach back to a long-running
           transaction's initiation, below ``A_i^j(now)``;
         * exact walls of active update transactions and declared-path
-          read-only transactions;
-        * wall components pinned by active Protocol C transactions and
-          of the latest released wall (the only wall future Protocol C
-          readers can still be handed, components being monotone in the
-          wall base time);
+          read-only transactions (served from the per-transaction wall
+          cache, so repeated GC passes do not recompute them);
+        * wall components pinned by active Protocol C transactions, the
+          ``wall_for(I(t))`` of active Protocol C transactions that have
+          not pinned yet, and the latest released wall (the only wall a
+          future Protocol C reader can be handed, components being
+          monotone in the wall base time) — retired walls are never
+          consulted;
         * ``I_old_j(now)`` — intra-class MVTO readers need versions at
           or below their own initiation timestamps.
+
+        ``A`` evaluations at ``now`` are memoised per ``(i, j)`` pair,
+        sharing critical-path prefixes: ``A_i^j(now) =
+        I_old_j(A_i^parent(now))``, so a deep hierarchy costs one
+        ``I_old`` per pair instead of one per path hop per pair.
         """
         now = self.clock.now
+        tracker = self.tracker
+        index = self.partition.index
+        a_now: dict[tuple[SegmentId, SegmentId], Timestamp] = {}
+
+        def a_func_now(i: SegmentId, j: SegmentId) -> Timestamp:
+            if i == j:
+                return now
+            value = a_now.get((i, j))
+            if value is None:
+                path = index.critical_path(i, j)  # cached by the index
+                assert path is not None  # is_higher(j, i) guarded it
+                value = tracker.i_old(j, a_func_now(i, path[-2]))
+                a_now[(i, j)] = value
+            return value
+
         marks: dict[SegmentId, Timestamp] = {}
         for j in self.partition.segments:
-            candidates = [self.tracker.i_old(j, now)]
+            candidates = [tracker.i_old(j, now)]
             for i in self.partition.segments:
                 if self.partition.is_higher(j, i):
-                    candidates.append(self.tracker.a_func(i, j, now))
+                    candidates.append(a_func_now(i, j))
                     candidates.append(
-                        self.tracker.a_func_from_below(i, j, now)
+                        tracker.a_func_from_below(i, j, now)
                     )
             marks[j] = min(candidates)
         for txn in self.active_transactions():
             if txn.class_id is not None:
+                cache = self._a_wall_cache.setdefault(txn.txn_id, {})
                 for j in self.partition.segments:
                     if self.partition.is_higher(j, txn.class_id):
-                        wall = self.tracker.a_func(
-                            txn.class_id, j, txn.initiation_ts
-                        )
+                        wall = cache.get(j)
+                        if wall is None:
+                            wall = tracker.a_func(
+                                txn.class_id, j, txn.initiation_ts
+                            )
+                            cache[j] = wall
                         marks[j] = min(marks[j], wall)
             elif txn.is_read_only:
                 declared = self._ro_segments.get(txn.txn_id)
@@ -390,17 +449,24 @@ class HDDScheduler(BaseScheduler):
                 elif declared is not None and (
                     self.partition.read_only_on_one_critical_path(declared)
                 ):
-                    bottom = self.partition.index.lowest_of(list(declared))
+                    cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+                    bottom = index.lowest_of(list(declared))
                     for j in declared:
-                        wall = self.tracker.a_func_from_below(
-                            bottom, j, txn.initiation_ts
-                        )
+                        wall = cache.get(j)
+                        if wall is None:
+                            wall = tracker.a_func_from_below(
+                                bottom, j, txn.initiation_ts
+                            )
+                            cache[j] = wall
                         marks[j] = min(marks[j], wall)
                 else:
                     # Protocol C transaction that has not pinned a wall
-                    # yet: it may still be handed any released wall.
-                    for wall_obj in self.walls.released:
-                        for j, wall in wall_obj.components.items():
+                    # yet: it will be handed wall_for(I(t)) — fixed
+                    # already, since future walls have RT > I(t) — or
+                    # fall back to the newest wall (clamped below).
+                    candidate = self.walls.wall_for(txn.initiation_ts)
+                    if candidate is not None:
+                        for j, wall in candidate.components.items():
                             marks[j] = min(marks[j], wall)
         if self.walls.released:
             for j, wall in self.walls.released[-1].components.items():
@@ -410,14 +476,17 @@ class HDDScheduler(BaseScheduler):
     def collect_garbage(self) -> GCReport:
         """Prune versions below :meth:`safe_watermarks`.
 
-        First tries to release a fresh time wall: the latest released
-        wall clamps every watermark (future Protocol C readers may be
-        handed it), so refreshing it is what lets the collector make
-        progress on a long-quiet wall schedule.
+        First tries to release a fresh time wall (the latest released
+        wall clamps every watermark, so refreshing it is what lets the
+        collector make progress on a long-quiet wall schedule), then
+        retires dead walls so the watermarks consult live walls only.
         """
         try:
             self.walls.force_release()
         except ReproError:
             pass  # not settled right now; collect under the old clamp
+        retired = self.retire_walls()
         collector = WatermarkGC(self.store, self.partition.segment_of)
-        return collector.collect(self.safe_watermarks())
+        report = collector.collect(self.safe_watermarks())
+        report.walls_retired = retired
+        return report

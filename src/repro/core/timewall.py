@@ -20,12 +20,24 @@ could meet an uncommitted version below the wall.  Classes entered by
 an up-hop are settled by construction of ``I_old``; for the starting
 class and classes entered by down-hops we wait, exactly as the paper
 already waits for ``C_late`` computability.
+
+Lifecycle (DESIGN.md §8): the paper releases walls forever and never
+says when one may be forgotten.  Here a released wall is *live* while
+it is pinned (a Protocol C transaction is reading below it) or still
+servable — the newest wall always is, and a caller may name further
+walls to keep (the scheduler keeps ``wall_for(I(t))`` of every active
+reader that has not pinned yet).  Everything else is *retired* via
+:meth:`TimeWallManager.retire`; the monotonic :attr:`total_released`
+counter is what observers (the simulator's wake-up logic, message
+accounting) must watch, since ``len(released)`` can shrink.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Optional
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional
 
 from repro.core.activity import ActivityTracker
 from repro.core.graph import Node
@@ -39,12 +51,20 @@ class TimeWall:
     """One released time wall.
 
     ``components[i]`` is ``E_s^i(m)``; ``release_ts`` is ``RT(TW(m,s))``.
+    ``components`` is snapshotted and exposed read-only at construction:
+    a released wall is an immutable certificate (Theorem 2 holds for the
+    values it was released with), so no caller may mutate it in place.
     """
 
     start_class: SegmentId
     base_time: Timestamp
     release_ts: Timestamp
-    components: dict[SegmentId, Timestamp]
+    components: Mapping[SegmentId, Timestamp]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "components", MappingProxyType(dict(self.components))
+        )
 
     def component(self, segment: SegmentId) -> Timestamp:
         wall = self.components.get(segment)
@@ -102,7 +122,17 @@ class TimeWallManager:
         if start_class not in tracker.logs:
             raise ReproError(f"unknown starting class {start_class!r}")
         self.start_class: SegmentId = start_class
+        #: Live walls, ascending in ``release_ts``.  Retirement removes
+        #: entries, so never use ``len(released)`` to detect *releases*
+        #: — watch :attr:`total_released` instead.
         self.released: list[TimeWall] = []
+        #: Monotonic count of walls ever released (never decreases).
+        self.total_released = 0
+        #: Monotonic count of walls retired from :attr:`released`.
+        self.total_retired = 0
+        #: Pin counts per ``release_ts``: walls Protocol C transactions
+        #: are actively reading below.  A pinned wall is never retired.
+        self._pins: dict[Timestamp, int] = {}
         #: Base time of the wall currently being computed, if any.
         self._pending_base: Optional[Timestamp] = None
         self.attempts = 0
@@ -171,6 +201,7 @@ class TimeWallManager:
             components=components,
         )
         self.released.append(released)
+        self.total_released += 1
         self._pending_base = None
         return released
 
@@ -182,11 +213,61 @@ class TimeWallManager:
 
         Protocol C: ``RT(TW) = max`` over walls with ``RT < I(t)``.
         Returns ``None`` when no wall qualifies yet — the caller blocks
-        the transaction until one is released.
+        the transaction until one is released.  ``released`` is kept
+        ascending in ``release_ts``, so this is one bisection, not the
+        linear scan a long wall history would make of it.
         """
-        best: Optional[TimeWall] = None
-        for wall in self.released:
-            if wall.release_ts < initiation_ts:
-                if best is None or wall.release_ts > best.release_ts:
-                    best = wall
-        return best
+        position = bisect.bisect_left(
+            self.released,
+            initiation_ts,
+            key=lambda wall: wall.release_ts,
+        )
+        if position == 0:
+            return None
+        return self.released[position - 1]
+
+    # ------------------------------------------------------------------
+    # Lifecycle: pinning and retirement
+    # ------------------------------------------------------------------
+    def pin(self, wall: TimeWall) -> None:
+        """Mark ``wall`` as being read below; it survives retirement."""
+        self._pins[wall.release_ts] = self._pins.get(wall.release_ts, 0) + 1
+
+    def unpin(self, wall: TimeWall) -> None:
+        """Drop one pin of ``wall`` (reader finished)."""
+        count = self._pins.get(wall.release_ts)
+        if count is None:
+            return  # defensive: white-box tests clear released walls
+        if count <= 1:
+            del self._pins[wall.release_ts]
+        else:
+            self._pins[wall.release_ts] = count - 1
+
+    def pinned_walls(self) -> int:
+        """Number of distinct release timestamps currently pinned."""
+        return len(self._pins)
+
+    def retire(self, keep: Iterable[Timestamp] = ()) -> int:
+        """Drop every released wall that is neither pinned, the newest,
+        nor named in ``keep`` (release timestamps of walls still
+        servable to an admissible reader).  Returns the number retired.
+
+        Safety: a Protocol C reader only ever dereferences the wall it
+        pinned (kept), a future reader is handed the newest wall or a
+        ``wall_for(I(t))`` the caller lists in ``keep`` — so retired
+        walls are exactly those no present or future reader can be
+        handed, and Theorem 2 is untouched (DESIGN.md §8).
+        """
+        if len(self.released) <= 1:
+            return 0
+        keep_ts = set(keep)
+        keep_ts.update(self._pins)
+        keep_ts.add(self.released[-1].release_ts)
+        survivors = [
+            wall for wall in self.released if wall.release_ts in keep_ts
+        ]
+        retired = len(self.released) - len(survivors)
+        if retired:
+            self.released = survivors
+            self.total_retired += retired
+        return retired

@@ -157,6 +157,10 @@ class BaseScheduler(abc.ABC):
         self.schedule = Schedule()
         self.stats = SchedulerStats()
         self.transactions: dict[int, Transaction] = {}
+        #: Index of transactions still active — kept so hot paths that
+        #: iterate active transactions (GC watermarks, deadlock checks)
+        #: stay O(active) instead of O(everything ever begun).
+        self._active: dict[int, Transaction] = {}
         self._next_txn_id = 1
 
     # ------------------------------------------------------------------
@@ -180,6 +184,7 @@ class BaseScheduler(abc.ABC):
         kind = TransactionKind.READ_ONLY if read_only else TransactionKind.UPDATE
         txn = self._make_transaction(txn_id, initiation_ts, kind, profile)
         self.transactions[txn_id] = txn
+        self._active[txn_id] = txn
         self.stats.begins += 1
         return txn
 
@@ -225,6 +230,7 @@ class BaseScheduler(abc.ABC):
         """Stamp the commit, record it, update stats.  Returns C(t)."""
         commit_ts = self.clock.tick()
         txn.mark_committed(commit_ts)
+        self._active.pop(txn.txn_id, None)
         self.schedule.record_commit(txn.txn_id)
         self.stats.commits += 1
         return commit_ts
@@ -232,6 +238,7 @@ class BaseScheduler(abc.ABC):
     def _finish_abort(self, txn: Transaction, reason: str) -> Timestamp:
         abort_ts = self.clock.tick()
         txn.mark_aborted(abort_ts, reason)
+        self._active.pop(txn.txn_id, None)
         self.schedule.record_abort(txn.txn_id)
         self.stats.count_abort(reason)
         return abort_ts
@@ -243,4 +250,6 @@ class BaseScheduler(abc.ABC):
         return [t for t in self.transactions.values() if t.is_committed]
 
     def active_transactions(self) -> list[Transaction]:
-        return [t for t in self.transactions.values() if t.is_active]
+        # The index can lag a transaction killed without _finish_abort
+        # (none do today); filter defensively rather than trust it blindly.
+        return [t for t in self._active.values() if t.is_active]

@@ -79,6 +79,12 @@ class Simulator:
         Verify the recorded schedule with the serializability oracle at
         the end of the run (O(steps); leave off for large sweeps and
         rely on the dedicated correctness tests).
+    gc_interval:
+        Run the scheduler's garbage collector (version pruning plus
+        time-wall retirement, where the scheduler has one) every this
+        many engine steps.  ``None`` (default) never collects — the
+        long-run memory profile is then unbounded by design, which is
+        what the wall-lifecycle benchmark measures against.
     """
 
     #: Consecutive idle engine steps tolerated before declaring a stall.
@@ -97,9 +103,17 @@ class Simulator:
         audit: bool = False,
         track_staleness: bool = False,
         arrival_rate: Optional[float] = None,
+        gc_interval: Optional[int] = None,
     ) -> None:
         if clients < 1:
             raise ReproError("need at least one client")
+        if gc_interval is not None and gc_interval < 1:
+            raise ReproError("gc_interval must be >= 1")
+        if gc_interval is not None and track_staleness:
+            raise ReproError(
+                "track_staleness is incompatible with mid-run GC: pruned "
+                "versions would undercount staleness"
+            )
         self.scheduler = scheduler
         self.workload = workload
         self.rng = random.Random(seed)
@@ -119,6 +133,7 @@ class Simulator:
         #: becomes the in-flight concurrency cap, and latency counts
         #: queueing delay from the arrival step.
         self.arrival_rate = arrival_rate
+        self.gc_interval = gc_interval
         self._pending: deque[tuple[TxnSpec, int]] = deque()
         if arrival_rate is not None and arrival_rate <= 0:
             raise ReproError("arrival_rate must be positive")
@@ -147,6 +162,8 @@ class Simulator:
                 break
             steps += 1
             self.scheduler.clock.tick()
+            if self.gc_interval is not None and steps % self.gc_interval == 0:
+                self._run_gc()
             self._draw_arrivals(steps)
             self._tick_countdowns()
             client = self._next_runnable()
@@ -176,8 +193,11 @@ class Simulator:
         self._result.steps = steps
         self._result.stats = self.scheduler.stats
         self._result.backlog = len(self._pending)
-        if hasattr(self.scheduler, "walls"):
-            self._result.wall_releases = len(self.scheduler.walls.released)
+        walls = getattr(self.scheduler, "walls", None)
+        if walls is not None:
+            self._result.wall_releases = self._wall_release_count(walls)
+            self._result.retained_walls = len(walls.released)
+        self._result.retained_versions = self.scheduler.store.total_versions()
         # Audit with the full Bernstein–Goodman MVSG: it subsumes the
         # paper's TG (which, read literally, can miss write-write lost
         # updates between blind read-modify-write pairs — see the
@@ -359,10 +379,43 @@ class Simulator:
             poll()
             self._check_walls()
 
+    @staticmethod
+    def _wall_release_count(walls) -> int:
+        """Releases so far: the monotonic counter, never ``len(released)``
+        — retirement shrinks the list, which would mask a release (a
+        retire-then-release step leaves the length unchanged) and leave
+        blocked clients asleep forever."""
+        count = getattr(walls, "total_released", None)
+        if count is None:  # schedulers with a foreign wall manager
+            count = len(walls.released)
+        return count
+
+    def _run_gc(self) -> None:
+        collect = getattr(self.scheduler, "collect_garbage", None)
+        if collect is None:
+            return
+        report = collect()
+        self._result.gc_pruned_versions += report.pruned_versions
+        self._result.gc_walls_retired += getattr(report, "walls_retired", 0)
+        walls = getattr(self.scheduler, "walls", None)
+        if walls is not None:
+            self._result.peak_retained_walls = max(
+                self._result.peak_retained_walls, len(walls.released)
+            )
+        self._result.peak_retained_versions = max(
+            self._result.peak_retained_versions,
+            self.scheduler.store.total_versions(),
+        )
+        # collect_garbage may have released a fresh wall: wake sleepers.
+        self._check_walls()
+
     def _check_walls(self) -> None:
         walls = getattr(self.scheduler, "walls", None)
-        if walls is not None and len(walls.released) != self._wall_count:
-            self._wall_count = len(walls.released)
+        if walls is None:
+            return
+        count = self._wall_release_count(walls)
+        if count != self._wall_count:
+            self._wall_count = count
             self._epoch += 1
 
     def _stall_report(self) -> str:

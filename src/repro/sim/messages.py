@@ -117,6 +117,10 @@ def message_report(
 
     walls = getattr(scheduler, "walls", None)
     if walls is not None and walls.released:
-        components = len(walls.released[0].components)
-        report.wall_broadcast_messages = components * len(walls.released)
+        # Broadcasts happened at release time; retirement is local
+        # bookkeeping and un-sends nothing, so price every release ever
+        # (the monotonic counter), not just the walls still live.
+        components = len(walls.released[-1].components)
+        releases = getattr(walls, "total_released", len(walls.released))
+        report.wall_broadcast_messages = components * releases
     return report

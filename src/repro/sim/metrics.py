@@ -50,6 +50,19 @@ class SimulationResult:
     #: Total client-steps spent in the BLOCKED state (waiting on locks,
     #: older writers, or time walls) — the latency breakdown numerator.
     blocked_client_steps: int = 0
+    #: Live (non-retired) walls at the end of the run; bounded on a
+    #: healthy long run, ``== wall_releases`` when nothing retires.
+    retained_walls: int = 0
+    #: Store-wide version count at the end of the run.
+    retained_versions: int = 0
+    #: Cumulative versions pruned by the periodic GC driver.
+    gc_pruned_versions: int = 0
+    #: Cumulative walls retired by the periodic GC driver.
+    gc_walls_retired: int = 0
+    #: Largest live-wall count observed at any GC pass.
+    peak_retained_walls: int = 0
+    #: Largest store-wide version count observed at any GC pass.
+    peak_retained_versions: int = 0
 
     @property
     def blocked_steps_per_commit(self) -> float:
@@ -103,7 +116,20 @@ class SimulationResult:
             "abort_rate": round(self.abort_rate, 4),
             "mean_latency": round(self.mean_latency, 2),
             "p95_latency": round(self.p95_latency, 2),
+            "backlog": self.backlog,
+            "blocked_steps_per_commit": round(
+                self.blocked_steps_per_commit, 4
+            ),
         }
+        if self.staleness_samples:
+            row["mean_staleness"] = round(self.mean_staleness, 4)
+            row["p95_staleness"] = round(self.p95_staleness, 2)
+            row["fresh_read_fraction"] = round(self.fresh_read_fraction, 4)
+        if self.gc_pruned_versions or self.gc_walls_retired:
+            row["retained_walls"] = self.retained_walls
+            row["retained_versions"] = self.retained_versions
+            row["gc_pruned_versions"] = self.gc_pruned_versions
+            row["gc_walls_retired"] = self.gc_walls_retired
         row.update(
             {
                 key: round(value, 4) if isinstance(value, float) else value
@@ -114,10 +140,21 @@ class SimulationResult:
 
 
 def format_table(rows: list[dict[str, object]]) -> str:
-    """Render result rows as an aligned text table (benchmark output)."""
+    """Render result rows as an aligned text table (benchmark output).
+
+    Columns are the union across all rows (first-appearance order), so
+    rows carrying extra metrics — staleness, GC gauges — never vanish
+    just because the first row lacks them.
+    """
     if not rows:
         return "(no rows)"
-    columns = list(rows[0])
+    columns: list[str] = []
+    seen: set[str] = set()
+    for row in rows:
+        for column in row:
+            if column not in seen:
+                seen.add(column)
+                columns.append(column)
     widths = {
         column: max(len(str(column)), *(len(str(r.get(column, ""))) for r in rows))
         for column in columns

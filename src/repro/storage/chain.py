@@ -85,13 +85,14 @@ class VersionChain:
         base = self.latest_before(keep_from_ts, committed_only=True)
         if base is None:
             return []
-        pruned = [
-            v
-            for v in self._versions
-            if v.committed and v.ts < base.ts
-        ]
+        pruned: list[Version] = []
+        keep: list[Version] = []
+        for version in self._versions:
+            if version.committed and version.ts < base.ts:
+                pruned.append(version)
+            else:
+                keep.append(version)
         if pruned:
-            keep = [v for v in self._versions if v not in pruned]
             self._versions = keep
             self._ts_index = [v.ts for v in keep]
         return pruned

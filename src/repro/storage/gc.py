@@ -34,6 +34,9 @@ class GCReport:
 
     pruned_versions: int = 0
     per_granule: dict[GranuleId, int] = field(default_factory=dict)
+    #: Time walls retired alongside this pass (HDD scheduler only; the
+    #: wall lifecycle and version GC are driven together, DESIGN.md §8).
+    walls_retired: int = 0
 
     def merge(self, granule: GranuleId, count: int) -> None:
         if count:

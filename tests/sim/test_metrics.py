@@ -58,6 +58,38 @@ class TestSimulationResult:
         assert summary["scheduler"] == "x"
         assert summary["read_registrations_per_commit"] == 3.0
 
+    def test_summary_includes_backlog_and_blocking(self):
+        """Regression: backlog and blocked_steps_per_commit were tracked
+        but silently dropped from the summary row."""
+        result = self.make()
+        result.backlog = 7
+        result.blocked_client_steps = 50
+        summary = result.summary()
+        assert summary["backlog"] == 7
+        assert summary["blocked_steps_per_commit"] == 5.0
+
+    def test_summary_includes_staleness_when_tracked(self):
+        result = self.make()
+        assert "mean_staleness" not in result.summary()
+        result.staleness_samples = [0, 0, 2]
+        summary = result.summary()
+        assert summary["mean_staleness"] == round(2 / 3, 4)
+        assert summary["fresh_read_fraction"] == round(2 / 3, 4)
+        assert "p95_staleness" in summary
+
+    def test_summary_includes_gc_gauges_when_gc_ran(self):
+        result = self.make()
+        assert "retained_walls" not in result.summary()
+        result.gc_pruned_versions = 40
+        result.gc_walls_retired = 9
+        result.retained_walls = 2
+        result.retained_versions = 31
+        summary = result.summary()
+        assert summary["retained_walls"] == 2
+        assert summary["retained_versions"] == 31
+        assert summary["gc_pruned_versions"] == 40
+        assert summary["gc_walls_retired"] == 9
+
 
 class TestFormatTable:
     def test_alignment(self):
@@ -73,3 +105,16 @@ class TestFormatTable:
 
     def test_empty(self):
         assert format_table([]) == "(no rows)"
+
+    def test_column_union_across_rows(self):
+        """Regression: columns were keyed off rows[0] only, so metrics
+        present in later rows (staleness, GC gauges) vanished."""
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "b", "value": 2, "extra": 9},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "extra" in lines[0]
+        assert lines[-1].rstrip().endswith("9")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
