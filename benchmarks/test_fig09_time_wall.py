@@ -9,7 +9,6 @@ read-only transactions stay free.
 import pytest
 
 from repro.core.activity import ActivityTracker
-from repro.core.graph import SemiTreeIndex
 from repro.core.scheduler import HDDScheduler
 from repro.core.timewall import TimeWallManager
 from repro.sim.engine import Simulator

@@ -24,9 +24,9 @@ class MultiversionTwoPhaseLocking(TwoPhaseLocking):
 
     name = "mv2pl"
 
-    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         if not txn.is_read_only:
-            return super().read(txn, granule)
+            return super()._do_read(txn, granule)
         self._require_active(txn)
         version = self.store.chain(granule).latest_committed_before_commit_ts(
             txn.initiation_ts
@@ -44,9 +44,9 @@ class MultiversionTwoPhaseLocking(TwoPhaseLocking):
         self.schedule.record_read(txn.txn_id, granule, version.ts)
         return granted(value=version.value, version_ts=version.ts)
 
-    def write(self, txn: Transaction, granule: GranuleId, value: object):
+    def _do_write(self, txn: Transaction, granule: GranuleId, value: object):
         if txn.is_read_only:
             raise ProtocolViolation(
                 f"read-only txn {txn.txn_id} attempted a write"
             )
-        return super().write(txn, granule, value)
+        return super()._do_write(txn, granule, value)

@@ -128,7 +128,7 @@ class SDD1Pipelining(BaseScheduler):
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         self._require_active(txn)
         profile = self.partition.profile(self._profile_of_txn[txn.txn_id])
         segment = self.partition.segment_of(granule)
@@ -159,7 +159,7 @@ class SDD1Pipelining(BaseScheduler):
         self.schedule.record_read(txn.txn_id, granule, version_ts)
         return granted(value=value, version_ts=version_ts)
 
-    def write(
+    def _do_write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
         self._require_active(txn)
@@ -195,7 +195,7 @@ class SDD1Pipelining(BaseScheduler):
     # ------------------------------------------------------------------
     # Commit / abort
     # ------------------------------------------------------------------
-    def commit(self, txn: Transaction) -> Outcome:
+    def _do_commit(self, txn: Transaction) -> Outcome:
         self._require_active(txn)
         commit_ts = self._finish_commit(txn)
         for granule in txn.write_set:

@@ -57,14 +57,14 @@ class TimestampOrdering(BaseScheduler):
         self.engine = chosen(self.store, self.schedule, self.stats)
         self.register_reads = register_reads
 
-    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         self._require_active(txn)
         outcome = self.engine.read(txn, granule)
         if outcome.aborted:
             self._abort_internal(txn, outcome.reason or "TO rejection")
         return outcome
 
-    def write(
+    def _do_write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
         self._require_active(txn)
@@ -73,7 +73,7 @@ class TimestampOrdering(BaseScheduler):
             self._abort_internal(txn, outcome.reason or "TO rejection")
         return outcome
 
-    def commit(self, txn: Transaction) -> Outcome:
+    def _do_commit(self, txn: Transaction) -> Outcome:
         self._require_active(txn)
         veto = self.engine.commit_check(txn)
         if veto is not None:
@@ -115,4 +115,16 @@ class TimestampOrdering(BaseScheduler):
         from repro.storage.gc import WatermarkGC
 
         collector = WatermarkGC(self.store, lambda granule: "*")
-        return collector.collect({"*": self.safe_watermark()})
+        report = collector.collect({"*": self.safe_watermark()})
+        if self._sink is not None:
+            from repro.obs.events import GCPassEvent
+
+            self._sink.emit(
+                GCPassEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    pruned_versions=report.pruned_versions,
+                    walls_retired=0,
+                )
+            )
+        return report

@@ -57,7 +57,7 @@ class TwoPhaseLocking(BaseScheduler):
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         self._require_active(txn)
         if granule in txn.workspace:
             return self._grant_read_own(txn, granule)
@@ -92,7 +92,7 @@ class TwoPhaseLocking(BaseScheduler):
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def write(
+    def _do_write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
         self._require_active(txn)
@@ -126,7 +126,7 @@ class TwoPhaseLocking(BaseScheduler):
     # ------------------------------------------------------------------
     # Commit / abort
     # ------------------------------------------------------------------
-    def commit(self, txn: Transaction) -> Outcome:
+    def _do_commit(self, txn: Transaction) -> Outcome:
         self._require_active(txn)
         commit_ts = self._finish_commit(txn)
         for granule in txn.write_set:

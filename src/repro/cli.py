@@ -1,6 +1,6 @@
 """Command-line experiment runner: ``python -m repro <command>``.
 
-Five subcommands, all deterministic given ``--seed``:
+Seven subcommands, all deterministic given ``--seed``:
 
 * ``compare`` — the measured Figure 10 table: every scheduler over the
   same transaction mix (inventory or claims schema);
@@ -11,7 +11,11 @@ Five subcommands, all deterministic given ``--seed``:
 * ``info``    — show a schema's decomposition (segments, critical arcs,
   transaction classes);
 * ``report``  — run the headline experiments and emit a markdown
-  summary (see :mod:`repro.report`).
+  summary (see :mod:`repro.report`);
+* ``trace``   — run one scheduler with event tracing on, stream the
+  trace to a JSONL file and print the live metrics registry;
+* ``explain`` — reconstruct a trace file offline: run summary, latency
+  breakdown, or a single transaction's timeline and wait chain.
 """
 
 from __future__ import annotations
@@ -30,6 +34,12 @@ from repro.baselines import (
 )
 from repro.core.partition import PartitionSummary
 from repro.core.scheduler import HDDScheduler
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    TeeSink,
+    TraceExplainer,
+)
 from repro.sim.engine import Simulator
 from repro.sim.claims import build_claims_partition, build_claims_workload
 from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
@@ -54,16 +64,13 @@ SCHEDULERS = {
 DEFAULT_COMPARISON = ["hdd", "2pl", "to", "mvto", "mv2pl", "sdd1"]
 
 
-def _run_mix(
-    name: str,
-    commits: int,
-    clients: int,
-    seed: int,
-    skew: float,
+def _build_workload(
     ro_share: float,
+    skew: float,
     depth: Optional[int] = None,
     schema: str = "inventory",
-) -> dict[str, object]:
+):
+    """The (partition, workload) pair every run-style command shares."""
     if depth is not None:
         partition = chain_partition(depth)
         workload = build_hierarchy_workload(
@@ -79,6 +86,22 @@ def _run_mix(
         workload = build_inventory_workload(
             partition, read_only_share=ro_share, skew=skew
         )
+    return partition, workload
+
+
+def _run_mix(
+    name: str,
+    commits: int,
+    clients: int,
+    seed: int,
+    skew: float,
+    ro_share: float,
+    depth: Optional[int] = None,
+    schema: str = "inventory",
+) -> dict[str, object]:
+    partition, workload = _build_workload(
+        ro_share=ro_share, skew=skew, depth=depth, schema=schema
+    )
     scheduler = SCHEDULERS[name](partition)
     result = Simulator(
         scheduler,
@@ -191,6 +214,43 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    partition, workload = _build_workload(
+        ro_share=args.ro_share, skew=args.skew, schema=args.workload_schema
+    )
+    scheduler = SCHEDULERS[args.scheduler](partition)
+    registry = MetricsRegistry()
+    with JsonlTraceSink(args.trace_out) as sink:
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=args.clients,
+            seed=args.seed,
+            target_commits=args.commits,
+            max_steps=max(args.commits * 500, 100_000),
+            gc_interval=args.gc_interval,
+            trace_sink=TeeSink([sink, registry]),
+        ).run()
+        events_written = sink.events_written
+    print(format_table([result.summary()]))
+    print()
+    print(registry.render())
+    print()
+    print(f"{events_written} events -> {args.trace_out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    explainer = TraceExplainer.from_file(args.trace)
+    if args.txn is not None:
+        print(explainer.explain_txn(args.txn))
+        return 0
+    print(explainer.render_summary())
+    print()
+    print(explainer.render_latency_breakdown())
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     if args.schema == "inventory":
         partition = build_inventory_partition()
@@ -252,6 +312,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("--depth", type=int, default=4)
     info.set_defaults(fn=cmd_info)
+
+    trace = sub.add_parser(
+        "trace", help="run one scheduler with event tracing on"
+    )
+    common(trace)
+    trace.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="hdd",
+        help="the one scheduler to run traced",
+    )
+    trace.add_argument(
+        "--trace-out",
+        default="trace.jsonl",
+        dest="trace_out",
+        help="JSONL trace output path",
+    )
+    trace.add_argument(
+        "--gc-interval",
+        type=int,
+        default=None,
+        dest="gc_interval",
+        help="run the scheduler's GC every N engine steps",
+    )
+    trace.set_defaults(fn=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain", help="reconstruct a JSONL trace offline"
+    )
+    explain.add_argument("trace", help="trace file written by `repro trace`")
+    group = explain.add_mutually_exclusive_group()
+    group.add_argument(
+        "--txn",
+        type=int,
+        default=None,
+        help="explain one transaction's timeline and waits",
+    )
+    group.add_argument(
+        "--summary",
+        action="store_true",
+        help="run summary + latency breakdown (the default)",
+    )
+    explain.set_defaults(fn=cmd_explain)
 
     report = sub.add_parser(
         "report", help="run the headline experiments, emit markdown"

@@ -221,7 +221,8 @@ class ClassActivityLog:
         if top == _OPEN:
             raise NotComputableError(
                 f"class {self.class_id!r}: C_late({m}) not computable, a "
-                f"transaction initiated before {m} is still active"
+                f"transaction initiated before {m} is still active",
+                class_id=self.class_id,
             )
         if top <= m:
             return m
@@ -230,6 +231,25 @@ class ClassActivityLog:
     def c_late_computable(self, m: Timestamp) -> bool:
         prefix = bisect.bisect_left(self._starts, m)
         return self._ends.prefix_max(prefix) != _OPEN
+
+    def oldest_open(
+        self, bound: Optional[Timestamp] = None
+    ) -> Optional[tuple[int, Timestamp]]:
+        """``(txn_id, start)`` of the oldest still-running transaction.
+
+        With ``bound``, only transactions initiated strictly before it
+        are considered — exactly the ones that make ``C_late(bound)``
+        uncomputable, so a delayed time-wall release can name its
+        culprit.
+        """
+        if bound is None:
+            prefix = len(self._starts)
+        else:
+            prefix = bisect.bisect_left(self._starts, bound)
+        index = self._ends.first_above(prefix, _FINITE_CEILING)
+        if index is None:
+            return None
+        return self._txn_ids[index], self._starts[index]
 
     def oldest_active_start(self) -> Optional[Timestamp]:
         """Initiation of the oldest currently-running transaction."""

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.activity import ActivityTracker
 from repro.core.analysis import _UnionFind, coarsen_to_tst
 from repro.core.graph import Digraph
 from repro.core.partition import HierarchicalPartition, TransactionProfile
@@ -245,6 +245,7 @@ class RestructuringHDDScheduler(HDDScheduler):
         self.walls = TimeWallManager(
             new_tracker, self.clock, interval=self.walls.interval
         )
+        self.walls.set_sink(self._sink, step_source=self)
         # Drop Protocol A wall caches: walls recomputed from the merged
         # (more populous) logs are <= the cached ones, i.e. conservative
         # and still PSR-safe.  Pinned Protocol C walls are KEPT — an old

@@ -40,6 +40,7 @@ from repro.core.intraclass import ENGINES, IntraClassEngine
 from repro.core.partition import HierarchicalPartition
 from repro.core.timewall import TimeWall, TimeWallManager
 from repro.errors import ProtocolViolation, ReproError
+from repro.obs.events import GCPassEvent
 from repro.scheduling import (
     WAIT_TIMEWALL,
     BaseScheduler,
@@ -49,7 +50,6 @@ from repro.scheduling import (
 )
 from repro.storage.gc import GCReport, WatermarkGC
 from repro.storage.store import MultiVersionStore
-from repro.storage.version import Version
 from repro.txn.clock import LogicalClock, Timestamp
 from repro.txn.transaction import (
     GranuleId,
@@ -159,9 +159,34 @@ class HDDScheduler(BaseScheduler):
         return txn
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def set_sink(self, sink) -> None:
+        super().set_sink(sink)
+        self.walls.set_sink(self._sink, step_source=self)
+
+    def _protocol_used(self, txn, granule, op) -> Optional[str]:
+        """Tag granted accesses with the paper's A/B/C dispatch.
+
+        Only evaluated when tracing is on; mirrors the dispatch in
+        :meth:`_do_read` / :meth:`_do_write` without re-running it.
+        """
+        if op == "write":
+            return "B"
+        if not txn.is_read_only:
+            segment = self.partition.segment_of(granule)
+            return "B" if segment == txn.class_id else "A"
+        declared = self._ro_segments.get(txn.txn_id)
+        if declared is not None and (
+            self.partition.read_only_on_one_critical_path(declared)
+        ):
+            return "A"  # fictitious-class walls, Section 5.0
+        return "C"
+
+    # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         self._require_active(txn)
         segment = self.partition.segment_of(granule)
         if txn.is_read_only:
@@ -240,7 +265,7 @@ class HDDScheduler(BaseScheduler):
                 self.stats.wall_blocks += 1
                 return blocked(waiting_for=WAIT_TIMEWALL)
             self._ro_walls[txn.txn_id] = wall_obj
-            self.walls.pin(wall_obj)
+            self.walls.pin(wall_obj, txn_id=txn.txn_id)
         return self._read_below_wall(
             txn, granule, wall_obj.component(segment)
         )
@@ -269,7 +294,7 @@ class HDDScheduler(BaseScheduler):
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def write(
+    def _do_write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
         self._require_active(txn)
@@ -291,7 +316,7 @@ class HDDScheduler(BaseScheduler):
     # ------------------------------------------------------------------
     # Commit / abort
     # ------------------------------------------------------------------
-    def commit(self, txn: Transaction) -> Outcome:
+    def _do_commit(self, txn: Transaction) -> Outcome:
         self._require_active(txn)
         if txn.class_id is not None:
             veto = self.protocol_b.commit_check(txn)
@@ -339,7 +364,7 @@ class HDDScheduler(BaseScheduler):
         self._ro_segments.pop(txn.txn_id, None)
         pinned = self._ro_walls.pop(txn.txn_id, None)
         if pinned is not None:
-            self.walls.unpin(pinned)
+            self.walls.unpin(pinned, txn_id=txn.txn_id)
         self._a_wall_cache.pop(txn.txn_id, None)
 
     # ------------------------------------------------------------------
@@ -489,4 +514,13 @@ class HDDScheduler(BaseScheduler):
         collector = WatermarkGC(self.store, self.partition.segment_of)
         report = collector.collect(self.safe_watermarks())
         report.walls_retired = retired
+        if self._sink is not None:
+            self._sink.emit(
+                GCPassEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    pruned_versions=report.pruned_versions,
+                    walls_retired=retired,
+                )
+            )
         return report

@@ -40,8 +40,15 @@ from types import MappingProxyType
 from typing import Iterable, Mapping, Optional
 
 from repro.core.activity import ActivityTracker
-from repro.core.graph import Node
-from repro.errors import ReproError
+from repro.errors import NotComputableError, ReproError
+from repro.obs.events import (
+    EventSink,
+    NullSink,
+    WallPinnedEvent,
+    WallReleasedEvent,
+    WallRetiredEvent,
+    WallUnpinnedEvent,
+)
 from repro.txn.clock import LogicalClock, Timestamp
 from repro.txn.transaction import SegmentId
 
@@ -60,6 +67,8 @@ class TimeWall:
     base_time: Timestamp
     release_ts: Timestamp
     components: Mapping[SegmentId, Timestamp]
+    #: Release sequence number (1-based; ``w<seq>`` in rendered traces).
+    seq: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -137,6 +146,33 @@ class TimeWallManager:
         self._pending_base: Optional[Timestamp] = None
         self.attempts = 0
         self.computations_blocked = 0
+        #: Event sink (``None`` = tracing off) and the object whose
+        #: ``current_step`` localises emitted events (the scheduler).
+        self._sink: Optional[EventSink] = None
+        self._step_source: Optional[object] = None
+        #: Most recent cause of a failed release attempt, as
+        #: ``(class_id, txn_id)`` — reported on the next success.
+        self._last_delay: Optional[tuple[SegmentId, Optional[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def set_sink(
+        self,
+        sink: Optional[EventSink],
+        step_source: Optional[object] = None,
+    ) -> None:
+        """Attach an event sink; ``step_source.current_step`` stamps
+        events with the driving engine's step counter."""
+        if isinstance(sink, NullSink):
+            sink = None
+        self._sink = sink
+        self._step_source = step_source
+
+    def _step(self) -> Optional[int]:
+        if self._step_source is None:
+            return None
+        return getattr(self._step_source, "current_step", None)
 
     # ------------------------------------------------------------------
     # Release machinery
@@ -181,29 +217,73 @@ class TimeWallManager:
     def _try_release(self, base_time: Timestamp) -> Optional[TimeWall]:
         components: dict[SegmentId, Timestamp] = {}
         for class_id in self._tracker.logs:
-            wall = self._tracker.try_e_func(
-                self.start_class, class_id, base_time
-            )
-            if wall is None:
-                self.computations_blocked += 1
-                return None
+            if self._sink is None:
+                # Fast path: no tracing, no culprit to name.
+                wall = self._tracker.try_e_func(
+                    self.start_class, class_id, base_time
+                )
+                if wall is None:
+                    self.computations_blocked += 1
+                    return None
+            else:
+                try:
+                    wall = self._tracker.e_func(
+                        self.start_class, class_id, base_time
+                    )
+                except NotComputableError as exc:
+                    self._note_delay(exc.class_id, base_time)
+                    return None
             components[class_id] = wall
         # Settlement: every transaction below each component must have
         # finished, so readers at this wall never see uncommitted data.
         for class_id, wall in components.items():
             if not self._tracker.logs[class_id].settled_through(wall):
-                self.computations_blocked += 1
+                self._note_delay(class_id, wall)
                 return None
         released = TimeWall(
             start_class=self.start_class,
             base_time=base_time,
             release_ts=self._clock.now,
             components=components,
+            seq=self.total_released + 1,
         )
         self.released.append(released)
         self.total_released += 1
         self._pending_base = None
+        if self._sink is not None:
+            delayed_class, delayed_txn = self._last_delay or (None, None)
+            self._sink.emit(
+                WallReleasedEvent(
+                    step=self._step(),
+                    ts=self._clock.now,
+                    wall_id=released.seq,
+                    base_time=base_time,
+                    release_ts=released.release_ts,
+                    components=dict(components),
+                    delayed_by_class=delayed_class,
+                    delayed_by_txn=delayed_txn,
+                )
+            )
+        self._last_delay = None
         return released
+
+    def _note_delay(
+        self, class_id: Optional[SegmentId], bound: Timestamp
+    ) -> None:
+        """A release attempt failed: remember which class (and whose
+        open transaction) held it back, for the eventual release event."""
+        self.computations_blocked += 1
+        if self._sink is None or class_id is None:
+            return
+        txn_id: Optional[int] = None
+        log = self._tracker.logs.get(class_id)
+        if log is not None:
+            culprit = log.oldest_open(bound)
+            if culprit is None:
+                culprit = log.oldest_open()
+            if culprit is not None:
+                txn_id = culprit[0]
+        self._last_delay = (class_id, txn_id)
 
     # ------------------------------------------------------------------
     # Serving read-only transactions
@@ -229,11 +309,20 @@ class TimeWallManager:
     # ------------------------------------------------------------------
     # Lifecycle: pinning and retirement
     # ------------------------------------------------------------------
-    def pin(self, wall: TimeWall) -> None:
+    def pin(self, wall: TimeWall, txn_id: Optional[int] = None) -> None:
         """Mark ``wall`` as being read below; it survives retirement."""
         self._pins[wall.release_ts] = self._pins.get(wall.release_ts, 0) + 1
+        if self._sink is not None:
+            self._sink.emit(
+                WallPinnedEvent(
+                    step=self._step(),
+                    ts=self._clock.now,
+                    wall_id=wall.seq,
+                    txn_id=txn_id,
+                )
+            )
 
-    def unpin(self, wall: TimeWall) -> None:
+    def unpin(self, wall: TimeWall, txn_id: Optional[int] = None) -> None:
         """Drop one pin of ``wall`` (reader finished)."""
         count = self._pins.get(wall.release_ts)
         if count is None:
@@ -242,6 +331,15 @@ class TimeWallManager:
             del self._pins[wall.release_ts]
         else:
             self._pins[wall.release_ts] = count - 1
+        if self._sink is not None:
+            self._sink.emit(
+                WallUnpinnedEvent(
+                    step=self._step(),
+                    ts=self._clock.now,
+                    wall_id=wall.seq,
+                    txn_id=txn_id,
+                )
+            )
 
     def pinned_walls(self) -> int:
         """Number of distinct release timestamps currently pinned."""
@@ -268,6 +366,20 @@ class TimeWallManager:
         ]
         retired = len(self.released) - len(survivors)
         if retired:
+            if self._sink is not None:
+                dropped = [
+                    wall.seq
+                    for wall in self.released
+                    if wall.release_ts not in keep_ts
+                ]
+                self._sink.emit(
+                    WallRetiredEvent(
+                        step=self._step(),
+                        ts=self._clock.now,
+                        wall_ids=dropped,
+                        count=retired,
+                    )
+                )
             self.released = survivors
             self.total_retired += retired
         return retired

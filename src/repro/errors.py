@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A driver was constructed with contradictory or invalid settings.
+
+    Doubly derived so that callers who reason "bad argument" can catch
+    :class:`ValueError` while library-wide handlers catching
+    :class:`ReproError` keep working.
+    """
+
+
 class PartitionError(ReproError):
     """A database partition is malformed or not TST-hierarchical.
 
@@ -61,4 +70,10 @@ class NotComputableError(ReproError):
     The backward activity link function needs the commit times of every
     transaction initiated before its argument; while such a transaction
     is still active the value is undefined and the caller must wait.
+    ``class_id`` names the unsettled class when known, so a delayed
+    time-wall release can report *which* class held it back.
     """
+
+    def __init__(self, message: str, class_id: object = None) -> None:
+        super().__init__(message)
+        self.class_id = class_id

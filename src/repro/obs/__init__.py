@@ -1,0 +1,74 @@
+"""Observability: structured event tracing, metrics, and explanations.
+
+The paper's whole value proposition is *where time goes* — Protocol A
+reads are free, Protocol B conflicts and time-wall waits are not — so
+this package makes every scheduler decision observable:
+
+* :mod:`repro.obs.events` — the typed event taxonomy (begin / read /
+  write / blocked / aborted / committed / wall lifecycle / GC) plus the
+  sink contract and the in-memory sinks;
+* :mod:`repro.obs.jsonl` — a streaming JSONL sink and its loader, so
+  traces survive the process and can be explained offline;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` sink keeping
+  counters and histograms (per-protocol reads, block durations, wall
+  lag, abort reasons);
+* :mod:`repro.obs.explain` — reconstruct per-transaction timelines and
+  wait chains from a trace and answer "why was this transaction
+  waiting?".
+
+Tracing is off by default and costs a single ``if self._sink is not
+None`` branch per instrumented operation (see
+:meth:`repro.scheduling.BaseScheduler.set_sink`).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    Event,
+    EventSink,
+    GCPassEvent,
+    MemorySink,
+    NullSink,
+    ReadEvent,
+    RunEndEvent,
+    TeeSink,
+    WallPinnedEvent,
+    WallReleasedEvent,
+    WallRetiredEvent,
+    WallUnpinnedEvent,
+    WriteEvent,
+    event_from_record,
+)
+from repro.obs.explain import TraceExplainer
+from repro.obs.jsonl import JsonlTraceSink, load_trace
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "EVENT_TYPES",
+    "AbortedEvent",
+    "BeginEvent",
+    "BlockedEvent",
+    "CommittedEvent",
+    "Event",
+    "EventSink",
+    "GCPassEvent",
+    "Histogram",
+    "JsonlTraceSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "ReadEvent",
+    "RunEndEvent",
+    "TeeSink",
+    "TraceExplainer",
+    "WallPinnedEvent",
+    "WallReleasedEvent",
+    "WallRetiredEvent",
+    "WallUnpinnedEvent",
+    "WriteEvent",
+    "event_from_record",
+    "load_trace",
+]

@@ -1,0 +1,541 @@
+"""Answer "why was this transaction waiting?" from a trace.
+
+The :class:`TraceExplainer` consumes an event stream (a
+:class:`~repro.obs.events.MemorySink`'s list, or a JSONL trace loaded
+with :func:`~repro.obs.jsonl.load_trace`) and reconstructs:
+
+* per-transaction **timelines** — every event of a transaction plus its
+  *blocked episodes* (a :class:`~repro.obs.events.BlockedEvent` paired
+  with the same transaction's next event, whose step difference is
+  exactly what the simulator bills to ``blocked_client_steps``);
+* **wait chains** — a Protocol C wait names the wall the reader ended
+  up pinning, and the wall's release record names the unsettled class
+  and oldest open transaction that held the wall back ("T17 blocked
+  212 steps on wall w9, which waited on I_old of class D2 held by
+  T11"); a lock wait names the conflicting holder derived from the
+  access history;
+* a **summary** whose commit / restart / blocked-step totals are
+  derived purely from events and cross-checked against the simulator's
+  authoritative :class:`~repro.obs.events.RunEndEvent`;
+* a **latency breakdown** — engine steps split into runnable,
+  blocked-on-lock, blocked-on-wall, blocked-on-txn, and restarted
+  (work thrown away by aborted incarnations).
+
+Caveat: schedulers that kill transactions *externally* (2PL
+wound-wait) abort a victim between the victim's own events, so a
+wounded client's tail wait has no closing event and the derived
+blocked-step total undercounts.  HDD never kills externally — every
+abort is an outcome returned to the acting client — so its derived
+totals are exact, which is what the acceptance test pins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.obs.events import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    Event,
+    GCPassEvent,
+    ReadEvent,
+    RunEndEvent,
+    WallPinnedEvent,
+    WallReleasedEvent,
+    WallRetiredEvent,
+    WriteEvent,
+)
+from repro.obs.metrics import abort_kind, wait_category
+
+
+@dataclass
+class BlockedEpisode:
+    """One contiguous wait: a blocked request until the next event."""
+
+    txn_id: int
+    op: str
+    granule: Optional[str]
+    wait_target: Union[int, str, None]
+    category: str
+    start_step: Optional[int]
+    end_step: Optional[int] = None
+    #: What ended the wait: ``granted`` / ``aborted`` / ``blocked``
+    #: (the retry blocked again) / ``run-end`` (never resolved).
+    resolution: str = "run-end"
+
+    @property
+    def duration(self) -> int:
+        if self.start_step is None or self.end_step is None:
+            return 0
+        return self.end_step - self.start_step
+
+
+@dataclass
+class TxnTimeline:
+    """Everything the trace says about one transaction incarnation."""
+
+    txn_id: int
+    txn_class: Optional[str] = None
+    read_only: bool = False
+    profile: Optional[str] = None
+    begin_step: Optional[int] = None
+    begin_ts: Optional[int] = None
+    end_step: Optional[int] = None
+    outcome: str = "open"  # committed / aborted / open
+    abort_reason: Optional[str] = None
+    reads: int = 0
+    writes: int = 0
+    protocols: Counter = field(default_factory=Counter)
+    events: list[Event] = field(default_factory=list)
+    episodes: list[BlockedEpisode] = field(default_factory=list)
+
+    @property
+    def blocked_steps(self) -> int:
+        return sum(e.duration for e in self.episodes)
+
+    @property
+    def lifetime_steps(self) -> int:
+        if self.begin_step is None or self.end_step is None:
+            return 0
+        return self.end_step - self.begin_step
+
+
+class TraceExplainer:
+    """Reconstruct timelines, wait chains and totals from a trace."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events: list[Event] = list(events)
+        self.timelines: dict[int, TxnTimeline] = {}
+        self.walls: dict[int, WallReleasedEvent] = {}
+        #: txn id -> wall ids it pinned, in pin order (Protocol C).
+        self.pins: dict[int, list[int]] = {}
+        self.walls_retired = 0
+        self.gc_passes = 0
+        self.gc_pruned_versions = 0
+        self.run_end: Optional[RunEndEvent] = None
+        #: granule -> [(step, txn_id, op)] for lock-holder derivation.
+        self._accesses: dict[str, list[tuple[Optional[int], int, str]]] = {}
+        self._last_step: Optional[int] = None
+        self._build()
+
+    @classmethod
+    def from_file(cls, path) -> "TraceExplainer":
+        from repro.obs.jsonl import iter_trace
+
+        return cls(iter_trace(path))
+
+    # ------------------------------------------------------------------
+    # Trace ingestion
+    # ------------------------------------------------------------------
+    def _timeline(self, txn_id: int) -> TxnTimeline:
+        timeline = self.timelines.get(txn_id)
+        if timeline is None:
+            timeline = self.timelines[txn_id] = TxnTimeline(txn_id)
+        return timeline
+
+    def _build(self) -> None:
+        open_episode: dict[int, BlockedEpisode] = {}
+        for event in self.events:
+            if event.step is not None:
+                self._last_step = event.step
+            txn_id = getattr(event, "txn_id", None)
+            if txn_id is not None and not isinstance(
+                event, (WallPinnedEvent,)
+            ):
+                timeline = self._timeline(txn_id)
+                timeline.events.append(event)
+                episode = open_episode.pop(txn_id, None)
+                if episode is not None:
+                    episode.end_step = event.step
+                    if isinstance(event, BlockedEvent):
+                        episode.resolution = "blocked"
+                    elif isinstance(event, AbortedEvent):
+                        episode.resolution = "aborted"
+                    else:
+                        episode.resolution = "granted"
+            if isinstance(event, BeginEvent):
+                timeline = self._timeline(event.txn_id)
+                timeline.txn_class = event.txn_class
+                timeline.read_only = event.read_only
+                timeline.profile = event.profile
+                timeline.begin_step = event.step
+                timeline.begin_ts = event.ts
+            elif isinstance(event, ReadEvent):
+                timeline = self._timeline(event.txn_id)
+                timeline.reads += 1
+                timeline.protocols[event.protocol or "none"] += 1
+                if event.granule is not None:
+                    self._accesses.setdefault(event.granule, []).append(
+                        (event.step, event.txn_id, "r")
+                    )
+            elif isinstance(event, WriteEvent):
+                timeline = self._timeline(event.txn_id)
+                timeline.writes += 1
+                if event.granule is not None:
+                    self._accesses.setdefault(event.granule, []).append(
+                        (event.step, event.txn_id, "w")
+                    )
+            elif isinstance(event, BlockedEvent):
+                episode = BlockedEpisode(
+                    txn_id=event.txn_id,
+                    op=event.op,
+                    granule=event.granule,
+                    wait_target=event.wait_target,
+                    category=wait_category(event.wait_target),
+                    start_step=event.step,
+                )
+                self._timeline(event.txn_id).episodes.append(episode)
+                open_episode[event.txn_id] = episode
+            elif isinstance(event, CommittedEvent):
+                timeline = self._timeline(event.txn_id)
+                timeline.outcome = "committed"
+                timeline.end_step = event.step
+            elif isinstance(event, AbortedEvent):
+                timeline = self._timeline(event.txn_id)
+                timeline.outcome = "aborted"
+                timeline.abort_reason = event.reason
+                timeline.end_step = event.step
+            elif isinstance(event, WallReleasedEvent):
+                self.walls[event.wall_id] = event
+            elif isinstance(event, WallPinnedEvent):
+                if event.txn_id is not None:
+                    self.pins.setdefault(event.txn_id, []).append(
+                        event.wall_id
+                    )
+            elif isinstance(event, WallRetiredEvent):
+                self.walls_retired += event.count
+            elif isinstance(event, GCPassEvent):
+                self.gc_passes += 1
+                self.gc_pruned_versions += event.pruned_versions
+            elif isinstance(event, RunEndEvent):
+                self.run_end = event
+        final_step = (
+            self.run_end.step if self.run_end is not None else self._last_step
+        )
+        for episode in open_episode.values():
+            episode.end_step = final_step
+            episode.resolution = "run-end"
+        for timeline in self.timelines.values():
+            if timeline.outcome == "open":
+                timeline.end_step = final_step
+
+    # ------------------------------------------------------------------
+    # Derived totals and the exactness cross-check
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        commits = sum(
+            1 for t in self.timelines.values() if t.outcome == "committed"
+        )
+        restarts = sum(
+            1 for t in self.timelines.values() if t.outcome == "aborted"
+        )
+        blocked_steps = sum(
+            t.blocked_steps for t in self.timelines.values()
+        )
+        blocked_by: Counter = Counter()
+        for timeline in self.timelines.values():
+            for episode in timeline.episodes:
+                blocked_by[episode.category] += episode.duration
+        protocols: Counter = Counter()
+        for timeline in self.timelines.values():
+            protocols.update(timeline.protocols)
+        abort_reasons: Counter = Counter()
+        for timeline in self.timelines.values():
+            if timeline.outcome == "aborted":
+                abort_reasons[abort_kind(timeline.abort_reason)] += 1
+        summary: dict[str, object] = {
+            "transactions": len(self.timelines),
+            "commits": commits,
+            "restarts": restarts,
+            "blocked_client_steps": blocked_steps,
+            "blocked_steps_by_target": dict(sorted(blocked_by.items())),
+            "reads_by_protocol": dict(sorted(protocols.items())),
+            "abort_reasons": dict(sorted(abort_reasons.items())),
+            "walls_released": len(self.walls),
+            "walls_retired": self.walls_retired,
+            "gc_passes": self.gc_passes,
+            "gc_pruned_versions": self.gc_pruned_versions,
+        }
+        if self.run_end is not None:
+            summary["reported"] = {
+                "steps": self.run_end.steps,
+                "commits": self.run_end.commits,
+                "restarts": self.run_end.restarts,
+                "blocked_client_steps": self.run_end.blocked_client_steps,
+            }
+            summary["matches_reported"] = (
+                commits == self.run_end.commits
+                and restarts == self.run_end.restarts
+                and blocked_steps == self.run_end.blocked_client_steps
+            )
+        return summary
+
+    def render_summary(self) -> str:
+        summary = self.summary()
+        lines = ["trace summary", "-------------"]
+        lines.append(f"transactions          {summary['transactions']}")
+        lines.append(f"commits               {summary['commits']}")
+        lines.append(f"restarts              {summary['restarts']}")
+        lines.append(
+            f"blocked client steps  {summary['blocked_client_steps']}"
+        )
+        for name, steps in summary["blocked_steps_by_target"].items():
+            lines.append(f"  blocked on {name:<10} {steps}")
+        if summary["reads_by_protocol"]:
+            reads = ", ".join(
+                f"{name}={count}"
+                for name, count in summary["reads_by_protocol"].items()
+            )
+            lines.append(f"reads by protocol     {reads}")
+        if summary["abort_reasons"]:
+            reasons = ", ".join(
+                f"{name}={count}"
+                for name, count in summary["abort_reasons"].items()
+            )
+            lines.append(f"abort reasons         {reasons}")
+        lines.append(f"walls released        {summary['walls_released']}")
+        lines.append(f"walls retired         {summary['walls_retired']}")
+        if summary["gc_passes"]:
+            lines.append(
+                f"gc passes             {summary['gc_passes']} "
+                f"(pruned {summary['gc_pruned_versions']} versions)"
+            )
+        reported = summary.get("reported")
+        if reported is not None:
+            verdict = (
+                "exact" if summary["matches_reported"] else "MISMATCH"
+            )
+            lines.append(
+                "cross-check vs run    "
+                f"{verdict} (reported commits={reported['commits']}, "
+                f"restarts={reported['restarts']}, "
+                f"blocked={reported['blocked_client_steps']})"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wait chains
+    # ------------------------------------------------------------------
+    def _wall_for_episode(
+        self, episode: BlockedEpisode
+    ) -> Optional[WallReleasedEvent]:
+        """The wall that ended a Protocol C wait.
+
+        Prefer the wall the reader actually pinned once unblocked; fall
+        back to the first wall released during the wait (the reader may
+        never have been granted, e.g. the run ended first).
+        """
+        pinned = self.pins.get(episode.txn_id, [])
+        if episode.end_step is not None:
+            for wall_id in pinned:
+                wall = self.walls.get(wall_id)
+                if wall is None:
+                    continue
+                if episode.start_step is None or (
+                    wall.step is None or wall.step >= episode.start_step
+                ):
+                    return wall
+        for wall in self.walls.values():
+            if (
+                episode.start_step is not None
+                and wall.step is not None
+                and wall.step >= episode.start_step
+            ):
+                return wall
+        return None
+
+    def _lock_holders(self, episode: BlockedEpisode) -> list[int]:
+        """Transactions plausibly holding the contested lock.
+
+        A holder accessed the granule at or before the block and was
+        still uncommitted at the block step.  Writers conflict with
+        everything; readers only conflict with a blocked *write*.
+        """
+        granule = episode.granule
+        if granule is None and isinstance(episode.wait_target, str):
+            _, _, granule = episode.wait_target.partition("lock:")
+        if granule is None or episode.start_step is None:
+            return []
+        holders: list[int] = []
+        for step, txn_id, op in self._accesses.get(granule, []):
+            if txn_id == episode.txn_id:
+                continue
+            if step is None or step > episode.start_step:
+                continue
+            if op == "r" and episode.op != "write":
+                continue  # shared-shared: not a conflict
+            timeline = self.timelines.get(txn_id)
+            if timeline is None:
+                continue
+            end = timeline.end_step
+            if end is None or end >= episode.start_step:
+                if txn_id not in holders:
+                    holders.append(txn_id)
+        return holders
+
+    def why_blocked(self, episode: BlockedEpisode) -> str:
+        """One sentence naming what the episode waited on."""
+        duration = episode.duration
+        if episode.category == "wall":
+            wall = self._wall_for_episode(episode)
+            if wall is None:
+                return (
+                    f"T{episode.txn_id} blocked {duration} steps on a time "
+                    "wall that was never released during the trace"
+                )
+            head = (
+                f"T{episode.txn_id} blocked {duration} steps on wall "
+                f"w{wall.wall_id}"
+            )
+            if wall.delayed_by_class is not None:
+                held = (
+                    f" held by T{wall.delayed_by_txn}"
+                    if wall.delayed_by_txn is not None
+                    else ""
+                )
+                return (
+                    f"{head}, which waited on I_old of class "
+                    f"{wall.delayed_by_class}{held}"
+                )
+            return (
+                f"{head}, released at ts {wall.release_ts} once its "
+                f"snapshot point {wall.base_time} settled"
+            )
+        if episode.category == "lock":
+            holders = self._lock_holders(episode)
+            head = (
+                f"T{episode.txn_id} blocked {duration} steps on "
+                f"{episode.op} lock for {episode.granule!r}"
+            )
+            if holders:
+                names = ", ".join(f"T{h}" for h in holders)
+                return f"{head}, held by {names}"
+            return f"{head} (holder not visible in trace)"
+        if episode.category == "txn":
+            target = episode.wait_target
+            fate = ""
+            timeline = self.timelines.get(target) if target else None
+            if timeline is not None:
+                fate = f" (which later {timeline.outcome})"
+            return (
+                f"T{episode.txn_id} blocked {duration} steps on "
+                f"T{target}{fate}"
+            )
+        return (
+            f"T{episode.txn_id} blocked {duration} steps on "
+            f"{episode.wait_target!r}"
+        )
+
+    def explain_txn(self, txn_id: int) -> str:
+        timeline = self.timelines.get(txn_id)
+        if timeline is None:
+            return f"T{txn_id}: not in trace"
+        kind = "read-only" if timeline.read_only else "update"
+        klass = timeline.txn_class or "?"
+        header = (
+            f"T{txn_id} [{kind}, class {klass}"
+            + (f", profile {timeline.profile}" if timeline.profile else "")
+            + f"] — {timeline.outcome}"
+            + (
+                f" ({timeline.abort_reason})"
+                if timeline.abort_reason
+                else ""
+            )
+        )
+        lines = [header]
+        span = (
+            f"steps {timeline.begin_step}..{timeline.end_step}"
+            if timeline.begin_step is not None
+            else "steps unknown"
+        )
+        lines.append(
+            f"  {span}: {timeline.reads} reads, {timeline.writes} writes, "
+            f"{timeline.blocked_steps} blocked steps"
+        )
+        if timeline.protocols:
+            reads = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(timeline.protocols.items())
+            )
+            lines.append(f"  reads by protocol: {reads}")
+        for event in timeline.events:
+            lines.append(f"  {self._render_event(event)}")
+        if timeline.episodes:
+            lines.append("  waits:")
+            for episode in timeline.episodes:
+                lines.append(f"    {self.why_blocked(episode)}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_event(event: Event) -> str:
+        step = f"step {event.step}" if event.step is not None else "step ?"
+        if isinstance(event, BeginEvent):
+            return f"{step}: begin (ts {event.ts})"
+        if isinstance(event, ReadEvent):
+            protocol = f" [{event.protocol}]" if event.protocol else ""
+            return (
+                f"{step}: read {event.granule!r}{protocol} "
+                f"-> version ts {event.version_ts}"
+            )
+        if isinstance(event, WriteEvent):
+            return (
+                f"{step}: write {event.granule!r} "
+                f"at version ts {event.version_ts}"
+            )
+        if isinstance(event, BlockedEvent):
+            return (
+                f"{step}: {event.op} blocked on {event.wait_target!r}"
+            )
+        if isinstance(event, CommittedEvent):
+            return f"{step}: committed (ts {event.ts})"
+        if isinstance(event, AbortedEvent):
+            return f"{step}: aborted ({event.reason})"
+        return f"{step}: {event.kind}"
+
+    # ------------------------------------------------------------------
+    # Latency breakdown
+    # ------------------------------------------------------------------
+    def latency_breakdown(self) -> dict[str, int]:
+        """Engine steps across all incarnations, bucketed by state.
+
+        Committed (and still-open) incarnations split their lifetime
+        into runnable vs blocked-per-target; aborted incarnations bill
+        their whole lifetime to ``restarted`` — that work was thrown
+        away, however it was spent.
+        """
+        buckets = {
+            "runnable": 0,
+            "blocked_on_lock": 0,
+            "blocked_on_wall": 0,
+            "blocked_on_txn": 0,
+            "blocked_other": 0,
+            "restarted": 0,
+        }
+        for timeline in self.timelines.values():
+            lifetime = timeline.lifetime_steps
+            if timeline.outcome == "aborted":
+                buckets["restarted"] += lifetime
+                continue
+            blocked = 0
+            for episode in timeline.episodes:
+                key = f"blocked_on_{episode.category}"
+                if key not in buckets:
+                    key = "blocked_other"
+                buckets[key] += episode.duration
+                blocked += episode.duration
+            buckets["runnable"] += max(lifetime - blocked, 0)
+        return buckets
+
+    def render_latency_breakdown(self) -> str:
+        buckets = self.latency_breakdown()
+        total = sum(buckets.values())
+        lines = ["where transaction steps went", "----------------------------"]
+        for name, steps in buckets.items():
+            share = (100.0 * steps / total) if total else 0.0
+            lines.append(f"{name:<16} {steps:>10}  ({share:5.1f}%)")
+        lines.append(f"{'total':<16} {total:>10}")
+        return "\n".join(lines)

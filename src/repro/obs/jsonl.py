@@ -1,0 +1,71 @@
+"""Stream trace events to disk as JSON lines, and load them back.
+
+One event per line, ``{"kind": ..., "step": ..., "ts": ..., ...}``.
+The format is append-only and self-describing, so a trace written by
+``repro trace`` can be explained offline by ``repro explain`` (or any
+jq pipeline) without the code that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.obs.events import Event, EventSink, event_from_record
+
+
+class JsonlTraceSink(EventSink):
+    """Write each event as one JSON line to ``path`` (or a stream).
+
+    The file handle is opened eagerly so configuration errors surface
+    at construction, and buffered by the underlying ``io`` machinery —
+    ``flush()``/``close()`` make the trace durable.  Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self.path = Path(path) if path is not None else None
+        self._stream = stream if stream is not None else open(self.path, "w")
+        self._owns_stream = stream is None
+        self.events_written = 0
+
+    def emit(self, event: Event) -> None:
+        self._stream.write(json.dumps(event.to_record()))
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        elif not self._owns_stream:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[Event]:
+    """Yield events from a JSONL trace file, in file order."""
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield event_from_record(json.loads(line))
+
+
+def load_trace(path: Union[str, Path]) -> list[Event]:
+    """Load a whole JSONL trace file into memory."""
+    return list(iter_trace(path))

@@ -1,0 +1,206 @@
+"""A metrics-registry sink: counters and histograms over the event bus.
+
+Attach a :class:`MetricsRegistry` (alone or inside a
+:class:`~repro.obs.events.TeeSink`) to any scheduler and it aggregates
+the trace online, without retaining events:
+
+* **counters** — event counts by kind, reads split by protocol
+  (``read.protocol.A/B/C`` vs ``read.protocol.none`` for baselines),
+  blocks by wait-target category, aborts by reason, wall lifecycle and
+  GC totals;
+* **histograms** — block durations in engine steps, split by what was
+  waited on (``block_steps.wall`` / ``.lock`` / ``.txn``), and
+  ``wall_lag`` (release timestamp minus base time: how long each wall
+  computation trailed the activity it certifies).
+
+Block durations pair each :class:`~repro.obs.events.BlockedEvent` with
+the same transaction's *next* event — a retry that blocks again simply
+extends the episode, so the per-transaction sum matches the
+simulator's ``blocked_client_steps`` accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Union
+
+from repro.obs.events import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    Event,
+    EventSink,
+    GCPassEvent,
+    ReadEvent,
+    RunEndEvent,
+    WallPinnedEvent,
+    WallReleasedEvent,
+    WallRetiredEvent,
+    WallUnpinnedEvent,
+    WriteEvent,
+)
+
+
+def abort_kind(reason: Optional[str]) -> str:
+    """Bucket a free-form abort reason for counting.
+
+    Reasons carry per-instance detail after a colon ("MVTO write
+    rejected: inserting hub:g0^175 ..."); counters keep only the stable
+    prefix so cardinality stays bounded.
+    """
+    if not reason:
+        return "unknown"
+    return reason.split(":", 1)[0].strip()
+
+
+def wait_category(target: Union[int, str, None]) -> str:
+    """Classify a wait target: ``wall`` / ``lock`` / ``txn`` / ``other``."""
+    if isinstance(target, int):
+        return "txn"
+    if target == "timewall":
+        return "wall"
+    if isinstance(target, str) and target.startswith("lock:"):
+        return "lock"
+    return "other"
+
+
+class Histogram:
+    """A sample accumulator summarised through the shared percentile."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        # Imported lazily: repro.sim pulls in the scheduler layer, which
+        # itself imports repro.obs — a cycle at module-import time.
+        from repro.sim.metrics import percentile
+
+        return percentile(self.samples, q)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": round(self.quantile(0.50), 3),
+            "p95": round(self.quantile(0.95), 3),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+class MetricsRegistry(EventSink):
+    """Aggregate a trace into counters and histograms, online."""
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.histograms: dict[str, Histogram] = {}
+        #: Open blocked episode per transaction: (start step, category).
+        self._blocked_since: dict[int, tuple[Optional[int], str]] = {}
+
+    # ------------------------------------------------------------------
+    # Sink contract
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        self.counters[f"events.{event.kind}"] += 1
+        if isinstance(event, ReadEvent):
+            self._close_block(event)
+            protocol = event.protocol if event.protocol else "none"
+            self.counters[f"read.protocol.{protocol}"] += 1
+        elif isinstance(event, WriteEvent):
+            self._close_block(event)
+        elif isinstance(event, BlockedEvent):
+            category = wait_category(event.wait_target)
+            self.counters[f"blocked.{category}"] += 1
+            open_episode = self._blocked_since.get(event.txn_id)
+            if open_episode is not None:
+                self._record_block(open_episode, event.step)
+            self._blocked_since[event.txn_id] = (event.step, category)
+        elif isinstance(event, CommittedEvent):
+            self._close_block(event)
+        elif isinstance(event, AbortedEvent):
+            self._close_block(event)
+            self.counters[f"abort.reason.{abort_kind(event.reason)}"] += 1
+        elif isinstance(event, BeginEvent):
+            if event.read_only:
+                self.counters["begin.read_only"] += 1
+            else:
+                self.counters["begin.update"] += 1
+        elif isinstance(event, WallReleasedEvent):
+            self.histogram("wall_lag").record(
+                float(event.release_ts - event.base_time)
+            )
+            if event.delayed_by_class is not None:
+                self.counters["wall.releases_delayed"] += 1
+        elif isinstance(event, WallRetiredEvent):
+            self.counters["wall.retired"] += event.count
+        elif isinstance(event, GCPassEvent):
+            self.counters["gc.pruned_versions"] += event.pruned_versions
+        elif isinstance(event, RunEndEvent):
+            self._drain_open_blocks(event.step)
+        elif isinstance(event, (WallPinnedEvent, WallUnpinnedEvent)):
+            pass  # the per-kind event counter above suffices
+
+    # ------------------------------------------------------------------
+    # Block-duration pairing
+    # ------------------------------------------------------------------
+    def _close_block(self, event: Event) -> None:
+        open_episode = self._blocked_since.pop(getattr(event, "txn_id"), None)
+        if open_episode is not None:
+            self._record_block(open_episode, event.step)
+
+    def _record_block(
+        self, open_episode: tuple[Optional[int], str], end_step: Optional[int]
+    ) -> None:
+        start_step, category = open_episode
+        if start_step is None or end_step is None:
+            return  # no engine step context; duration unknowable
+        self.histogram(f"block_steps.{category}").record(
+            float(end_step - start_step)
+        )
+
+    def _drain_open_blocks(self, final_step: Optional[int]) -> None:
+        for open_episode in self._blocked_since.values():
+            self._record_block(open_episode, final_step)
+        self._blocked_since.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram
+
+    def report(self) -> dict[str, object]:
+        """Counters plus histogram summaries, sorted by name."""
+        report: dict[str, object] = {
+            name: self.counters[name] for name in sorted(self.counters)
+        }
+        for name in sorted(self.histograms):
+            for key, value in self.histograms[name].summary().items():
+                report[f"{name}.{key}"] = value
+        return report
+
+    def render(self) -> str:
+        """An aligned one-metric-per-line view (CLI output)."""
+        report = self.report()
+        if not report:
+            return "(no events)"
+        width = max(len(name) for name in report)
+        return "\n".join(
+            f"{name.ljust(width)}  {value}" for name, value in report.items()
+        )

@@ -150,6 +150,22 @@ class LoggingScheduler:
     def walls(self):
         return getattr(self.inner, "walls")
 
+    # -- tracing (delegated so the wrapper stays transparent) ----------
+    def set_sink(self, sink) -> None:
+        self.inner.set_sink(sink)
+
+    @property
+    def sink(self):
+        return self.inner.sink
+
+    @property
+    def current_step(self):
+        return self.inner.current_step
+
+    @current_step.setter
+    def current_step(self, step) -> None:
+        self.inner.current_step = step
+
     # -- intercepted operations ----------------------------------------
     def begin(self, profile=None, read_only: bool = False) -> Transaction:
         txn = self.inner.begin(profile=profile, read_only=read_only)

@@ -20,6 +20,7 @@ from repro.baselines import (
     TwoPhaseLocking,
 )
 from repro.core.scheduler import HDDScheduler
+from repro.obs import MemorySink, TraceExplainer
 from repro.sim.engine import Simulator
 from repro.sim.inventory import build_inventory_partition, build_inventory_workload
 from repro.sim.messages import message_report
@@ -136,6 +137,46 @@ def _section_messages(scale: ReportScale) -> str:
     )
 
 
+def _section_where_time_goes(scale: ReportScale) -> str:
+    """Latency breakdown per scheduler, from traced re-runs.
+
+    The same workload as the comparison table, but run with a
+    :class:`~repro.obs.events.MemorySink` attached; the
+    :class:`~repro.obs.explain.TraceExplainer` splits every
+    transaction's engine steps into runnable / blocked-by-what /
+    restarted — the observability layer's headline view.
+    """
+    rows = []
+    for name in SCHEDULERS:
+        partition = build_inventory_partition()
+        scheduler = SCHEDULERS[name](partition)
+        workload = build_inventory_workload(
+            partition, granules_per_segment=12
+        )
+        sink = MemorySink()
+        Simulator(
+            scheduler,
+            workload,
+            clients=scale.clients,
+            seed=scale.seed,
+            target_commits=scale.commits,
+            max_steps=max(scale.commits * 500, 100_000),
+            trace_sink=sink,
+        ).run()
+        buckets = TraceExplainer(sink.events).latency_breakdown()
+        total = max(sum(buckets.values()), 1)
+        row: dict[str, object] = {"scheduler": name}
+        for bucket, steps in buckets.items():
+            row[bucket] = f"{steps} ({100.0 * steps / total:.1f}%)"
+        rows.append(row)
+    return (
+        "## Where transaction steps go\n\n"
+        "Engine steps across all transaction incarnations, derived from "
+        "event traces: runnable vs blocked (split by what was waited "
+        "on) vs thrown away by restarts.\n\n" + _markdown_table(rows)
+    )
+
+
 def _section_capacity(scale: ReportScale) -> str:
     rows = []
     for name in ("hdd", "2pl", "mvto", "sdd1"):
@@ -176,6 +217,7 @@ def generate_report(scale: ReportScale | None = None) -> str:
         _section_comparison(scale),
         _section_read_only_sweep(scale),
         _section_messages(scale),
+        _section_where_time_goes(scale),
         _section_capacity(scale),
         f"\nGenerated in {time.time() - started:.1f}s.\n",
     ]

@@ -31,6 +31,16 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.errors import InvalidTransactionState
+from repro.obs.events import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    EventSink,
+    NullSink,
+    ReadEvent,
+    WriteEvent,
+)
 from repro.storage.store import MultiVersionStore
 from repro.txn.clock import LogicalClock, Timestamp
 from repro.txn.schedule import Schedule
@@ -162,6 +172,86 @@ class BaseScheduler(abc.ABC):
         #: stay O(active) instead of O(everything ever begun).
         self._active: dict[int, Transaction] = {}
         self._next_txn_id = 1
+        #: Event sink, or ``None`` when tracing is off — the hot paths
+        #: pay exactly one ``if self._sink is not None`` branch.
+        self._sink: Optional[EventSink] = None
+        #: The driving engine's step counter; the simulator refreshes it
+        #: every step so emitted events localise themselves in the run.
+        self.current_step: Optional[int] = None
+        # Tracing starts off: shortcut past the instrumented wrappers
+        # (see set_sink).
+        self.read = self._do_read
+        self.write = self._do_write
+        self.commit = self._do_commit
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def set_sink(self, sink: Optional[EventSink]) -> None:
+        """Attach an event sink (``None`` or ``NullSink`` disables).
+
+        With tracing off, ``read``/``write``/``commit`` are rebound on
+        the instance straight to their ``_do_*`` implementations, so
+        the untraced hot path pays no wrapper frame at all; attaching a
+        real sink removes the shortcut and restores the instrumented
+        class methods.
+        """
+        if isinstance(sink, NullSink):
+            sink = None
+        self._sink = sink
+        if sink is None:
+            self.read = self._do_read
+            self.write = self._do_write
+            self.commit = self._do_commit
+        else:
+            for name in ("read", "write", "commit"):
+                self.__dict__.pop(name, None)
+
+    @property
+    def sink(self) -> Optional[EventSink]:
+        return self._sink
+
+    def _txn_class(self, txn: Transaction) -> Optional[str]:
+        """The class label events carry (the root segment where known)."""
+        return txn.class_id
+
+    def _protocol_used(
+        self, txn: Transaction, granule: GranuleId, op: str
+    ) -> Optional[str]:
+        """HDD's A/B/C dispatch tag for a granted access; None elsewhere."""
+        return None
+
+    def _emit_access(
+        self, op: str, txn: Transaction, granule: GranuleId, outcome: Outcome
+    ) -> None:
+        sink = self._sink
+        assert sink is not None
+        if outcome.granted:
+            cls = ReadEvent if op == "read" else WriteEvent
+            sink.emit(
+                cls(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    granule=granule,
+                    version_ts=outcome.version_ts,
+                    protocol=self._protocol_used(txn, granule, op),
+                )
+            )
+        elif outcome.blocked:
+            sink.emit(
+                BlockedEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    op=op,
+                    granule=granule,
+                    wait_target=outcome.waiting_for,
+                )
+            )
+        # Aborted outcomes already emitted through _finish_abort.
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -186,6 +276,17 @@ class BaseScheduler(abc.ABC):
         self.transactions[txn_id] = txn
         self._active[txn_id] = txn
         self.stats.begins += 1
+        if self._sink is not None:
+            self._sink.emit(
+                BeginEvent(
+                    step=self.current_step,
+                    ts=initiation_ts,
+                    txn_id=txn_id,
+                    txn_class=self._txn_class(txn),
+                    read_only=read_only,
+                    profile=profile,
+                )
+            )
         return txn
 
     def _make_transaction(
@@ -198,19 +299,58 @@ class BaseScheduler(abc.ABC):
         """Hook for subclasses that classify transactions."""
         return Transaction(txn_id, initiation_ts, kind)
 
-    @abc.abstractmethod
     def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
-        """Request a read; on success the outcome carries the value."""
+        """Request a read; on success the outcome carries the value.
 
-    @abc.abstractmethod
+        Template method: the algorithm lives in :meth:`_do_read`; this
+        wrapper adds uniform tracing so HDD and every baseline emit the
+        same events from the same place (apples-to-apples comparisons).
+        """
+        outcome = self._do_read(txn, granule)
+        if self._sink is not None:
+            self._emit_access("read", txn, granule, outcome)
+        return outcome
+
     def write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
         """Request a write of ``value``."""
+        outcome = self._do_write(txn, granule, value)
+        if self._sink is not None:
+            self._emit_access("write", txn, granule, outcome)
+        return outcome
 
-    @abc.abstractmethod
     def commit(self, txn: Transaction) -> Outcome:
         """Request commit; blocked outcomes mean "retry later"."""
+        outcome = self._do_commit(txn)
+        if self._sink is not None and outcome.blocked:
+            self._sink.emit(
+                BlockedEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    op="commit",
+                    granule=None,
+                    wait_target=outcome.waiting_for,
+                )
+            )
+        # Granted commits and aborts are emitted by the _finish_* funnels.
+        return outcome
+
+    @abc.abstractmethod
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        """Algorithm-specific read (see :meth:`read`)."""
+
+    @abc.abstractmethod
+    def _do_write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        """Algorithm-specific write (see :meth:`write`)."""
+
+    @abc.abstractmethod
+    def _do_commit(self, txn: Transaction) -> Outcome:
+        """Algorithm-specific commit (see :meth:`commit`)."""
 
     @abc.abstractmethod
     def abort(self, txn: Transaction, reason: str) -> None:
@@ -233,6 +373,15 @@ class BaseScheduler(abc.ABC):
         self._active.pop(txn.txn_id, None)
         self.schedule.record_commit(txn.txn_id)
         self.stats.commits += 1
+        if self._sink is not None:
+            self._sink.emit(
+                CommittedEvent(
+                    step=self.current_step,
+                    ts=commit_ts,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                )
+            )
         return commit_ts
 
     def _finish_abort(self, txn: Transaction, reason: str) -> Timestamp:
@@ -241,6 +390,16 @@ class BaseScheduler(abc.ABC):
         self._active.pop(txn.txn_id, None)
         self.schedule.record_abort(txn.txn_id)
         self.stats.count_abort(reason)
+        if self._sink is not None:
+            self._sink.emit(
+                AbortedEvent(
+                    step=self.current_step,
+                    ts=abort_ts,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    reason=reason,
+                )
+            )
         return abort_ts
 
     # ------------------------------------------------------------------

@@ -24,7 +24,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
+from repro.obs.events import EventSink, RunEndEvent
 from repro.scheduling import BaseScheduler, Outcome, OutcomeKind
 from repro.sim.metrics import SimulationResult
 from repro.sim.workload import TxnSpec, Workload
@@ -85,6 +86,12 @@ class Simulator:
         many engine steps.  ``None`` (default) never collects — the
         long-run memory profile is then unbounded by design, which is
         what the wall-lifecycle benchmark measures against.
+    trace_sink:
+        An :class:`~repro.obs.events.EventSink` to attach to the
+        scheduler for this run (``None`` or a ``NullSink`` keeps
+        tracing off).  The simulator stamps every event with the engine
+        step and appends a :class:`~repro.obs.events.RunEndEvent`
+        carrying its authoritative totals.
     """
 
     #: Consecutive idle engine steps tolerated before declaring a stall.
@@ -104,13 +111,14 @@ class Simulator:
         track_staleness: bool = False,
         arrival_rate: Optional[float] = None,
         gc_interval: Optional[int] = None,
+        trace_sink: Optional[EventSink] = None,
     ) -> None:
         if clients < 1:
-            raise ReproError("need at least one client")
+            raise ConfigError("need at least one client")
         if gc_interval is not None and gc_interval < 1:
-            raise ReproError("gc_interval must be >= 1")
+            raise ConfigError("gc_interval must be >= 1")
         if gc_interval is not None and track_staleness:
-            raise ReproError(
+            raise ConfigError(
                 "track_staleness is incompatible with mid-run GC: pruned "
                 "versions would undercount staleness"
             )
@@ -136,7 +144,12 @@ class Simulator:
         self.gc_interval = gc_interval
         self._pending: deque[tuple[TxnSpec, int]] = deque()
         if arrival_rate is not None and arrival_rate <= 0:
-            raise ReproError("arrival_rate must be positive")
+            raise ConfigError("arrival_rate must be positive")
+        if trace_sink is not None:
+            scheduler.set_sink(trace_sink)
+        #: Tracing is on iff the scheduler kept a real sink (NullSink is
+        #: normalised away); cached so the hot loop pays one bool check.
+        self._tracing = scheduler.sink is not None
         self._epoch = 0
         self._cursor = 0
         self._result = SimulationResult(
@@ -161,6 +174,8 @@ class Simulator:
             ):
                 break
             steps += 1
+            if self._tracing:
+                self.scheduler.current_step = steps
             self.scheduler.clock.tick()
             if self.gc_interval is not None and steps % self.gc_interval == 0:
                 self._run_gc()
@@ -191,6 +206,17 @@ class Simulator:
             forced_wake = False
             self._act(client, steps)
         self._result.steps = steps
+        if self._tracing:
+            self.scheduler.sink.emit(
+                RunEndEvent(
+                    step=steps,
+                    ts=self.scheduler.clock.now,
+                    steps=steps,
+                    commits=self._result.commits,
+                    restarts=self._result.restarts,
+                    blocked_client_steps=self._result.blocked_client_steps,
+                )
+            )
         self._result.stats = self.scheduler.stats
         self._result.backlog = len(self._pending)
         walls = getattr(self.scheduler, "walls", None)

@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.scheduling import SchedulerStats
 
 
-def percentile(samples: list[int], q: float) -> float:
-    """The ``q``-quantile (0..1) by linear interpolation; 0.0 if empty."""
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 if empty.
+
+    Accepts any real-valued samples — latencies are ints, but staleness
+    and wall-lag histograms feed floats.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)

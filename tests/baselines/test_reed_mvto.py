@@ -1,7 +1,6 @@
 """Tests for Reed-style MVTO with commit dependencies (dirty reads,
 cascading aborts)."""
 
-import pytest
 
 from repro.baselines.mvto import ReedMultiversionTimestampOrdering
 from repro.core.scheduler import HDDScheduler

@@ -141,3 +141,54 @@ class TestClaimsSchema:
         )
         assert code == 0
         assert "hdd" in capsys.readouterr().out
+
+
+class TestTraceAndExplain:
+    def run_trace(self, tmp_path, capsys, extra=()):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--commits",
+                "60",
+                "--clients",
+                "4",
+                "--trace-out",
+                str(path),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return path, capsys.readouterr().out
+
+    def test_trace_writes_jsonl_and_prints_metrics(self, tmp_path, capsys):
+        path, out = self.run_trace(tmp_path, capsys)
+        assert path.exists()
+        assert "read.protocol" in out
+        assert f"-> {path}" in out
+
+    def test_explain_summary_matches_run(self, tmp_path, capsys):
+        path, _ = self.run_trace(tmp_path, capsys)
+        assert main(["explain", str(path), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-check vs run    exact" in out
+        assert "runnable" in out  # latency breakdown follows
+
+    def test_explain_single_txn(self, tmp_path, capsys):
+        path, _ = self.run_trace(tmp_path, capsys)
+        assert main(["explain", str(path), "--txn", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("T1 ")
+
+    def test_trace_works_for_baselines(self, tmp_path, capsys):
+        path, out = self.run_trace(
+            tmp_path, capsys, extra=["--scheduler", "2pl"]
+        )
+        assert "read.protocol.none" in out
+        assert main(["explain", str(path)]) == 0
+
+    def test_txn_and_summary_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explain", "t.jsonl", "--txn", "1", "--summary"]
+            )

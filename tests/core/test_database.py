@@ -6,7 +6,6 @@ from repro.baselines import TwoPhaseLocking, TimestampOrdering
 from repro.core.scheduler import HDDScheduler
 from repro.database import Database, WouldBlock
 from repro.errors import TransactionAborted
-from repro.sim.inventory import build_inventory_partition
 
 
 @pytest.fixture

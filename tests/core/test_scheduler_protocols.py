@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.scheduler import HDDScheduler
-from repro.errors import ProtocolViolation, ReproError
+from repro.errors import ProtocolViolation
 from repro.txn.depgraph import is_serializable
 
 

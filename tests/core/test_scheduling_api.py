@@ -12,7 +12,6 @@ from repro.errors import (
     TransactionAborted,
 )
 from repro.scheduling import (
-    Outcome,
     OutcomeKind,
     SchedulerStats,
     aborted,

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines import TwoPhaseLocking
+from repro.core.graph import is_transitive_semi_tree
 from repro.core.scheduler import HDDScheduler
 from repro.core.trace import (
     collect_trace_profiles,
@@ -117,6 +118,15 @@ class TestEndToEndMigration:
             assert scheduler.write(txn, own, 1).granted
             assert scheduler.commit(txn).granted
         assert is_serializable(scheduler.schedule)
+
+    def test_derived_dhg_is_a_transitive_semi_tree(self):
+        """The §7.2.2 contract end to end: a schedule recorded under
+        flat 2PL, once folded into profiles and decomposed, yields a
+        data hierarchy graph that passes the paper's TST test — the
+        precondition for running HDD over it at all."""
+        schedule, type_of = self.run_legacy_and_classify()
+        derived = derive_partition_from_trace(schedule, type_of)
+        assert is_transitive_semi_tree(derived.partition.dhg)
 
     def test_empty_trace_rejected(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,138 @@
+"""Tests for the typed event bus: records, round-trips and sinks."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    EVENT_TYPES,
+    JsonlTraceSink,
+    MemorySink,
+    NullSink,
+    ReadEvent,
+    RunEndEvent,
+    TeeSink,
+    WallReleasedEvent,
+    WallRetiredEvent,
+    event_from_record,
+    load_trace,
+)
+from repro.baselines import TwoPhaseLocking
+
+
+class TestRecords:
+    def test_to_record_carries_kind_and_fields(self):
+        event = ReadEvent(
+            step=3,
+            ts=17,
+            txn_id=4,
+            txn_class="D2",
+            granule="inventory:level",
+            version_ts=9,
+            protocol="A",
+        )
+        record = event.to_record()
+        assert record["kind"] == "read"
+        assert record["txn_id"] == 4
+        assert record["protocol"] == "A"
+        assert record["granule"] == "inventory:level"
+
+    def test_every_kind_round_trips(self):
+        for kind, cls in EVENT_TYPES.items():
+            event = cls()
+            back = event_from_record(event.to_record())
+            assert type(back) is cls, kind
+            assert back == event, kind
+
+    def test_round_trip_preserves_values(self):
+        event = WallReleasedEvent(
+            step=11,
+            ts=40,
+            wall_id=3,
+            base_time=30,
+            release_ts=38,
+            components={"D1": 30, "D2": 31},
+            delayed_by_class="D2",
+            delayed_by_txn=7,
+        )
+        assert event_from_record(event.to_record()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_record({"kind": "no-such-event"})
+
+    def test_events_are_immutable(self):
+        event = BeginEvent(txn_id=1)
+        with pytest.raises(AttributeError):
+            event.txn_id = 2
+
+
+class TestSinks:
+    def test_memory_sink_retains_order(self):
+        sink = MemorySink()
+        first = BeginEvent(txn_id=1)
+        second = CommittedEvent(txn_id=1)
+        sink.emit(first)
+        sink.emit(second)
+        assert sink.events == [first, second]
+
+    def test_tee_fans_out(self):
+        left, right = MemorySink(), MemorySink()
+        tee = TeeSink([left, right])
+        tee.emit(BeginEvent(txn_id=9))
+        assert len(left.events) == len(right.events) == 1
+
+    def test_null_sink_normalised_away(self):
+        """set_sink(NullSink()) leaves the scheduler untraced — the hot
+        path's single `is not None` test stays false."""
+        scheduler = TwoPhaseLocking()
+        scheduler.set_sink(NullSink())
+        assert scheduler.sink is None
+        txn = scheduler.begin()
+        assert scheduler.read(txn, "g").granted  # no emission attempted
+
+    def test_set_sink_and_clear(self):
+        scheduler = TwoPhaseLocking()
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        assert scheduler.sink is sink
+        scheduler.set_sink(None)
+        assert scheduler.sink is None
+
+
+class TestJsonl:
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(stream=buffer)
+        events = [
+            BeginEvent(step=1, ts=1, txn_id=1, txn_class="D1"),
+            BlockedEvent(step=2, txn_id=1, op="read", wait_target="timewall"),
+            RunEndEvent(step=5, steps=5, commits=0, restarts=0),
+        ]
+        for event in events:
+            sink.emit(event)
+        assert sink.events_written == 3
+        buffer.seek(0)
+        loaded = [event_from_record(__import__("json").loads(line))
+                  for line in buffer]
+        assert loaded == events
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            BeginEvent(step=1, ts=1, txn_id=1),
+            WallRetiredEvent(step=2, wall_ids=[1, 2], count=2),
+        ]
+        with JsonlTraceSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+        assert load_trace(path) == events
+
+    def test_path_xor_stream(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink()
+        with pytest.raises(ValueError):
+            JsonlTraceSink(tmp_path / "t.jsonl", stream=io.StringIO())

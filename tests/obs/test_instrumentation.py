@@ -1,0 +1,178 @@
+"""Instrumentation smoke tests: every scheduler feeds the same bus.
+
+The event hooks live in ``BaseScheduler``'s template methods, so HDD
+and all five baselines are traced apples-to-apples without
+per-scheduler code.  These tests drive small hand-built interleavings
+and check the emitted stream, including the HDD protocol tags (A/B/C)
+and the time-wall lifecycle events.
+"""
+
+import pytest
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.obs import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    MemorySink,
+    ReadEvent,
+    WallPinnedEvent,
+    WallReleasedEvent,
+    WallUnpinnedEvent,
+    WriteEvent,
+)
+from repro.sim.inventory import build_inventory_partition
+
+BASELINES = [
+    ("2pl", lambda p: TwoPhaseLocking()),
+    ("to", lambda p: TimestampOrdering()),
+    ("mvto", lambda p: MultiversionTimestampOrdering()),
+    ("mv2pl", lambda p: MultiversionTwoPhaseLocking()),
+    ("sdd1", lambda p: SDD1Pipelining(p)),
+]
+
+
+def kinds(sink):
+    return [event.kind for event in sink.events]
+
+
+class TestLifecycleEvents:
+    @pytest.mark.parametrize(
+        "name,make", BASELINES, ids=[name for name, _ in BASELINES]
+    )
+    def test_baseline_commit_path(self, name, make):
+        partition = build_inventory_partition()
+        scheduler = make(partition)
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        txn = scheduler.begin(profile="type2_post_inventory")
+        granule = "inventory:level"
+        assert scheduler.write(txn, granule, 5).granted
+        assert scheduler.read(txn, granule).granted
+        assert scheduler.commit(txn).granted
+        assert kinds(sink) == ["begin", "write", "read", "committed"]
+        read = sink.events[2]
+        assert read.txn_id == txn.txn_id
+        assert read.granule == granule
+        assert read.protocol is None  # baselines have no protocol split
+
+    def test_abort_emits_reason(self):
+        scheduler = TimestampOrdering()
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        old = scheduler.begin()
+        young = scheduler.begin()
+        assert scheduler.write(young, "g", 1).granted
+        assert scheduler.read(young, "g").granted
+        assert scheduler.commit(young).granted
+        outcome = scheduler.write(old, "g", 2)  # too late: TO rejection
+        assert outcome.aborted
+        aborted = [e for e in sink.events if isinstance(e, AbortedEvent)]
+        assert len(aborted) == 1
+        assert aborted[0].txn_id == old.txn_id
+        assert aborted[0].reason
+
+    def test_lock_wait_emits_blocked_with_target(self):
+        scheduler = TwoPhaseLocking()
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        holder = scheduler.begin()
+        waiter = scheduler.begin()
+        assert scheduler.write(holder, "g", 1).granted
+        outcome = scheduler.write(waiter, "g", 2)
+        assert outcome.blocked
+        blocked = [e for e in sink.events if isinstance(e, BlockedEvent)]
+        assert len(blocked) == 1
+        assert blocked[0].op == "write"
+        assert blocked[0].granule == "g"
+        assert blocked[0].wait_target is not None
+
+    def test_explicit_abort_flows_through_funnel(self):
+        scheduler = TwoPhaseLocking()
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        txn = scheduler.begin()
+        assert scheduler.write(txn, "g", 1).granted
+        scheduler.abort(txn, "user asked")
+        assert kinds(sink) == ["begin", "write", "aborted"]
+        assert sink.events[-1].reason == "user asked"
+
+
+class TestHDDProtocolTags:
+    def make(self, **kwargs):
+        partition = build_inventory_partition()
+        scheduler = HDDScheduler(partition, **kwargs)
+        sink = MemorySink()
+        scheduler.set_sink(sink)
+        return partition, scheduler, sink
+
+    def reads(self, sink):
+        return [e for e in sink.events if isinstance(e, ReadEvent)]
+
+    def test_protocol_b_for_own_class(self):
+        _, scheduler, sink = self.make()
+        txn = scheduler.begin(profile="type2_post_inventory")
+        assert scheduler.write(txn, "inventory:level", 1).granted
+        assert scheduler.read(txn, "inventory:level").granted
+        assert self.reads(sink)[0].protocol == "B"
+
+    def test_protocol_a_for_higher_class(self):
+        _, scheduler, sink = self.make()
+        txn = scheduler.begin(profile="type2_post_inventory")
+        assert scheduler.read(txn, "events:arrival").granted
+        assert self.reads(sink)[0].protocol == "A"
+
+    def test_writes_tagged_b(self):
+        _, scheduler, sink = self.make()
+        txn = scheduler.begin(profile="type2_post_inventory")
+        assert scheduler.write(txn, "inventory:level", 9).granted
+        writes = [e for e in sink.events if isinstance(e, WriteEvent)]
+        assert writes[0].protocol == "B"
+        assert writes[0].txn_class == "inventory"
+
+    def test_protocol_c_reader_pins_and_unpins_a_wall(self):
+        """An ad-hoc read-only transaction reads off a time wall: the
+        trace shows the release, the pin (with the reader's id), the
+        C-tagged read and the unpin at commit."""
+        _, scheduler, sink = self.make(wall_interval=1)
+        writer = scheduler.begin(profile="type2_post_inventory")
+        assert scheduler.write(writer, "inventory:level", 3).granted
+        assert scheduler.commit(writer).granted
+        reader = scheduler.begin(read_only=True)  # no profile: Protocol C
+        assert scheduler.read(reader, "inventory:level").granted
+        assert scheduler.commit(reader).granted
+        released = [
+            e for e in sink.events if isinstance(e, WallReleasedEvent)
+        ]
+        assert released, "no wall release traced"
+        assert released[0].wall_id >= 1
+        pins = [e for e in sink.events if isinstance(e, WallPinnedEvent)]
+        assert any(p.txn_id == reader.txn_id for p in pins)
+        unpins = [e for e in sink.events if isinstance(e, WallUnpinnedEvent)]
+        assert any(p.txn_id == reader.txn_id for p in unpins)
+        tagged = [
+            e
+            for e in self.reads(sink)
+            if e.txn_id == reader.txn_id and e.protocol == "C"
+        ]
+        assert tagged, "reader's read not tagged Protocol C"
+
+    def test_events_share_one_bus(self):
+        _, scheduler, sink = self.make()
+        txn = scheduler.begin(profile="type2_post_inventory")
+        assert scheduler.write(txn, "inventory:level", 1).granted
+        assert scheduler.commit(txn).granted
+        begin = [e for e in sink.events if isinstance(e, BeginEvent)]
+        committed = [
+            e for e in sink.events if isinstance(e, CommittedEvent)
+        ]
+        assert begin[0].txn_id == committed[0].txn_id == txn.txn_id
+        assert begin[0].txn_class == "inventory"

@@ -1,0 +1,129 @@
+"""Tests for the metrics-registry sink and the shared histogram."""
+
+from repro.obs import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    GCPassEvent,
+    Histogram,
+    MetricsRegistry,
+    ReadEvent,
+    RunEndEvent,
+    WallReleasedEvent,
+    WallRetiredEvent,
+)
+from repro.obs.metrics import abort_kind, wait_category
+
+
+class TestWaitCategory:
+    def test_txn_ids_are_txn(self):
+        assert wait_category(17) == "txn"
+
+    def test_timewall(self):
+        assert wait_category("timewall") == "wall"
+
+    def test_lock_prefix(self):
+        assert wait_category("lock:inventory:level") == "lock"
+
+    def test_everything_else(self):
+        assert wait_category(None) == "other"
+        assert wait_category("queue") == "other"
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.95) == 0.0
+        assert histogram.summary()["max"] == 0.0
+
+    def test_uses_shared_percentile(self):
+        histogram = Histogram()
+        histogram.record(1.0)
+        histogram.record(3.0)
+        assert histogram.quantile(0.5) == 2.0  # interpolated
+        summary = histogram.summary()
+        assert summary["count"] == 2
+        assert summary["mean"] == 2.0
+        assert summary["max"] == 3.0
+
+
+class TestRegistry:
+    def test_read_protocol_counters(self):
+        registry = MetricsRegistry()
+        registry.emit(ReadEvent(txn_id=1, protocol="A"))
+        registry.emit(ReadEvent(txn_id=1, protocol="B"))
+        registry.emit(ReadEvent(txn_id=1, protocol="A"))
+        registry.emit(ReadEvent(txn_id=2))  # baseline: no protocol
+        assert registry.counters["read.protocol.A"] == 2
+        assert registry.counters["read.protocol.B"] == 1
+        assert registry.counters["read.protocol.none"] == 1
+        assert registry.counters["events.read"] == 4
+
+    def test_begin_split_and_abort_reasons(self):
+        registry = MetricsRegistry()
+        registry.emit(BeginEvent(txn_id=1, read_only=True))
+        registry.emit(BeginEvent(txn_id=2))
+        registry.emit(AbortedEvent(txn_id=2, reason="TO rejection"))
+        assert registry.counters["begin.read_only"] == 1
+        assert registry.counters["begin.update"] == 1
+        assert registry.counters["abort.reason.TO rejection"] == 1
+
+    def test_abort_reasons_bucketed_by_stable_prefix(self):
+        """Per-instance detail after the colon must not blow up the
+        counter's cardinality."""
+        assert abort_kind("MVTO write rejected: inserting a:g^7") == (
+            "MVTO write rejected"
+        )
+        assert abort_kind(None) == "unknown"
+        registry = MetricsRegistry()
+        registry.emit(AbortedEvent(txn_id=1, reason="wounded: by T9"))
+        registry.emit(AbortedEvent(txn_id=2, reason="wounded: by T4"))
+        assert registry.counters["abort.reason.wounded"] == 2
+
+    def test_block_duration_pairs_with_next_event(self):
+        registry = MetricsRegistry()
+        registry.emit(BlockedEvent(step=10, txn_id=1, wait_target="timewall"))
+        registry.emit(ReadEvent(step=14, txn_id=1, protocol="C"))
+        [sample] = registry.histogram("block_steps.wall").samples
+        assert sample == 4.0
+        assert registry.counters["blocked.wall"] == 1
+
+    def test_reblocking_extends_the_episode(self):
+        registry = MetricsRegistry()
+        registry.emit(BlockedEvent(step=5, txn_id=1, wait_target=3))
+        registry.emit(BlockedEvent(step=9, txn_id=1, wait_target=3))
+        registry.emit(CommittedEvent(step=12, txn_id=1))
+        assert registry.histogram("block_steps.txn").samples == [4.0, 3.0]
+
+    def test_run_end_drains_open_blocks(self):
+        registry = MetricsRegistry()
+        registry.emit(BlockedEvent(step=90, txn_id=1, wait_target="lock:g"))
+        registry.emit(RunEndEvent(step=100, steps=100))
+        assert registry.histogram("block_steps.lock").samples == [10.0]
+
+    def test_wall_lag_and_lifecycle(self):
+        registry = MetricsRegistry()
+        registry.emit(
+            WallReleasedEvent(
+                wall_id=1, base_time=30, release_ts=38, delayed_by_class="D2"
+            )
+        )
+        registry.emit(WallRetiredEvent(wall_ids=[1], count=1))
+        registry.emit(GCPassEvent(pruned_versions=12, walls_retired=1))
+        assert registry.histogram("wall_lag").samples == [8.0]
+        assert registry.counters["wall.releases_delayed"] == 1
+        assert registry.counters["wall.retired"] == 1
+        assert registry.counters["gc.pruned_versions"] == 12
+
+    def test_report_and_render(self):
+        registry = MetricsRegistry()
+        registry.emit(ReadEvent(txn_id=1, protocol="B"))
+        report = registry.report()
+        assert report["events.read"] == 1
+        assert "read.protocol.B" in registry.render()
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no events)"

@@ -1,6 +1,5 @@
 """Tests for crash recovery: redo-only rebuild from the WAL."""
 
-import io
 
 import pytest
 

@@ -21,6 +21,18 @@ class TestPercentile:
     def test_order_independent(self):
         assert percentile([5, 1, 3], 0.5) == percentile([1, 3, 5], 0.5)
 
+    def test_accepts_floats(self):
+        assert percentile([1.5, 2.5], 0.5) == 2.0
+        assert percentile([0.25], 0.95) == 0.25
+
+    def test_mixed_int_float(self):
+        assert percentile([1, 2.0, 3], 0.5) == 2.0
+
+    def test_input_not_mutated(self):
+        samples = [5.0, 1.0, 3.0]
+        percentile(samples, 0.5)
+        assert samples == [5.0, 1.0, 3.0]
+
 
 class TestSimulationResult:
     def make(self) -> SimulationResult:

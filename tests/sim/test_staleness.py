@@ -1,6 +1,5 @@
 """Tests for read-staleness tracking — the cost side of HDD's bargain."""
 
-import pytest
 
 from repro.baselines import TwoPhaseLocking
 from repro.core.scheduler import HDDScheduler

@@ -104,12 +104,23 @@ class TestGCDriverValidation:
                 track_staleness=True,
             )
 
+    def test_gc_staleness_conflict_is_a_value_error(self):
+        """The conflict is a configuration mistake, so plain
+        ``except ValueError`` callers catch it too — and the message
+        names both knobs."""
+        partition = star_partition(2)
+        workload = build_hierarchy_workload(partition)
+        with pytest.raises(ValueError, match="track_staleness"):
+            Simulator(
+                HDDScheduler(partition),
+                workload,
+                gc_interval=10,
+                track_staleness=True,
+            )
+
     def test_gc_driver_noop_for_schedulers_without_collector(self):
         from repro.baselines.two_phase_locking import TwoPhaseLocking
-        from repro.sim.inventory import (
-            build_inventory_partition,
-            build_inventory_workload,
-        )
+        from repro.sim.inventory import build_inventory_workload
 
         workload = build_inventory_workload(granules_per_segment=8)
         result = Simulator(
