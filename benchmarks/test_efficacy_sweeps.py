@@ -9,38 +9,54 @@ the workload fixed and varying one knob at a time:
 * multiprogramming level (contention amplifies blocking baselines);
 * hotspot skew (contention concentrated on few granules).
 
-Each sweep prints the series (x, per-scheduler metric) the shape claims
-are judged on in EXPERIMENTS.md.
+Each sweep is declared as a :class:`~repro.sweep.SweepSpec` and driven
+through the sweep runner (so the grids are cacheable, parallelisable,
+and seeded per-config), then pivoted into the (x, per-scheduler metric)
+series the shape claims are judged on in EXPERIMENTS.md.
 """
 
 import pytest
 
-from benchmarks.conftest import run_inventory_mix
-from repro.core.scheduler import HDDScheduler
-from repro.baselines import TwoPhaseLocking
-from repro.sim.engine import Simulator
-from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
 from repro.sim.metrics import format_table
+from repro.sweep import SweepSpec, run_sweep
 
 SCHEDULERS = ["hdd", "2pl", "mvto", "sdd1"]
 
 
-def test_sweep_read_only_share(benchmark, show):
-    def sweep():
-        rows = []
-        for share in (0.0, 0.25, 0.5, 0.75):
-            row = {"ro_share": share}
-            for name in SCHEDULERS:
-                result, scheduler = run_inventory_mix(
-                    name, commits=300, read_only_share=share, audit=False
-                )
-                row[f"{name}_reg/c"] = round(
-                    scheduler.stats.read_registrations / result.commits, 2
-                )
-            rows.append(row)
-        return rows
+def _axis_value(config, axis):
+    """An axis value, whether it is a config field or a workload param."""
+    if axis in config:
+        return config[axis]
+    return config["workload"][axis]
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+def _pivot(outcome, axis, columns):
+    """Wide rows (one per axis value) from the sweep's flat results."""
+    rows: dict = {}
+    for result in outcome.rows:
+        config = result["config"]
+        value = _axis_value(config, axis)
+        row = rows.setdefault(value, {axis: value})
+        name = config["scheduler"]
+        for label, key in columns.items():
+            row[f"{name}_{label}"] = result["metrics"][key]
+    return list(rows.values())
+
+
+def test_sweep_read_only_share(benchmark, show):
+    spec = SweepSpec.from_axes(
+        schedulers=SCHEDULERS,
+        axes={"read_only_share": [0.0, 0.25, 0.5, 0.75]},
+        base={"target_commits": 300, "max_steps": 400_000},
+    )
+    outcome = benchmark.pedantic(
+        run_sweep, args=(spec,), rounds=1, iterations=1
+    )
+    rows = _pivot(
+        outcome,
+        "read_only_share",
+        {"reg/c": "read_registrations_per_commit"},
+    )
     show("Efficacy: registrations vs read-only share", format_table(rows))
     # HDD's registration overhead shrinks as reading grows; 2PL's grows.
     assert rows[-1]["hdd_reg/c"] <= rows[0]["hdd_reg/c"]
@@ -49,35 +65,27 @@ def test_sweep_read_only_share(benchmark, show):
 
 
 def test_sweep_hierarchy_depth(benchmark, show):
-    def sweep():
-        rows = []
-        for depth in (2, 3, 5, 7):
-            partition = chain_partition(depth)
-            row = {"depth": depth}
-            for name, make in {
-                "hdd": lambda p: HDDScheduler(p),
-                "2pl": lambda p: TwoPhaseLocking(),
-            }.items():
-                scheduler = make(partition)
-                workload = build_hierarchy_workload(
-                    partition, reads_per_txn=4, granules_per_segment=8
-                )
-                result = Simulator(
-                    scheduler,
-                    workload,
-                    clients=8,
-                    seed=5,
-                    target_commits=300,
-                    max_steps=200_000,
-                ).run()
-                row[f"{name}_reg/c"] = round(
-                    scheduler.stats.read_registrations / result.commits, 2
-                )
-                row[f"{name}_tput"] = round(result.throughput, 4)
-            rows.append(row)
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    spec = SweepSpec.from_axes(
+        schedulers=["hdd", "2pl"],
+        axes={"depth": [2, 3, 5, 7]},
+        base={
+            "target_commits": 300,
+            "max_steps": 200_000,
+            "workload": {
+                "schema": "chain",
+                "reads_per_txn": 4,
+                "granules_per_segment": 8,
+            },
+        },
+    )
+    outcome = benchmark.pedantic(
+        run_sweep, args=(spec,), rounds=1, iterations=1
+    )
+    rows = _pivot(
+        outcome,
+        "depth",
+        {"reg/c": "read_registrations_per_commit", "tput": "throughput"},
+    )
     show("Efficacy: overhead vs hierarchy depth", format_table(rows))
     for row in rows:
         assert row["hdd_reg/c"] < row["2pl_reg/c"]
@@ -88,51 +96,45 @@ def test_sweep_hierarchy_depth(benchmark, show):
 
 @pytest.mark.parametrize("clients", [2, 8, 16])
 def test_sweep_multiprogramming(benchmark, clients, show):
-    def run_pair():
-        out = {}
-        for name in ("hdd", "sdd1"):
-            result, scheduler = run_inventory_mix(
-                name, commits=300, clients=clients, audit=False
-            )
-            out[name] = (
-                result.throughput,
-                scheduler.stats.read_blocks,
-                result.p95_latency,
-            )
-        return out
-
-    out = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    spec = SweepSpec.from_axes(
+        schedulers=["hdd", "sdd1"],
+        axes={"clients": [clients]},
+        base={"target_commits": 300, "max_steps": 400_000},
+    )
+    outcome = benchmark.pedantic(
+        run_sweep, args=(spec,), rounds=1, iterations=1
+    )
+    metrics = {
+        row["config"]["scheduler"]: row["metrics"] for row in outcome.rows
+    }
     show(
         f"Efficacy: multiprogramming level {clients}",
         "\n".join(
-            f"{name}: throughput={tput:.4f}, read_blocks={blocks}, "
-            f"p95={p95:.0f}"
-            for name, (tput, blocks, p95) in out.items()
+            f"{name}: throughput={m['throughput']:.4f}, "
+            f"read_blocks={m['read_blocks']}, p95={m['p95_latency']:.0f}"
+            for name, m in metrics.items()
         ),
     )
     # SDD-1's pipelining pays more as concurrency rises.
-    assert out["hdd"][1] <= out["sdd1"][1]
+    assert metrics["hdd"]["read_blocks"] <= metrics["sdd1"]["read_blocks"]
 
 
 def test_sweep_skew(benchmark, show):
-    def sweep():
-        rows = []
-        for skew in (1.0, 2.0, 4.0):
-            row = {"skew": skew}
-            for name in ("hdd", "mvto", "2pl"):
-                result, scheduler = run_inventory_mix(
-                    name,
-                    commits=300,
-                    skew=skew,
-                    granules=16,
-                    audit=False,
-                )
-                row[f"{name}_aborts"] = scheduler.stats.aborts
-                row[f"{name}_tput"] = round(result.throughput, 4)
-            rows.append(row)
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    spec = SweepSpec.from_axes(
+        schedulers=["hdd", "mvto", "2pl"],
+        axes={"skew": [1.0, 2.0, 4.0]},
+        base={
+            "target_commits": 300,
+            "max_steps": 400_000,
+            "workload": {"schema": "inventory", "granules_per_segment": 16},
+        },
+    )
+    outcome = benchmark.pedantic(
+        run_sweep, args=(spec,), rounds=1, iterations=1
+    )
+    rows = _pivot(
+        outcome, "skew", {"aborts": "aborts", "tput": "throughput"}
+    )
     show("Efficacy: contention skew", format_table(rows))
     # Hotspots increase optimistic-timestamp aborts; HDD's cross-class
     # reads are immune (walls), so its aborts stay at or below MVTO's.

@@ -1,8 +1,9 @@
 """Figure 10 bench: HDD vs SDD-1 vs MV2PL (and the classical baselines).
 
 The paper's only comparison table, made quantitative: every scheduler
-runs the same deterministic inventory mix, and each of the figure's
-qualitative cells becomes a measured column:
+runs the same deterministic inventory mix (declared once as a
+:class:`~repro.sweep.SweepSpec` and driven through the sweep runner),
+and each of the figure's qualitative cells becomes a measured column:
 
 * *inter-class synchronisation* -> read registrations per commit, read
   blocks, read rejections;
@@ -16,68 +17,47 @@ each) and prints the comparison table.
 
 import pytest
 
-from benchmarks.conftest import SCHEDULER_MAKERS, run_inventory_mix
 from repro.sim.metrics import format_table
+from repro.sweep import RunConfig, SweepSpec, execute_config, run_sweep
 
 COMMITS = 500
+SCHEDULERS = ["hdd", "hdd-to", "2pl", "to", "mvto", "mv2pl", "sdd1"]
+BASE = {"target_commits": COMMITS, "max_steps": 400_000, "audit": True}
 
 
-@pytest.mark.parametrize("name", list(SCHEDULER_MAKERS))
+@pytest.mark.parametrize("name", SCHEDULERS)
 def test_scheduler_mix(benchmark, name):
-    result, scheduler = benchmark.pedantic(
-        run_inventory_mix,
-        kwargs=dict(scheduler_name=name, commits=COMMITS),
-        rounds=1,
-        iterations=1,
+    config = RunConfig(scheduler=name, **BASE)
+    row = benchmark.pedantic(
+        execute_config, args=(config.to_dict(),), rounds=1, iterations=1
     )
-    assert result.commits >= COMMITS
-    assert scheduler.stats.commits >= COMMITS
+    assert row["metrics"]["commits"] >= COMMITS
 
 
 def test_comparison_table(benchmark, show):
-    def build_table():
-        rows = []
-        for name in SCHEDULER_MAKERS:
-            result, scheduler = run_inventory_mix(name, commits=COMMITS)
-            stats = scheduler.stats
-            rows.append(
-                {
-                    "scheduler": name,
-                    "commits": result.commits,
-                    "throughput": round(result.throughput, 4),
-                    "reg/commit": round(
-                        stats.read_registrations / result.commits, 3
-                    ),
-                    "unreg/commit": round(
-                        stats.unregistered_reads / result.commits, 3
-                    ),
-                    "read_blocks": stats.read_blocks,
-                    "read_rejects": stats.read_rejections,
-                    "aborts": stats.aborts,
-                    "p95_lat": round(result.p95_latency, 1),
-                }
-            )
-        return rows
+    spec = SweepSpec(schedulers=SCHEDULERS, base=BASE)
+    outcome = benchmark.pedantic(
+        run_sweep, args=(spec,), rounds=1, iterations=1
+    )
+    show("Figure 10 (measured)", format_table(outcome.table_rows()))
 
-    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    show("Figure 10 (measured)", format_table(rows))
-
-    by_name = {row["scheduler"]: row for row in rows}
+    by_name = {
+        row["config"]["scheduler"]: row["metrics"] for row in outcome.rows
+    }
+    reg = "read_registrations_per_commit"
     # The figure's qualitative cells, as assertions:
     # HDD inter-class: never rejects a read, registrations only
     # intra-class (far below the lock/timestamp baselines).
-    assert by_name["hdd"]["read_rejects"] == 0
-    assert by_name["hdd"]["reg/commit"] < by_name["2pl"]["reg/commit"] / 3
-    assert by_name["hdd"]["reg/commit"] < by_name["to"]["reg/commit"] / 3
+    assert by_name["hdd"]["read_rejections"] == 0
+    assert by_name["hdd"][reg] < by_name["2pl"][reg] / 3
+    assert by_name["hdd"][reg] < by_name["to"][reg] / 3
     # SDD-1: zero registrations, pays in blocking.
-    assert by_name["sdd1"]["reg/commit"] == 0
-    assert by_name["sdd1"]["read_blocks"] > 10 * by_name["hdd"]["read_blocks"]
+    assert by_name["sdd1"][reg] == 0
+    assert (
+        by_name["sdd1"]["read_blocks"] > 10 * by_name["hdd"]["read_blocks"]
+    )
     assert by_name["sdd1"]["throughput"] < by_name["hdd"]["throughput"]
     # MV2PL: read-only transactions spared, update reads still locked.
-    assert (
-        by_name["hdd"]["reg/commit"]
-        < by_name["mv2pl"]["reg/commit"]
-        < by_name["2pl"]["reg/commit"]
-    )
+    assert by_name["hdd"][reg] < by_name["mv2pl"][reg] < by_name["2pl"][reg]
     # TO-family intra-class mechanisms abort rather than deadlock.
     assert by_name["to"]["aborts"] >= by_name["mvto"]["aborts"]

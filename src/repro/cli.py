@@ -5,7 +5,11 @@ Seven subcommands, all deterministic given ``--seed``:
 * ``compare`` — the measured Figure 10 table: every scheduler over the
   same transaction mix (inventory or claims schema);
 * ``sweep``   — vary one knob (read-only share, hierarchy depth,
-  clients, skew) and print the series;
+  clients, skew) and print the series.  Runs through the declarative
+  sweep subsystem (:mod:`repro.sweep`): ``--workers`` fans the grid
+  out across processes, ``--cache-dir`` re-uses cached cells, ``--out``
+  writes the merged JSON document, and ``--check-determinism`` runs the
+  grid serially *and* in parallel and fails on any divergence;
 * ``anomaly`` — replay the Figure 3/4 constructions and print the
   dependency cycles the oracle finds;
 * ``info``    — show a schema's decomposition (segments, critical arcs,
@@ -25,15 +29,10 @@ import sys
 from typing import Optional, Sequence
 
 from repro.baselines import (
-    MultiversionTimestampOrdering,
-    MultiversionTwoPhaseLocking,
-    ReedMultiversionTimestampOrdering,
-    SDD1Pipelining,
     TimestampOrdering,
     TwoPhaseLocking,
 )
 from repro.core.partition import PartitionSummary
-from repro.core.scheduler import HDDScheduler
 from repro.obs import (
     JsonlTraceSink,
     MetricsRegistry,
@@ -45,21 +44,9 @@ from repro.sim.claims import build_claims_partition, build_claims_workload
 from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
 from repro.sim.inventory import build_inventory_partition, build_inventory_workload
 from repro.sim.metrics import format_table
+from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.spec import SCHEDULER_FACTORIES as SCHEDULERS
 from repro.txn.depgraph import find_dependency_cycle
-
-SCHEDULERS = {
-    "hdd": lambda partition: HDDScheduler(partition),
-    "hdd-to": lambda partition: HDDScheduler(partition, protocol_b="to"),
-    "hdd-reed": lambda partition: HDDScheduler(
-        partition, protocol_b="mvto-reed"
-    ),
-    "2pl": lambda partition: TwoPhaseLocking(),
-    "to": lambda partition: TimestampOrdering(),
-    "mvto": lambda partition: MultiversionTimestampOrdering(),
-    "mvto-reed": lambda partition: ReedMultiversionTimestampOrdering(),
-    "mv2pl": lambda partition: MultiversionTwoPhaseLocking(),
-    "sdd1": lambda partition: SDD1Pipelining(partition),
-}
 
 DEFAULT_COMPARISON = ["hdd", "2pl", "to", "mvto", "mv2pl", "sdd1"]
 
@@ -144,30 +131,72 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    """The SweepSpec the CLI's knob/values flags denote."""
+    cast = float if args.knob in ("ro_share", "skew") else int
+    workload: dict[str, object] = {
+        "schema": args.workload_schema,
+        "read_only_share": args.ro_share,
+        "skew": args.skew,
+    }
+    if args.knob == "depth":  # depth only makes sense on a chain
+        workload["schema"] = "chain"
+    return SweepSpec.from_axes(
+        schedulers=args.schedulers,
+        axes={args.knob: [cast(v) for v in args.values]},
+        seeds=[args.seed],
+        base={
+            "target_commits": args.commits,
+            "max_steps": max(args.commits * 500, 100_000),
+            "clients": args.clients,
+            "audit": True,
+            "workload": workload,
+        },
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    rows = []
-    for value in args.values:
-        for name in args.schedulers:
-            kwargs = dict(
-                commits=args.commits,
-                clients=args.clients,
-                seed=args.seed,
-                skew=args.skew,
-                ro_share=args.ro_share,
+    spec = _sweep_spec(args)
+    determinism_note = None
+    if args.check_determinism:
+        # Run the grid twice — serially and through a process pool —
+        # and require byte-identical merged documents (the CI smoke
+        # job's divergence tripwire).  Cache off so both runs execute.
+        par_workers = max(args.workers, 2)
+        outcome = SweepRunner(workers=1).run(spec)
+        parallel = SweepRunner(workers=par_workers).run(spec)
+        if outcome.merged_json() != parallel.merged_json():
+            print(
+                "determinism check FAILED: serial and parallel sweeps "
+                "produced different merged results",
+                file=sys.stderr,
             )
-            if args.knob == "ro_share":
-                kwargs["ro_share"] = float(value)
-            elif args.knob == "skew":
-                kwargs["skew"] = float(value)
-            elif args.knob == "clients":
-                kwargs["clients"] = int(value)
-            elif args.knob == "depth":
-                kwargs["depth"] = int(value)
-            kwargs["schema"] = args.workload_schema
-            row = _run_mix(name, **kwargs)
-            row = {args.knob: value, **row}
-            rows.append(row)
+            return 1
+        determinism_note = (
+            f"determinism: workers=1 and workers={par_workers} "
+            "merged byte-identically"
+        )
+    else:
+        outcome = SweepRunner(
+            workers=args.workers, cache_dir=args.cache_dir
+        ).run(spec)
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write(outcome.merged_json())
+    rows = outcome.table_rows()
+    if args.knob == "ro_share":
+        # the spec stores the workload-builder name; keep the CLI's
+        # knob spelling in the printed series
+        rows = [
+            {
+                ("ro_share" if key == "read_only_share" else key): value
+                for key, value in row.items()
+            }
+            for row in rows
+        ]
     print(format_table(rows))
+    if determinism_note:
+        print(determinism_note)
     return 0
 
 
@@ -298,6 +327,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["ro_share", "skew", "clients", "depth"],
     )
     sweep.add_argument("--values", nargs="+", required=True)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for parallel execution (1 = inline)",
+    )
+    sweep.add_argument(
+        "--out", default=None, help="write the merged JSON document here"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="per-config result cache directory",
+    )
+    sweep.add_argument(
+        "--check-determinism",
+        action="store_true",
+        dest="check_determinism",
+        help="run serial + parallel, fail on any divergence",
+    )
     sweep.set_defaults(fn=cmd_sweep)
 
     anomaly = sub.add_parser(

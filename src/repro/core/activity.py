@@ -126,24 +126,40 @@ class _MaxSegmentTree:
         return result
 
     def first_above(self, bound: int, threshold: float) -> Optional[int]:
-        """Smallest index in ``[0, bound)`` with value > ``threshold``."""
+        """Smallest index in ``[0, bound)`` with value > ``threshold``.
+
+        Iterative: decompose ``[0, bound)`` into its O(log n) canonical
+        segment-tree nodes (left to right), find the first whose max
+        exceeds the threshold, and descend into it — no per-level
+        Python recursion on this hottest analytical path (every
+        ``i_old``/``oldest_open`` call lands here).
+        """
         bound = min(bound, self._size)
         if bound <= 0:
             return None
-        return self._first_above(1, 0, self._capacity, bound, threshold)
-
-    def _first_above(
-        self, node: int, lo: int, hi: int, bound: int, threshold: float
-    ) -> Optional[int]:
-        if lo >= bound or self._tree[node] <= threshold:
-            return None
-        if lo + 1 == hi:
-            return lo
-        mid = (lo + hi) // 2
-        left = self._first_above(2 * node, lo, mid, bound, threshold)
-        if left is not None:
-            return left
-        return self._first_above(2 * node + 1, mid, hi, bound, threshold)
+        tree = self._tree
+        # Canonical cover of [0, bound): nodes collected from the lo
+        # side are in left-to-right order, from the hi side right-to-left.
+        left_nodes: list[int] = []
+        right_nodes: list[int] = []
+        lo, hi = self._capacity, self._capacity + bound
+        while lo < hi:
+            if lo & 1:
+                left_nodes.append(lo)
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                right_nodes.append(hi)
+            lo //= 2
+            hi //= 2
+        for node in left_nodes + right_nodes[::-1]:
+            if tree[node] > threshold:
+                while node < self._capacity:  # descend to the leaf
+                    node *= 2
+                    if tree[node] <= threshold:
+                        node += 1
+                return node - self._capacity
+        return None
 
     def __len__(self) -> int:
         return self._size
@@ -288,6 +304,15 @@ class ActivityTracker:
         self.logs: dict[Node, ClassActivityLog] = {
             node: ClassActivityLog(node) for node in index.graph.nodes
         }
+        #: Compiled hop plans, keyed by the (from, to) class pair: a
+        #: tuple of bound per-class ``i_old``/``c_late`` methods, so the
+        #: composed functions never re-walk the path or re-query arc
+        #: directions per evaluation.  The log set and the semi-tree are
+        #: fixed for this tracker's lifetime (dynamic restructuring
+        #: builds a fresh tracker), so the plans never go stale.
+        self._a_plans: dict[tuple[Node, Node], tuple] = {}
+        self._b_plans: dict[tuple[Node, Node], tuple] = {}
+        self._e_plans: dict[tuple[Node, Node], tuple] = {}
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the HDD scheduler)
@@ -316,12 +341,18 @@ class ActivityTracker:
         ``A_i^i(m) = m`` by convention (the identity hop); raises
         :class:`ReproError` when no critical path exists.
         """
-        path = self.index.critical_path(i, j)
-        if path is None:
-            raise ReproError(f"A_{i}^{j}: no critical path from {i!r} to {j!r}")
+        plan = self._a_plans.get((i, j))
+        if plan is None:
+            path = self.index.critical_path(i, j)
+            if path is None:
+                raise ReproError(
+                    f"A_{i}^{j}: no critical path from {i!r} to {j!r}"
+                )
+            plan = tuple(self.logs[cls].i_old for cls in path[1:])
+            self._a_plans[(i, j)] = plan
         value = m
-        for cls in path[1:]:
-            value = self.i_old(cls, value)
+        for hop in plan:
+            value = hop(value)
         return value
 
     def a_func_from_below(self, bottom: Node, j: Node, m: Timestamp) -> Timestamp:
@@ -345,12 +376,19 @@ class ActivityTracker:
         ``i`` (see module docstring for the derivation).  Raises
         :class:`NotComputableError` if any hop is not yet computable.
         """
-        path = self.index.critical_path(i, j)
-        if path is None:
-            raise ReproError(f"B_{j}^{i}: no critical path from {i!r} to {j!r}")
+        plan = self._b_plans.get((j, i))
+        if plan is None:
+            path = self.index.critical_path(i, j)
+            if path is None:
+                raise ReproError(
+                    f"B_{j}^{i}: no critical path from {i!r} to {j!r}"
+                )
+            # j first, i excluded.
+            plan = tuple(self.logs[cls].c_late for cls in reversed(path[1:]))
+            self._b_plans[(j, i)] = plan
         value = m
-        for cls in reversed(path[1:]):  # j first, i excluded
-            value = self.c_late(cls, value)
+        for hop in plan:
+            value = hop(value)
         return value
 
     def e_func(self, s: Node, i: Node, m: Timestamp) -> Timestamp:
@@ -359,19 +397,28 @@ class ActivityTracker:
         Up-hops apply ``I_old`` of the entered class; down-hops apply
         ``C_late`` of the class being left.  ``E_s^s(m) = m``.
         """
-        walk = self.index.undirected_critical_path(s, i)
-        if walk is None:
-            raise ReproError(
-                f"E_{s}^{i}: classes {s!r} and {i!r} are not connected"
-            )
+        plan = self._e_plans.get((s, i))
+        if plan is None:
+            walk = self.index.undirected_critical_path(s, i)
+            if walk is None:
+                raise ReproError(
+                    f"E_{s}^{i}: classes {s!r} and {i!r} are not connected"
+                )
+            hops = []
+            for here, there in zip(walk, walk[1:]):
+                if self.index.reduction.has_arc(here, there):
+                    hops.append(self.logs[there].i_old)
+                elif self.index.reduction.has_arc(there, here):
+                    hops.append(self.logs[here].c_late)
+                else:  # pragma: no cover - UCP guarantees one of the two
+                    raise ReproError(
+                        f"no critical arc between {here!r}, {there!r}"
+                    )
+            plan = tuple(hops)
+            self._e_plans[(s, i)] = plan
         value = m
-        for here, there in zip(walk, walk[1:]):
-            if self.index.reduction.has_arc(here, there):
-                value = self.i_old(there, value)
-            elif self.index.reduction.has_arc(there, here):
-                value = self.c_late(here, value)
-            else:  # pragma: no cover - UCP guarantees one of the two
-                raise ReproError(f"no critical arc between {here!r}, {there!r}")
+        for hop in plan:
+            value = hop(value)
         return value
 
     def try_e_func(self, s: Node, i: Node, m: Timestamp) -> Optional[Timestamp]:

@@ -14,6 +14,18 @@ real application would.
 Everything is driven by one seeded RNG and a round-robin cursor, so runs
 are exactly reproducible — a property both the tests and the paper-
 figure benchmarks rely on.
+
+Two interchangeable main loops implement the same semantics:
+
+* ``loop="event"`` (default) — the production hot loop.  Clients live
+  in event-driven structures (a ready set, an idle-ready set, a
+  countdown min-heap for think/backoff timers, and a blocked set woken
+  only on event-epoch bumps), so an engine step costs O(runnable)
+  instead of O(clients); blocked client-steps are computed from
+  block/wake intervals instead of per-step counting.
+* ``loop="scan"`` — the original per-step all-clients scan, kept as the
+  executable reference semantics.  The equivalence tests assert both
+  loops produce the exact same committed schedule for every scheduler.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import enum
 import random
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Optional
 
 from repro.errors import ConfigError, ReproError
@@ -49,6 +62,7 @@ class _Client:
     pc: int = 0
     countdown: int = 0  # think time or restart backoff
     wake_epoch: int = -1  # blocked since this event epoch
+    block_step: int = 0  # step the current blocked episode began (event loop)
     latency_start: int = 0
     first_attempt: bool = True
     #: Value read by the first half of an in-flight RMW operation.
@@ -92,6 +106,11 @@ class Simulator:
         tracing off).  The simulator stamps every event with the engine
         step and appends a :class:`~repro.obs.events.RunEndEvent`
         carrying its authoritative totals.
+    loop:
+        ``"event"`` (default) runs the event-driven hot loop;
+        ``"scan"`` runs the original per-step all-clients scan kept as
+        the reference semantics.  Both produce identical schedules and
+        metrics (asserted by the equivalence tests).
     """
 
     #: Consecutive idle engine steps tolerated before declaring a stall.
@@ -112,9 +131,12 @@ class Simulator:
         arrival_rate: Optional[float] = None,
         gc_interval: Optional[int] = None,
         trace_sink: Optional[EventSink] = None,
+        loop: str = "event",
     ) -> None:
         if clients < 1:
             raise ConfigError("need at least one client")
+        if loop not in ("event", "scan"):
+            raise ConfigError(f"unknown loop implementation {loop!r}")
         if gc_interval is not None and gc_interval < 1:
             raise ConfigError("gc_interval must be >= 1")
         if gc_interval is not None and track_staleness:
@@ -152,6 +174,18 @@ class Simulator:
         self._tracing = scheduler.sink is not None
         self._epoch = 0
         self._cursor = 0
+        #: Event-loop client structures.  Every client is in exactly one
+        #: of: ``_ready`` (RUNNING, retry-ready RESTART_WAIT, or a
+        #: BLOCKED client woken by an epoch bump), ``_idle_ready``
+        #: (IDLE, think time over — runnable unless the open loop has
+        #: no queued work), ``_blocked`` (BLOCKED, not yet woken), or
+        #: the ``_timers`` heap (IDLE/RESTART_WAIT waiting out a
+        #: countdown, keyed by absolute wake step).
+        self._event_loop = loop == "event"
+        self._ready: set[int] = set()
+        self._idle_ready: set[int] = set(range(clients))
+        self._blocked: set[int] = set()
+        self._timers: list[tuple[int, int]] = []
         self._result = SimulationResult(
             scheduler_name=scheduler.name, steps=0, commits=0, restarts=0
         )
@@ -164,47 +198,7 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        steps = 0
-        idle_streak = 0
-        forced_wake = False
-        while steps < self.max_steps:
-            if (
-                self.target_commits is not None
-                and self._result.commits >= self.target_commits
-            ):
-                break
-            steps += 1
-            if self._tracing:
-                self.scheduler.current_step = steps
-            self.scheduler.clock.tick()
-            if self.gc_interval is not None and steps % self.gc_interval == 0:
-                self._run_gc()
-            self._draw_arrivals(steps)
-            self._tick_countdowns()
-            client = self._next_runnable()
-            if client is None:
-                if self.arrival_rate is not None and self._drained():
-                    # Open loop with no offered work: legitimate idleness.
-                    continue
-                idle_streak += 1
-                self._poll_scheduler()
-                if idle_streak > self.STALL_LIMIT:
-                    if not forced_wake:
-                        # One amnesty: wake everyone and try again (a
-                        # wall may have released without an epoch bump).
-                        for blocked in self.clients:
-                            blocked.wake_epoch = -1
-                        forced_wake = True
-                        idle_streak = 0
-                        continue
-                    raise ReproError(
-                        f"simulation stalled at step {steps}: "
-                        + self._stall_report()
-                    )
-                continue
-            idle_streak = 0
-            forced_wake = False
-            self._act(client, steps)
+        steps = self._loop_event() if self._event_loop else self._loop_scan()
         self._result.steps = steps
         if self._tracing:
             self.scheduler.sink.emit(
@@ -238,6 +232,204 @@ class Simulator:
         return self._result
 
     # ------------------------------------------------------------------
+    # Event-driven main loop (the production hot path)
+    # ------------------------------------------------------------------
+    def _loop_event(self) -> int:
+        steps = 0
+        idle_streak = 0
+        forced_wake = False
+        scheduler = self.scheduler
+        clock = scheduler.clock
+        result = self._result
+        timers = self._timers
+        clients = self.clients
+        n_clients = len(clients)
+        tracing = self._tracing
+        gc_interval = self.gc_interval
+        open_loop = self.arrival_rate is not None
+        max_steps = self.max_steps
+        target = self.target_commits
+        blocked_state = _ClientState.BLOCKED
+        while steps < max_steps:
+            if target is not None and result.commits >= target:
+                break
+            steps += 1
+            if tracing:
+                scheduler.current_step = steps
+            clock.tick()
+            if gc_interval is not None and steps % gc_interval == 0:
+                self._run_gc()
+            if open_loop:
+                self._draw_arrivals(steps)
+            while timers and timers[0][0] <= steps:
+                self._timer_expired(heappop(timers)[1])
+            client = self._pick_ready()
+            if client is None:
+                if (
+                    open_loop
+                    and not self._pending
+                    and len(self._idle_ready) == n_clients
+                ):
+                    # Open loop with no offered work: legitimate idleness.
+                    continue
+                idle_streak += 1
+                self._poll_scheduler()
+                if idle_streak > self.STALL_LIMIT:
+                    if not forced_wake:
+                        # One amnesty: wake everyone and try again (a
+                        # wall may have released without an epoch bump).
+                        self._wake_all_blocked()
+                        forced_wake = True
+                        idle_streak = 0
+                        continue
+                    raise ReproError(
+                        f"simulation stalled at step {steps}: "
+                        + self._stall_report()
+                    )
+                continue
+            idle_streak = 0
+            forced_wake = False
+            if client.state is blocked_state:
+                # The blocked episode ends the step the client acts
+                # again; the per-step reference loop counted it on
+                # every tick in between.
+                result.blocked_client_steps += steps - client.block_step
+            self._act(client, steps)
+            self._sync_client(client, steps)
+        for client in clients:
+            if client.state is blocked_state:
+                result.blocked_client_steps += steps - client.block_step
+        return steps
+
+    def _pick_ready(self) -> Optional[_Client]:
+        """The runnable client closest after the round-robin cursor.
+
+        Scans only the ready structures (O(runnable)), never the full
+        client list; mod-distance minimisation reproduces the reference
+        loop's first-from-cursor scan order exactly.
+        """
+        n = len(self.clients)
+        cursor = self._cursor
+        idle_ok = bool(self._idle_ready) and (
+            self.arrival_rate is None or bool(self._pending)
+        )
+        # Fast path: the cursor's own client is runnable (distance 0) —
+        # the common case in a closed loop with every client running.
+        if cursor in self._ready or (idle_ok and cursor in self._idle_ready):
+            best = cursor
+        else:
+            best = -1
+            best_dist = n
+            for cid in self._ready:
+                dist = (cid - cursor) % n
+                if dist < best_dist:
+                    best_dist = dist
+                    best = cid
+            if idle_ok:
+                for cid in self._idle_ready:
+                    dist = (cid - cursor) % n
+                    if dist < best_dist:
+                        best_dist = dist
+                        best = cid
+            if best < 0:
+                return None
+        self._cursor = (best + 1) % n
+        self._ready.discard(best)
+        self._idle_ready.discard(best)
+        return self.clients[best]
+
+    def _timer_expired(self, cid: int) -> None:
+        """A think-time or restart-backoff countdown ran out."""
+        client = self.clients[cid]
+        client.countdown = 0
+        if client.state is _ClientState.IDLE:
+            self._idle_ready.add(cid)
+        else:  # RESTART_WAIT
+            self._ready.add(cid)
+
+    def _sync_client(self, client: _Client, step: int) -> None:
+        """Re-file a client into the right structure after it acted."""
+        state = client.state
+        cid = client.client_id
+        if state is _ClientState.RUNNING:
+            self._ready.add(cid)
+        elif state is _ClientState.BLOCKED:
+            client.block_step = step
+            if client.wake_epoch < self._epoch:
+                # Still wake-eligible: the client was woken and acted
+                # without re-blocking (e.g. a granted RMW read half
+                # leaves the state untouched until the write half).
+                self._ready.add(cid)
+            else:
+                self._blocked.add(cid)
+        elif client.countdown > 0:  # IDLE think time or restart backoff
+            heappush(self._timers, (step + client.countdown, cid))
+        elif state is _ClientState.IDLE:
+            self._idle_ready.add(cid)
+        else:  # RESTART_WAIT with zero backoff
+            self._ready.add(cid)
+
+    def _wake_all_blocked(self) -> None:
+        """Stall amnesty: force every blocked client runnable again."""
+        for client in self.clients:
+            client.wake_epoch = -1
+        if self._blocked:
+            self._ready |= self._blocked
+            self._blocked.clear()
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        if self._blocked:
+            self._ready |= self._blocked
+            self._blocked.clear()
+
+    # ------------------------------------------------------------------
+    # Reference main loop: per-step scans (the seed engine's semantics)
+    # ------------------------------------------------------------------
+    def _loop_scan(self) -> int:
+        steps = 0
+        idle_streak = 0
+        forced_wake = False
+        while steps < self.max_steps:
+            if (
+                self.target_commits is not None
+                and self._result.commits >= self.target_commits
+            ):
+                break
+            steps += 1
+            if self._tracing:
+                self.scheduler.current_step = steps
+            self.scheduler.clock.tick()
+            if self.gc_interval is not None and steps % self.gc_interval == 0:
+                self._run_gc()
+            self._draw_arrivals(steps)
+            self._tick_countdowns()
+            client = self._next_runnable()
+            if client is None:
+                if self.arrival_rate is not None and self._drained():
+                    # Open loop with no offered work: legitimate idleness.
+                    continue
+                idle_streak += 1
+                self._poll_scheduler()
+                if idle_streak > self.STALL_LIMIT:
+                    if not forced_wake:
+                        # One amnesty: wake everyone and try again (a
+                        # wall may have released without an epoch bump).
+                        self._wake_all_blocked()
+                        forced_wake = True
+                        idle_streak = 0
+                        continue
+                    raise ReproError(
+                        f"simulation stalled at step {steps}: "
+                        + self._stall_report()
+                    )
+                continue
+            idle_streak = 0
+            forced_wake = False
+            self._act(client, steps)
+        return steps
+
+    # ------------------------------------------------------------------
     # Client scheduling
     # ------------------------------------------------------------------
     def _tick_countdowns(self) -> None:
@@ -260,7 +452,13 @@ class Simulator:
             )
 
     def _drained(self) -> bool:
-        """Open loop: no queued work and every client is at rest."""
+        """Open loop: no queued work and every client is at rest.
+
+        Reference-loop helper.  The event loop answers the same
+        question in O(1) from its structures (``_idle_ready`` holding
+        every client) instead of re-scanning the client list on every
+        idle step.
+        """
         return not self._pending and all(
             c.state is _ClientState.IDLE and c.countdown == 0
             for c in self.clients
@@ -396,7 +594,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def _after_event(self) -> None:
         """A commit or abort happened: wake blocked clients via the epoch."""
-        self._epoch += 1
+        self._bump_epoch()
         self._check_walls()
 
     def _poll_scheduler(self) -> None:
@@ -442,7 +640,7 @@ class Simulator:
         count = self._wall_release_count(walls)
         if count != self._wall_count:
             self._wall_count = count
-            self._epoch += 1
+            self._bump_epoch()
 
     def _stall_report(self) -> str:
         parts = []

@@ -16,7 +16,9 @@ free power-law-ish skew that is monotone in ``skew``).
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Optional, Sequence
 
 from repro.core.partition import HierarchicalPartition
@@ -102,7 +104,8 @@ class Workload:
     templates: Sequence[TransactionTemplate]
     granules_per_segment: int = 32
     skew: float = 1.0
-    _weights: list[float] = field(init=False, repr=False)
+    _templates: tuple[TransactionTemplate, ...] = field(init=False, repr=False)
+    _cum_weights: list[float] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.templates:
@@ -124,19 +127,39 @@ class Workload:
                             f"{kind}) not allowed by profile "
                             f"{template.profile!r}"
                         )
-        self._weights = [t.weight for t in self.templates]
+        self._templates = tuple(self.templates)
+        self._cum_weights = list(
+            accumulate(t.weight for t in self.templates)
+        )
 
     def pick_granule(
         self, rng: random.Random, segment: SegmentId
     ) -> GranuleId:
         u = rng.random()
-        index = int(self.granules_per_segment * (u ** self.skew))
+        if self.skew != 1.0:
+            u **= self.skew
+        index = int(self.granules_per_segment * u)
         index = min(index, self.granules_per_segment - 1)
         return self.partition.granule(segment, f"g{index}")
 
     def next_transaction(self, rng: random.Random) -> TxnSpec:
-        """Draw one transaction from the mix."""
-        template = rng.choices(list(self.templates), weights=self._weights)[0]
+        """Draw one transaction from the mix.
+
+        The weighted template pick inlines what ``rng.choices`` does for
+        ``k=1`` — one ``rng.random()`` against precomputed cumulative
+        weights — so the RNG stream (and hence every schedule) is
+        byte-for-byte what the slower ``choices`` call produced, without
+        re-materialising the template list on the hottest simulator
+        allocation path.
+        """
+        template = self._templates[
+            bisect(
+                self._cum_weights,
+                rng.random() * self._cum_weights[-1],
+                0,
+                len(self._templates) - 1,
+            )
+        ]
         ops = []
         for segment, kind in template.recipe:
             if kind == "w":

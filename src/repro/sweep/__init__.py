@@ -1,0 +1,33 @@
+"""Declarative, parallel, cached parameter sweeps (``repro sweep``)."""
+
+from repro.sweep.runner import (
+    SweepOutcome,
+    SweepRunner,
+    execute_config,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    SCHEDULER_FACTORIES,
+    SWEEP_CACHE_VERSION,
+    RunConfig,
+    SweepSpec,
+    build_simulator,
+    build_workload,
+    config_hash,
+    effective_seed,
+)
+
+__all__ = [
+    "RunConfig",
+    "SweepSpec",
+    "SweepOutcome",
+    "SweepRunner",
+    "SCHEDULER_FACTORIES",
+    "SWEEP_CACHE_VERSION",
+    "build_simulator",
+    "build_workload",
+    "config_hash",
+    "effective_seed",
+    "execute_config",
+    "run_sweep",
+]

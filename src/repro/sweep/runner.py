@@ -1,0 +1,222 @@
+"""Parallel sweep execution with an on-disk result cache.
+
+``ProcessPoolExecutor`` fans the expanded configs out across cores (the
+GIL makes threads useless for this CPU-bound work); each worker rebuilds
+its simulator from the pure-data :class:`~repro.sweep.spec.RunConfig`
+and returns one JSON-safe result row.  Three properties hold by
+construction:
+
+* **Determinism** — a row depends only on its config (the simulator
+  seed is derived from the config hash), and rows are merged in spec
+  expansion order, so the merged document is byte-identical for any
+  worker count, including ``workers=1``.
+* **Incrementality** — rows are cached on disk under their config hash;
+  re-running a sweep executes only the configs whose hash is new.
+  Bump :data:`~repro.sweep.spec.SWEEP_CACHE_VERSION` when engine
+  behaviour changes.
+* **Timing honesty** — wall-clock numbers never enter the merged
+  document (they would break byte-identity); they live on the returned
+  :class:`SweepOutcome` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.sweep.spec import (
+    RunConfig,
+    SweepSpec,
+    build_simulator,
+    config_hash,
+    effective_seed,
+)
+
+
+def execute_config(config_dict: Mapping[str, object]) -> dict[str, object]:
+    """Run one config to completion; the process-pool work unit.
+
+    Takes and returns plain dicts so the pool never pickles live
+    scheduler state.  The row carries the config, its hash, the derived
+    simulator seed, the metric summary, and a digest of the recorded
+    schedule (so byte-identity checks cover the committed schedule, not
+    just the headline metrics).
+    """
+    config = RunConfig.from_dict(config_dict)
+    digest = config_hash(config)
+    simulator = build_simulator(config)
+    result = simulator.run()
+    schedule_digest = hashlib.sha256(
+        "\n".join(str(step) for step in simulator.scheduler.schedule).encode()
+    ).hexdigest()
+    return {
+        "hash": digest,
+        "config": config.to_dict(),
+        "seed_effective": effective_seed(digest),
+        "metrics": result.summary(),
+        "schedule_digest": schedule_digest,
+    }
+
+
+@dataclass
+class SweepOutcome:
+    """What one sweep run produced (plus how it ran)."""
+
+    spec: SweepSpec
+    rows: list[dict[str, object]]
+    executed: int
+    cache_hits: int
+    workers: int
+    wall_s: float
+
+    def merged(self) -> dict[str, object]:
+        """The deterministic merged document (no timing, no run info)."""
+        return {"spec": self.spec.to_dict(), "results": self.rows}
+
+    def merged_json(self) -> str:
+        """Canonical JSON — byte-identical across worker counts."""
+        return json.dumps(self.merged(), sort_keys=True, indent=2) + "\n"
+
+    def table_rows(self) -> list[dict[str, object]]:
+        """Flat rows for ``format_table``: varied config axes + metrics."""
+        varied = _varied_fields(self.rows)
+        flat = []
+        for row in self.rows:
+            config = dict(row["config"])
+            workload = dict(config.pop("workload", {}))
+            cell: dict[str, object] = {"scheduler": config["scheduler"]}
+            for name in varied:
+                if name in config:
+                    cell[name] = config[name]
+                elif name in workload:
+                    cell[name] = workload[name]
+            metrics = dict(row["metrics"])
+            metrics.pop("scheduler", None)
+            cell.update(metrics)
+            flat.append(cell)
+        return flat
+
+
+def _varied_fields(rows: list[dict[str, object]]) -> list[str]:
+    """Config/workload keys that take more than one value across rows."""
+    seen: dict[str, set] = {}
+    order: list[str] = []
+    for row in rows:
+        config = dict(row["config"])
+        workload = dict(config.pop("workload", {}))
+        for source in (config, workload):
+            for key, value in source.items():
+                if key == "scheduler":
+                    continue
+                if key not in seen:
+                    seen[key] = set()
+                    order.append(key)
+                seen[key].add(repr(value))
+    return [key for key in order if len(seen[key]) > 1]
+
+
+class SweepRunner:
+    """Expand a spec, execute what the cache lacks, merge in order.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``1`` (default) executes inline in this process
+        — no pool, no pickling — which is also the reference the
+        determinism tests compare parallel runs against.
+    cache_dir:
+        Directory for per-config result rows (``<hash>.json``).
+        ``None`` disables caching.
+    """
+
+    def __init__(
+        self, workers: int = 1, cache_dir: Optional[str | Path] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    def run(self, spec: SweepSpec) -> SweepOutcome:
+        started = time.perf_counter()
+        configs = spec.expand()
+        hashes = [config_hash(config) for config in configs]
+        rows: dict[str, dict] = {}
+        pending: list[tuple[str, RunConfig]] = []
+        seen: set[str] = set()
+        for digest, config in zip(hashes, configs):
+            if digest in seen:  # identical cell listed twice
+                continue
+            seen.add(digest)
+            cached = self._cache_read(digest)
+            if cached is not None:
+                rows[digest] = cached
+            else:
+                pending.append((digest, config))
+        cache_hits = len(rows)
+        for digest, row in self._execute(pending):
+            self._cache_write(digest, row)
+            rows[digest] = row
+        return SweepOutcome(
+            spec=spec,
+            rows=[rows[digest] for digest in hashes],
+            executed=len(pending),
+            cache_hits=cache_hits,
+            workers=self.workers,
+            wall_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, pending):
+        if not pending:
+            return
+        dicts = [config.to_dict() for _, config in pending]
+        if self.workers == 1:
+            for (digest, _), config_dict in zip(pending, dicts):
+                yield digest, execute_config(config_dict)
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            # pool.map preserves submission order; results stream back
+            # as they complete without reordering the merge.
+            for (digest, _), row in zip(
+                pending, pool.map(execute_config, dicts)
+            ):
+                yield digest, row
+
+    # ------------------------------------------------------------------
+    # On-disk cache
+    # ------------------------------------------------------------------
+    def _cache_read(self, digest: str) -> Optional[dict]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{digest}.json"
+        try:
+            with open(path) as stream:
+                return json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _cache_write(self, digest: str, row: dict) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{digest}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(row, sort_keys=True, indent=2) + "\n")
+        tmp.replace(path)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache_dir: Optional[str | Path] = None,
+) -> SweepOutcome:
+    """Convenience wrapper: ``SweepRunner(workers, cache_dir).run(spec)``."""
+    return SweepRunner(workers=workers, cache_dir=cache_dir).run(spec)

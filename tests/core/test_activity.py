@@ -267,3 +267,52 @@ class TestEFunction:
         tracker = ActivityTracker(SemiTreeIndex(graph))
         with pytest.raises(ReproError):
             tracker.e_func("a", "c", 5)
+
+
+class TestMaxSegmentTreeFirstAbove:
+    """The iterative first_above against a brute-force reference."""
+
+    def brute(self, values, bound, threshold):
+        for index, value in enumerate(values[: max(bound, 0)]):
+            if value > threshold:
+                return index
+        return None
+
+    def test_matches_brute_force_on_random_logs(self):
+        import random
+
+        from repro.core.activity import _MaxSegmentTree
+
+        rng = random.Random(1234)
+        tree = _MaxSegmentTree()
+        values = []
+        for round_no in range(400):
+            if values and rng.random() < 0.3:
+                index = rng.randrange(len(values))
+                value = rng.uniform(-50, 50)
+                tree.update(index, value)
+                values[index] = value
+            else:
+                value = rng.uniform(-50, 50)
+                tree.append(value)
+                values.append(value)
+            for _ in range(3):
+                bound = rng.randint(0, len(values) + 2)
+                threshold = rng.uniform(-60, 60)
+                assert tree.first_above(bound, threshold) == self.brute(
+                    values, bound, threshold
+                ), (round_no, bound, threshold)
+
+    def test_bound_and_threshold_edges(self):
+        from repro.core.activity import _MaxSegmentTree
+
+        tree = _MaxSegmentTree()
+        assert tree.first_above(5, 0.0) is None  # empty tree
+        for value in (1.0, 3.0, 2.0):
+            tree.append(value)
+        assert tree.first_above(0, -10.0) is None  # empty range
+        assert tree.first_above(-1, -10.0) is None
+        assert tree.first_above(3, 3.0) is None  # strict inequality
+        assert tree.first_above(3, 2.5) == 1
+        assert tree.first_above(1, 0.5) == 0
+        assert tree.first_above(99, 1.5) == 1  # bound past the size

@@ -1,0 +1,132 @@
+"""The event-driven hot loop reproduces the scan loop's exact runs.
+
+``Simulator(loop="event")`` replaced the per-step all-clients scan as
+the default main loop; ``loop="scan"`` keeps the original semantics as
+the executable reference.  These tests pin the strongest property the
+overhaul promises: for every scheduler family, the two loops produce
+the *identical committed schedule* (not just matching headline
+metrics), including under open-loop arrivals, GC, think time, and
+restart backoff.
+"""
+
+import pytest
+
+from repro.baselines import (
+    MultiversionTimestampOrdering,
+    MultiversionTwoPhaseLocking,
+    SDD1Pipelining,
+    TimestampOrdering,
+    TwoPhaseLocking,
+)
+from repro.core.scheduler import HDDScheduler
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.hierarchies import build_hierarchy_workload, star_partition
+from repro.sim.inventory import (
+    build_inventory_partition,
+    build_inventory_workload,
+)
+
+MAKERS = {
+    "hdd": lambda p: HDDScheduler(p),
+    "2pl": lambda p: TwoPhaseLocking(),
+    "to": lambda p: TimestampOrdering(),
+    "mvto": lambda p: MultiversionTimestampOrdering(),
+    "mv2pl": lambda p: MultiversionTwoPhaseLocking(),
+    "sdd1": lambda p: SDD1Pipelining(p),
+}
+
+
+def run_loop(name, loop, **overrides):
+    partition = build_inventory_partition()
+    scheduler = MAKERS[name](partition)
+    workload = build_inventory_workload(
+        partition, read_only_share=0.25, skew=1.5
+    )
+    kwargs = dict(
+        clients=8,
+        seed=42,
+        target_commits=80,
+        max_steps=100_000,
+        audit=True,
+        loop=loop,
+    )
+    kwargs.update(overrides)
+    result = Simulator(scheduler, workload, **kwargs).run()
+    return result, scheduler
+
+
+@pytest.mark.parametrize("name", list(MAKERS))
+def test_event_loop_matches_scan_loop(name):
+    scan_result, scan_scheduler = run_loop(name, "scan")
+    event_result, event_scheduler = run_loop(name, "event")
+    assert [str(s) for s in event_scheduler.schedule] == [
+        str(s) for s in scan_scheduler.schedule
+    ]
+    assert event_result.summary() == scan_result.summary()
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"think_time": 3},
+        {"restart_backoff": 7, "gc_interval": 50},
+        {
+            "target_commits": None,
+            "max_steps": 3_000,
+            "arrival_rate": 0.4,
+            "gc_interval": 100,
+        },
+        {
+            "target_commits": None,
+            "max_steps": 2_000,
+            "arrival_rate": 0.05,
+            "think_time": 2,
+        },
+    ],
+)
+def test_event_loop_matches_scan_loop_hdd_variants(overrides):
+    scan_result, scan_scheduler = run_loop("hdd", "scan", **overrides)
+    event_result, event_scheduler = run_loop("hdd", "event", **overrides)
+    assert [str(s) for s in event_scheduler.schedule] == [
+        str(s) for s in scan_scheduler.schedule
+    ]
+    assert event_result.summary() == scan_result.summary()
+    assert (
+        event_result.blocked_client_steps == scan_result.blocked_client_steps
+    )
+
+
+def test_event_loop_matches_scan_on_wall_lifecycle_workload():
+    """The BENCH_wall_lifecycle run, both loops, shortened."""
+
+    def run(loop):
+        partition = star_partition(2)
+        workload = build_hierarchy_workload(
+            partition, read_only_share=0.25, granules_per_segment=8
+        )
+        scheduler = HDDScheduler(partition)
+        result = Simulator(
+            scheduler,
+            workload,
+            clients=8,
+            seed=7,
+            max_steps=20_000,
+            gc_interval=500,
+            loop=loop,
+        ).run()
+        return result, scheduler
+
+    scan_result, scan_scheduler = run("scan")
+    event_result, event_scheduler = run("event")
+    assert [str(s) for s in event_scheduler.schedule] == [
+        str(s) for s in scan_scheduler.schedule
+    ]
+    assert event_result.summary() == scan_result.summary()
+
+
+def test_unknown_loop_rejected():
+    partition = build_inventory_partition()
+    workload = build_inventory_workload(partition)
+    with pytest.raises(ConfigError):
+        Simulator(HDDScheduler(partition), workload, loop="both")

@@ -1,0 +1,113 @@
+"""Tests for sweep execution: caching, parallelism, determinism."""
+
+import json
+
+from repro.sweep import (
+    RunConfig,
+    SweepRunner,
+    SweepSpec,
+    config_hash,
+    execute_config,
+    run_sweep,
+)
+
+#: Small enough to keep the parallel tests quick.
+TINY = {"target_commits": 15, "max_steps": 10_000}
+
+
+def tiny_spec(**axes):
+    return SweepSpec.from_axes(
+        schedulers=["hdd", "2pl"],
+        axes=axes or {"ro_share": [0.0, 0.5]},
+        base=TINY,
+    )
+
+
+class TestExecuteConfig:
+    def test_row_shape(self):
+        config = RunConfig(scheduler="hdd", **TINY)
+        row = execute_config(config.to_dict())
+        assert row["hash"] == config_hash(config)
+        assert row["config"] == config.to_dict()
+        assert row["metrics"]["commits"] >= 15
+        assert len(row["schedule_digest"]) == 64
+
+    def test_deterministic(self):
+        config = RunConfig(scheduler="mvto", **TINY)
+        assert execute_config(config.to_dict()) == execute_config(
+            config.to_dict()
+        )
+
+
+class TestCache:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = tiny_spec()
+        first = SweepRunner(cache_dir=tmp_path).run(spec)
+        second = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert first.executed == 4 and first.cache_hits == 0
+        assert second.executed == 0 and second.cache_hits == 4
+        assert first.merged_json() == second.merged_json()
+
+    def test_corrupt_entry_reexecuted(self, tmp_path):
+        spec = tiny_spec()
+        first = SweepRunner(cache_dir=tmp_path).run(spec)
+        victim = tmp_path / f"{first.rows[0]['hash']}.json"
+        victim.write_text("{not json")
+        second = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert second.executed == 1 and second.cache_hits == 3
+        assert first.merged_json() == second.merged_json()
+
+    def test_changed_cell_only_reexecutes_that_cell(self, tmp_path):
+        SweepRunner(cache_dir=tmp_path).run(tiny_spec())
+        grown = SweepSpec.from_axes(
+            schedulers=["hdd", "2pl"],
+            axes={"ro_share": [0.0, 0.5, 0.75]},
+            base=TINY,
+        )
+        outcome = SweepRunner(cache_dir=tmp_path).run(grown)
+        assert outcome.cache_hits == 4 and outcome.executed == 2
+
+    def test_duplicate_cells_run_once(self):
+        spec = SweepSpec(
+            schedulers=["hdd"], grid=[{}, {}], base=TINY
+        )
+        outcome = SweepRunner().run(spec)
+        assert outcome.executed == 1
+        assert len(outcome.rows) == 2
+        assert outcome.rows[0] == outcome.rows[1]
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_the_merged_document(self):
+        # The acceptance grid: 2 schedulers x 3 shares x 2 client
+        # levels = 12 configs, serial vs 4-way process pool.
+        spec = SweepSpec.from_axes(
+            schedulers=["hdd", "2pl"],
+            axes={"ro_share": [0.0, 0.25, 0.5], "clients": [2, 4]},
+            base={"target_commits": 10, "max_steps": 10_000},
+        )
+        serial = SweepRunner(workers=1).run(spec)
+        parallel = SweepRunner(workers=4).run(spec)
+        assert len(serial.rows) == 12
+        assert serial.merged_json() == parallel.merged_json()
+
+    def test_merged_json_is_canonical(self):
+        outcome = run_sweep(tiny_spec())
+        text = outcome.merged_json()
+        parsed = json.loads(text)
+        assert text == json.dumps(parsed, sort_keys=True, indent=2) + "\n"
+        assert [row["hash"] for row in parsed["results"]] == [
+            row["hash"] for row in outcome.rows
+        ]
+
+
+class TestTableRows:
+    def test_varied_axes_become_columns(self):
+        outcome = run_sweep(tiny_spec())
+        rows = outcome.table_rows()
+        assert len(rows) == 4
+        assert {row["scheduler"] for row in rows} == {"hdd", "2pl"}
+        assert {row["read_only_share"] for row in rows} == {0.0, 0.5}
+        # Constant fields stay out of the table; metrics come along.
+        assert "max_steps" not in rows[0]
+        assert "throughput" in rows[0]
