@@ -1,6 +1,6 @@
 """Command-line experiment runner: ``python -m repro <command>``.
 
-Seven subcommands, all deterministic given ``--seed``:
+Eight subcommands, all deterministic given ``--seed``:
 
 * ``compare`` — the measured Figure 10 table: every scheduler over the
   same transaction mix (inventory or claims schema);
@@ -19,7 +19,12 @@ Seven subcommands, all deterministic given ``--seed``:
 * ``trace``   — run one scheduler with event tracing on, stream the
   trace to a JSONL file and print the live metrics registry;
 * ``explain`` — reconstruct a trace file offline: run summary, latency
-  breakdown, or a single transaction's timeline and wait chain.
+  breakdown, or a single transaction's timeline and wait chain;
+* ``dist``    — run the distributed segment-controller runtime over the
+  deterministic fault-injecting network (:mod:`repro.dist`): latency,
+  drops, partitions and crash-restarts are flags; ``--message-log``
+  dumps the canonical wire trace and ``--check-determinism`` runs the
+  scenario twice and fails on any divergence.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.sim.hierarchies import build_hierarchy_workload, chain_partition
 from repro.sim.inventory import build_inventory_partition, build_inventory_workload
 from repro.sim.metrics import format_table
 from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.spec import DIST_SCHEDULERS
 from repro.sweep.spec import SCHEDULER_FACTORIES as SCHEDULERS
 from repro.txn.depgraph import find_dependency_cycle
 
@@ -280,6 +286,102 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dist_plan(args: argparse.Namespace):
+    """The FaultPlan the dist subcommand's flags denote."""
+    from repro.dist import Crash, FaultPlan, node_name
+
+    partitions = []
+    for start, end, segment in args.net_partition or []:
+        partition, _ = _build_workload(
+            ro_share=args.ro_share,
+            skew=args.skew,
+            schema=args.workload_schema,
+        )
+        others = [
+            node_name(s) for s in partition.segments if s != segment
+        ]
+        partitions.append(
+            FaultPlan.partition(
+                int(start), int(end), [node_name(segment)], others
+            )
+        )
+    crashes = tuple(
+        Crash(node_name(segment), int(at), int(recover))
+        for segment, at, recover in args.crash or []
+    )
+    return FaultPlan(
+        latency=args.latency,
+        jitter=args.jitter,
+        drop_rate=args.drop,
+        spike_rate=args.spike_rate,
+        spike_ticks=args.spike_ticks,
+        partitions=tuple(partitions),
+        crashes=crashes,
+    )
+
+
+def _dist_run(args: argparse.Namespace):
+    from repro.dist import DistributedRuntime
+
+    partition, workload = _build_workload(
+        ro_share=args.ro_share, skew=args.skew, schema=args.workload_schema
+    )
+    runtime = DistributedRuntime(
+        partition,
+        mode=args.mode,
+        plan=_dist_plan(args),
+        seed=args.net_seed,
+    )
+    result = Simulator(
+        runtime,
+        workload,
+        clients=args.clients,
+        seed=args.seed,
+        target_commits=args.commits,
+        max_steps=max(args.commits * 500, 100_000),
+        audit=True,
+    ).run()
+    return runtime, result
+
+
+def cmd_dist(args: argparse.Namespace) -> int:
+    from repro.sim.messages import measured_message_report
+
+    runtime, result = _dist_run(args)
+    if args.check_determinism:
+        second, _ = _dist_run(args)
+        if runtime.network.log_lines() != second.network.log_lines():
+            print("DETERMINISM FAILURE: message logs diverge")
+            return 1
+        if str(runtime.schedule) != str(second.schedule):
+            print("DETERMINISM FAILURE: committed schedules diverge")
+            return 1
+        print("determinism check passed: two runs byte-identical")
+    stats = runtime.stats
+    network = runtime.network
+    report, extras = measured_message_report(runtime)
+    rows = {
+        "scheduler": runtime.name,
+        "commits": result.commits,
+        "aborts": stats.aborts,
+        "throughput": round(result.throughput, 4),
+        "net.sent": len(network.log),
+        "net.delivered": network.delivered,
+        "net.dropped": sum(network.dropped_by_kind.values()),
+        "msg.data": report.data_messages,
+        "msg.sync": report.synchronization_messages,
+        "msg.runtime": sum(extras.values()),
+    }
+    width = max(len(k) for k in rows)
+    for key, value in rows.items():
+        print(f"{key.ljust(width)}  {value}")
+    if args.message_log:
+        with open(args.message_log, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(network.log_lines()) + "\n")
+        print(f"message trace -> {args.message_log}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     if args.schema == "inventory":
         partition = build_inventory_partition()
@@ -405,6 +507,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="run summary + latency breakdown (the default)",
     )
     explain.set_defaults(fn=cmd_explain)
+
+    dist = sub.add_parser(
+        "dist", help="run the distributed segment-controller runtime"
+    )
+    dist.add_argument("--commits", type=int, default=200)
+    dist.add_argument("--clients", type=int, default=8)
+    dist.add_argument("--seed", type=int, default=42)
+    dist.add_argument("--skew", type=float, default=1.0)
+    dist.add_argument("--ro-share", type=float, default=0.25, dest="ro_share")
+    dist.add_argument(
+        "--workload-schema",
+        choices=["inventory", "claims"],
+        default="inventory",
+        dest="workload_schema",
+    )
+    dist.add_argument(
+        "--scheduler",
+        choices=sorted(DIST_SCHEDULERS),
+        default="hdd",
+        dest="mode",
+        help="which concurrency control the nodes run",
+    )
+    dist.add_argument(
+        "--latency", type=int, default=0, help="base one-way link latency"
+    )
+    dist.add_argument(
+        "--jitter", type=int, default=0, help="random extra latency bound"
+    )
+    dist.add_argument(
+        "--drop", type=float, default=0.0, help="per-message drop rate"
+    )
+    dist.add_argument(
+        "--spike-rate",
+        type=float,
+        default=0.0,
+        dest="spike_rate",
+        help="probability a message hits a delay spike",
+    )
+    dist.add_argument(
+        "--spike-ticks",
+        type=int,
+        default=0,
+        dest="spike_ticks",
+        help="extra delay a spike adds",
+    )
+    dist.add_argument(
+        "--net-seed",
+        type=int,
+        default=0,
+        dest="net_seed",
+        help="seed for the simulated network's fault draws",
+    )
+    dist.add_argument(
+        "--partition",
+        nargs=3,
+        action="append",
+        metavar=("START", "END", "SEGMENT"),
+        dest="net_partition",
+        help="isolate SEGMENT's node from tick START until END",
+    )
+    dist.add_argument(
+        "--crash",
+        nargs=3,
+        action="append",
+        metavar=("SEGMENT", "AT", "RECOVER"),
+        help="crash SEGMENT's node at tick AT, restart at RECOVER",
+    )
+    dist.add_argument(
+        "--check-determinism",
+        action="store_true",
+        dest="check_determinism",
+        help="run twice, fail unless message log + schedule match",
+    )
+    dist.add_argument(
+        "--message-log",
+        default=None,
+        dest="message_log",
+        help="write the canonical message trace to this file",
+    )
+    dist.set_defaults(fn=cmd_dist)
 
     report = sub.add_parser(
         "report", help="run the headline experiments, emit markdown"

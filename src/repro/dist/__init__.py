@@ -1,0 +1,34 @@
+"""Distributed segment-controller runtime (paper Section 7.5).
+
+One :class:`SegmentNode` per DHG class over a deterministic
+fault-injecting :class:`SimNetwork`, fronted by a
+:class:`DistributedRuntime` coordinator that duck-types the scheduler
+surface the simulator drives.  See DESIGN.md §11.
+"""
+
+from repro.dist.digest import DigestLog, DigestTracker, RemoteClock
+from repro.dist.net import Crash, FaultPlan, Message, Partition, SimNetwork
+from repro.dist.node import SegmentNode, node_name
+from repro.dist.runtime import (
+    MODES,
+    DistributedRuntime,
+    FederatedStore,
+    WallView,
+)
+
+__all__ = [
+    "Crash",
+    "DigestLog",
+    "DigestTracker",
+    "DistributedRuntime",
+    "FaultPlan",
+    "FederatedStore",
+    "MODES",
+    "Message",
+    "Partition",
+    "RemoteClock",
+    "SegmentNode",
+    "SimNetwork",
+    "WallView",
+    "node_name",
+]

@@ -1,0 +1,152 @@
+"""Conservative activity digests: remote class logs seen through gossip.
+
+A segment node only has first-hand knowledge of its *own* class's
+activity (begins/ends of the update transactions it serializes).  For
+every other class it holds a :class:`DigestLog` — a replica of that
+class's activity log built from gossiped entries plus a *horizon*: the
+highest remote logical time the replica is known to be complete
+through.
+
+The conservatism trick is one line: every query is evaluated at
+``min(m, horizon + 1)`` on the replica.  Below the horizon the replica
+agrees with the remote log exactly, so a clamped ``i_old``/``c_late``
+is *at most* the true value — a stale digest can only LOWER an A/B/E
+wall (extra staleness for readers), never raise it above the true
+frozen boundary.  That is the invariant the paper's Theorem 1 and
+Protocols A/C hinge on, and the property suite pins it.
+
+On an ideal network the horizon callable is the shared oracle clock, so
+every clamp is a no-op and the distributed tracker computes *exactly*
+the monolithic walls — which is what makes the zero-latency run
+byte-identical to the monolithic ``Simulator``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.graph import SemiTreeIndex
+from repro.txn.transaction import SegmentId
+
+
+class RemoteClock:
+    """Duck-types ``LogicalClock`` for read-only consumers (``.now``).
+
+    ``TimeWallManager`` only ever reads ``clock.now``; at a remote node
+    that value is the node's best knowledge of the coordinator's oracle
+    clock, learned from RPC payloads and gossip stamps.
+    """
+
+    def __init__(self, read: Callable[[], int]) -> None:
+        self._read = read
+
+    @property
+    def now(self) -> int:
+        return self._read()
+
+
+class DigestLog:
+    """A remote class's activity log, complete only through a horizon.
+
+    Wraps an inner :class:`ClassActivityLog` fed by gossip and clamps
+    every query to ``min(m, horizon + 1)``.  The ``+ 1`` matters twice:
+    activity functions look at *strictly earlier* events (``start < m``)
+    so completeness through ``h`` answers queries at ``h + 1`` exactly;
+    and at horizon 0 the floor of 1 keeps the bootstrap version
+    (timestamp 0) readable instead of freezing readers at nothing.
+    """
+
+    def __init__(
+        self, class_id: SegmentId, horizon: Callable[[], int]
+    ) -> None:
+        self.class_id = class_id
+        self._inner = ClassActivityLog(class_id)
+        self._horizon = horizon
+        #: Entries applied so far (contiguous prefix of the remote
+        #: journal); gossip resumes from here after a gap.
+        self.applied = 0
+
+    # ------------------------------------------------------------------
+    # Gossip ingestion
+    # ------------------------------------------------------------------
+    def apply(
+        self, entries: Sequence[Mapping[str, object]], from_seq: int
+    ) -> bool:
+        """Apply a journal slice starting at position ``from_seq``.
+
+        Returns False (and applies nothing past the gap) when the slice
+        does not extend the contiguous prefix — the caller NACKs to
+        request a resend from ``self.applied``.  Overlapping prefixes
+        (retransmits) are skipped, not errors.
+        """
+        if from_seq > self.applied:
+            return False
+        offset = self.applied - from_seq
+        for entry in entries[offset:]:
+            kind = entry["kind"]
+            txn_id = int(entry["txn"])
+            ts = int(entry["ts"])
+            if kind == "begin":
+                self._inner.record_begin(txn_id, ts)
+            else:
+                self._inner.record_end(txn_id, ts)
+            self.applied += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Clamped activity queries (ActivityTracker's consumption surface)
+    # ------------------------------------------------------------------
+    def _clamp(self, m: int) -> int:
+        return min(m, self._horizon() + 1)
+
+    def i_old(self, m: int) -> int:
+        return self._inner.i_old(self._clamp(m))
+
+    def c_late(self, m: int) -> int:
+        return self._inner.c_late(self._clamp(m))
+
+    def c_late_computable(self, m: int) -> bool:
+        return self._inner.c_late_computable(self._clamp(m))
+
+    def settled_through(self, m: int) -> bool:
+        # Above the horizon the remote log may hold begins we have not
+        # seen; nothing there can be called settled yet.
+        if m > self._horizon() + 1:
+            return False
+        return self._inner.settled_through(m)
+
+    def oldest_open(self, bound: int):
+        return self._inner.oldest_open(self._clamp(bound))
+
+    def records(self):
+        return self._inner.records()
+
+
+class DigestTracker(ActivityTracker):
+    """An ``ActivityTracker`` whose non-local logs are gossip digests.
+
+    The node's own class keeps a real ``ClassActivityLog`` (first-hand,
+    always exact); every other class in ``remote`` is replaced by a
+    :class:`DigestLog` *before* any activity plan binds a log method,
+    so ``a_func``/``e_func`` hop through the clamped queries.
+    """
+
+    def __init__(
+        self,
+        index: SemiTreeIndex,
+        own: Optional[SegmentId],
+        remote: Iterable[SegmentId],
+        horizon_for: Callable[[SegmentId], Callable[[], int]],
+    ) -> None:
+        super().__init__(index)
+        self.own = own
+        self.digests: dict[SegmentId, DigestLog] = {}
+        for class_id in remote:
+            if class_id == own:
+                raise ValueError("a node's own class is never a digest")
+            digest = DigestLog(class_id, horizon_for(class_id))
+            self.digests[class_id] = digest
+            # Plans bind log methods lazily at first evaluation, so
+            # swapping here (construction time) is early enough.
+            self.logs[class_id] = digest  # type: ignore[assignment]

@@ -1,0 +1,351 @@
+"""A deterministic simulated network for the segment-controller runtime.
+
+INFOPLEX (paper Section 7.5) puts one controller per data segment and
+pays for concurrency control in inter-level messages.  This module is
+the wire those messages travel: endpoints register a handler, `send`
+stamps a message with a per-link delivery delay, and `pump` delivers
+due messages and advances the network tick until a caller-supplied
+predicate holds (how the coordinator awaits an RPC response).
+
+Determinism is the design constraint everything else bends around:
+
+* every random draw (latency jitter, delay spikes, drops) comes from a
+  per-link ``random.Random`` seeded with a *stable* digest of
+  ``(seed, src, dst)`` — never Python's salted ``hash``;
+* messages are delivered in ``(deliver_tick, seq)`` order, and per-link
+  delivery is clamped FIFO (a message never overtakes an earlier one on
+  the same link);
+* faults are data, not chance: partitions and crash/recover windows are
+  listed in the :class:`FaultPlan` up front, and the message log records
+  every send with its fate, so two runs with the same seed and plan
+  produce byte-identical logs (the determinism tripwire).
+
+The network tick is *not* the schedulers' logical clock — it only
+advances while somebody is waiting on the wire, so a zero-latency
+lossless plan resolves every exchange inside a single tick and the
+distributed runtime replays the monolithic scheduler exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError, ReproError
+
+
+def _link_seed(seed: int, src: str, dst: str) -> int:
+    """A stable per-link RNG seed (``hash()`` is salted; sha256 is not)."""
+    digest = hashlib.sha256(f"{seed}:{src}->{dst}".encode()).hexdigest()
+    return int(digest[:16], 16)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Messages between ``left`` and ``right`` are cut in [start, end)."""
+
+    start: int
+    end: int
+    left: frozenset[str]
+    right: frozenset[str]
+
+    def severs(self, tick: int, src: str, dst: str) -> bool:
+        if not self.start <= tick < self.end:
+            return False
+        return (src in self.left and dst in self.right) or (
+            src in self.right and dst in self.left
+        )
+
+
+@dataclass(frozen=True)
+class Crash:
+    """``node`` is down (drops everything, loses volatile state) in
+    [at, recover); it restarts from its write-ahead log at ``recover``."""
+
+    node: str
+    at: int
+    recover: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that can go wrong, declared up front.
+
+    ``latency`` is the base per-hop delay in network ticks; ``jitter``
+    adds ``randrange(jitter + 1)`` per message; a delay *spike* of
+    ``spike_ticks`` extra is added with probability ``spike_rate``;
+    ``drop_rate`` loses the message outright (upper layers repair via
+    retransmit or gossip catch-up).  An all-zero plan with no
+    partitions or crashes is the *ideal network* the byte-identity
+    equivalence test runs on.
+    """
+
+    latency: int = 0
+    jitter: int = 0
+    drop_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_ticks: int = 0
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0 or self.spike_ticks < 0:
+            raise ConfigError("latencies must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ConfigError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.spike_rate <= 1.0:
+            raise ConfigError("spike_rate must be in [0, 1]")
+
+    @property
+    def is_ideal(self) -> bool:
+        """Zero latency, lossless, fault-free: the equivalence regime."""
+        return (
+            self.latency == 0
+            and self.jitter == 0
+            and self.drop_rate == 0.0
+            and self.spike_rate == 0.0
+            and not self.partitions
+            and not self.crashes
+        )
+
+    @staticmethod
+    def partition(
+        start: int, end: int, left: Sequence[str], right: Sequence[str]
+    ) -> Partition:
+        return Partition(start, end, frozenset(left), frozenset(right))
+
+
+@dataclass
+class Message:
+    """One message on the wire (payloads must stay JSON-safe)."""
+
+    seq: int
+    src: str
+    dst: str
+    kind: str
+    payload: Mapping[str, object]
+    send_tick: int
+    deliver_tick: int
+    fate: str = "in-flight"  # delivered | dropped | partitioned | dst-down
+
+    def log_record(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "tick": self.send_tick,
+            "deliver": self.deliver_tick,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+            "fate": self.fate,
+        }
+
+
+@dataclass
+class _Endpoint:
+    handler: Callable[[Message], None]
+    down: bool = False
+
+
+class SimNetwork:
+    """Seeded links, FIFO delivery, timers, and a full message log."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        sink_hook: Optional[Callable[[Message, str], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.tick_now = 0
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._links: dict[tuple[str, str], random.Random] = {}
+        self._link_horizon: dict[tuple[str, str], int] = {}
+        self._queue: list[tuple[int, int, Message]] = []
+        self._timers: list[tuple[int, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self._next_seq = 1
+        #: Every send ever attempted, in seq order, fate included.
+        self.log: list[Message] = []
+        #: Aggregate counters by message kind.
+        self.sent_by_kind: dict[str, int] = {}
+        self.dropped_by_kind: dict[str, int] = {}
+        self.delivered = 0
+        #: Observability hook: called as (message, "sent"/"delivered"/
+        #: "dropped"); the runtime turns these into trace events.
+        self.sink_hook = sink_hook
+        for crash in plan.crashes:
+            if crash.recover <= crash.at:
+                raise ConfigError(
+                    f"crash of {crash.node!r} must recover after it fails"
+                )
+            self.at_tick(crash.at, self._make_crash(crash.node))
+            self.at_tick(crash.recover, self._make_recover(crash.node))
+
+    # ------------------------------------------------------------------
+    # Endpoints and timers
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, handler: Callable[[Message], None]
+    ) -> None:
+        if name in self._endpoints:
+            raise ConfigError(f"endpoint {name!r} already registered")
+        self._endpoints[name] = _Endpoint(handler)
+
+    def rebind(self, name: str, handler: Callable[[Message], None]) -> None:
+        """Replace an endpoint's handler (node restart)."""
+        self._endpoints[name].handler = handler
+
+    def is_down(self, name: str) -> bool:
+        return self._endpoints[name].down
+
+    def at_tick(self, tick: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the network tick reaches ``tick``."""
+        self._timer_seq += 1
+        heappush(self._timers, (tick, self._timer_seq, callback))
+
+    def _make_crash(self, node: str) -> Callable[[], None]:
+        def fire() -> None:
+            endpoint = self._endpoints.get(node)
+            if endpoint is None:  # pragma: no cover - plan names a node
+                raise ReproError(f"crash plan names unknown node {node!r}")
+            endpoint.down = True
+
+        return fire
+
+    def _make_recover(self, node: str) -> Callable[[], None]:
+        def fire() -> None:
+            endpoint = self._endpoints[node]
+            endpoint.down = False
+            recover = getattr(endpoint.handler, "__self__", None)
+            if recover is not None and hasattr(recover, "on_recover"):
+                recover.on_recover()
+
+        return fire
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _link_rng(self, src: str, dst: str) -> random.Random:
+        key = (src, dst)
+        rng = self._links.get(key)
+        if rng is None:
+            rng = random.Random(_link_seed(self.seed, src, dst))
+            self._links[key] = rng
+        return rng
+
+    def send(
+        self, src: str, dst: str, kind: str, payload: Mapping[str, object]
+    ) -> Message:
+        """Stamp, log, and (unless a fault eats it) enqueue a message."""
+        plan = self.plan
+        rng = self._link_rng(src, dst)
+        delay = plan.latency
+        if plan.jitter:
+            delay += rng.randrange(plan.jitter + 1)
+        if plan.spike_rate and rng.random() < plan.spike_rate:
+            delay += plan.spike_ticks
+        message = Message(
+            seq=self._next_seq,
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            send_tick=self.tick_now,
+            deliver_tick=self.tick_now + delay,
+        )
+        self._next_seq += 1
+        self.log.append(message)
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        if self.sink_hook is not None:
+            self.sink_hook(message, "sent")
+        for window in plan.partitions:
+            if window.severs(self.tick_now, src, dst):
+                return self._drop(message, "partitioned")
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            return self._drop(message, "dropped")
+        # FIFO clamp: never overtake an earlier message on this link.
+        key = (src, dst)
+        horizon = self._link_horizon.get(key, 0)
+        if message.deliver_tick < horizon:
+            message.deliver_tick = horizon
+        self._link_horizon[key] = message.deliver_tick
+        heappush(self._queue, (message.deliver_tick, message.seq, message))
+        return message
+
+    def _drop(self, message: Message, fate: str) -> Message:
+        message.fate = fate
+        kind = message.kind
+        self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
+        if self.sink_hook is not None:
+            self.sink_hook(message, "dropped")
+        return message
+
+    # ------------------------------------------------------------------
+    # Delivery and time
+    # ------------------------------------------------------------------
+    def deliver_one_due(self) -> bool:
+        """Deliver the next due message, if any; True if one was."""
+        if not self._queue or self._queue[0][0] > self.tick_now:
+            return False
+        _, _, message = heappop(self._queue)
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or endpoint.down:
+            return bool(self._drop(message, "dst-down")) or True
+        message.fate = "delivered"
+        self.delivered += 1
+        if self.sink_hook is not None:
+            self.sink_hook(message, "delivered")
+        endpoint.handler(message)
+        return True
+
+    def tick(self) -> int:
+        """Advance network time one tick and fire due timers."""
+        self.tick_now += 1
+        while self._timers and self._timers[0][0] <= self.tick_now:
+            heappop(self._timers)[2]()
+        return self.tick_now
+
+    def pump(
+        self, predicate: Callable[[], bool], max_ticks: int = 10_000
+    ) -> bool:
+        """Deliver/advance until ``predicate`` holds or the budget dies.
+
+        Messages due *now* are delivered one at a time (checking the
+        predicate between deliveries, so the caller sees the earliest
+        satisfying state); only when nothing is due does the network
+        tick forward — zero-latency exchanges therefore complete
+        without advancing time at all.
+        """
+        ticks = 0
+        while True:
+            if predicate():
+                return True
+            if self.deliver_one_due():
+                continue
+            if ticks >= max_ticks:
+                return False
+            self.tick()
+            ticks += 1
+
+    def drain_due(self) -> int:
+        """Deliver everything already due (no time advance)."""
+        count = 0
+        while self.deliver_one_due():
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # The determinism tripwire's raw material
+    # ------------------------------------------------------------------
+    def log_lines(self) -> list[str]:
+        """Canonical JSON, one line per send, in seq order."""
+        return [
+            json.dumps(message.log_record(), sort_keys=True)
+            for message in self.log
+        ]

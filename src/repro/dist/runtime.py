@@ -1,0 +1,1027 @@
+"""The coordinator front-end of the distributed segment-controller runtime.
+
+:class:`DistributedRuntime` duck-types the scheduler surface the
+simulator drives (``begin``/``read``/``write``/``commit``/``abort``,
+``stats``, ``schedule``, ``store``, ``set_sink``; plus ``walls`` /
+``poll_walls`` in HDD modes) but executes every operation as a
+synchronous RPC over a :class:`~repro.dist.net.SimNetwork` to the
+:class:`~repro.dist.node.SegmentNode` owning the touched segment.
+
+Modes
+-----
+``hdd`` / ``hdd-to``
+    Full HDD dispatch (Protocols A/B/C) with one node per DHG class;
+    ``hdd-to`` runs basic TO as the intra-class engine.
+``to`` / ``mvto``
+    The whole-database baselines, sharded one engine per segment.
+    Engine state is per-granule, so sharding preserves the monolithic
+    outcome per operation exactly.
+
+Byte-identity at zero faults
+----------------------------
+On an ideal plan every RPC resolves inside one network tick, handlers
+gossip before they acknowledge, and digest horizons read the shared
+oracle clock — so every wall, outcome, timestamp and schedule step
+matches the monolithic scheduler byte for byte (the equivalence test
+pins this).  The coordinator methods below deliberately mirror
+:class:`repro.core.scheduler.HDDScheduler` line by line; deviations are
+commented where the wire forces one.
+
+Fault handling
+--------------
+Reliable RPCs retransmit with doubled timeouts (nodes deduplicate by
+request id and replay the recorded response).  A node crash loses its
+volatile state; every response carries the node's *incarnation*, and the
+coordinator kills any transaction that touched engine state on an older
+incarnation — plus a commit-time ``COMMIT_CHECK`` fence when the fault
+plan contains crashes, so a crash the coordinator never observed
+mid-flight still cannot commit a transaction whose conflict-detection
+state evaporated.
+
+This class intentionally does NOT subclass ``BaseScheduler``: its
+``stats`` are a *merged view* over the coordinator's own counters and
+every node's (a property, which a data-descriptor conflict with
+``BaseScheduler.__init__``'s ``self.stats = ...`` assignment rules
+out), so the few funnels it needs are replicated here instead.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import fields as dataclass_fields
+from typing import Iterator, Optional
+
+from repro.core.partition import HierarchicalPartition
+from repro.core.timewall import TimeWall
+from repro.dist.net import FaultPlan, Message, SimNetwork
+from repro.dist.node import SegmentNode, node_name
+from repro.errors import ConfigError, ProtocolViolation, ReproError
+from repro.obs.events import (
+    AbortedEvent,
+    BeginEvent,
+    BlockedEvent,
+    CommittedEvent,
+    EventSink,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
+    NullSink,
+    ReadEvent,
+    WriteEvent,
+)
+from repro.scheduling import (
+    WAIT_TIMEWALL,
+    Outcome,
+    SchedulerStats,
+    aborted,
+    blocked,
+    granted,
+)
+from repro.txn.clock import LogicalClock, Timestamp
+from repro.txn.schedule import Schedule
+from repro.txn.transaction import (
+    GranuleId,
+    SegmentId,
+    Transaction,
+    TransactionKind,
+)
+
+#: Modes and the intra-class / shard engine each one runs.
+MODES = {
+    "hdd": "mvto",
+    "hdd-to": "to",
+    "to": "to",
+    "mvto": "mvto",
+}
+
+#: Pump budget (net ticks) for an unreliable POLL before abandoning it.
+POLL_BUDGET = 32
+#: Pump budget for a reliable RPC; far above any fault window in a plan.
+RPC_BUDGET = 200_000
+
+
+class WallView:
+    """The coordinator's replica of the leader's released time walls.
+
+    Append-only (the distributed runtime never retires walls — see
+    DESIGN.md §11) and resequenced locally, so a leader crash that
+    resets the manager's numbering cannot make the view go backwards:
+    only walls with a release timestamp above the newest held one are
+    ingested.
+    """
+
+    def __init__(self) -> None:
+        self.released: list[TimeWall] = []
+        self.total_released = 0
+
+    def ingest(self, serialized: list[dict]) -> None:
+        for record in sorted(serialized, key=lambda w: w["release_ts"]):
+            newest = (
+                self.released[-1].release_ts if self.released else -1
+            )
+            if record["release_ts"] <= newest:
+                continue
+            self.total_released += 1
+            self.released.append(
+                TimeWall(
+                    record["start_class"],
+                    record["base_time"],
+                    record["release_ts"],
+                    dict(record["components"]),
+                    seq=self.total_released,
+                )
+            )
+
+    def wall_for(self, initiation_ts: Timestamp) -> Optional[TimeWall]:
+        """Newest wall with ``RT < I(t)`` (same bisect as the manager)."""
+        position = bisect.bisect_left(
+            self.released,
+            initiation_ts,
+            key=lambda wall: wall.release_ts,
+        )
+        if position == 0:
+            return None
+        return self.released[position - 1]
+
+
+class FederatedStore:
+    """The union of every node's store, routed by granule segment.
+
+    Routing goes through the node *objects* (not captured store
+    references) because a crash-restart rebuilds ``node.store`` from the
+    WAL — the federation must always see the live one.
+    """
+
+    def __init__(
+        self,
+        nodes: dict[SegmentId, SegmentNode],
+        segment_of,
+    ) -> None:
+        self._nodes = nodes
+        self._segment_of = segment_of
+
+    def _store_for(self, granule: GranuleId):
+        return self._nodes[self._segment_of(granule)].store
+
+    def chain(self, granule: GranuleId):
+        return self._store_for(granule).chain(granule)
+
+    def seed(self, granule: GranuleId, value: object = 0):
+        return self._store_for(granule).seed(granule, value)
+
+    def committed_value(self, granule: GranuleId) -> object:
+        return self._store_for(granule).committed_value(granule)
+
+    def __contains__(self, granule: GranuleId) -> bool:
+        return any(granule in node.store for node in self._nodes.values())
+
+    def granules(self) -> list[GranuleId]:
+        out: list[GranuleId] = []
+        for segment in sorted(self._nodes):
+            out.extend(self._nodes[segment].store.granules())
+        return out
+
+    def total_versions(self) -> int:
+        return sum(
+            node.store.total_versions() for node in self._nodes.values()
+        )
+
+    def __iter__(self) -> Iterator:
+        for segment in sorted(self._nodes):
+            yield from self._nodes[segment].store
+
+
+class DistributedRuntime:
+    """Coordinator + per-segment nodes over a deterministic network."""
+
+    COORD = "coord"
+
+    def __init__(
+        self,
+        partition: HierarchicalPartition,
+        mode: str = "hdd",
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        wall_interval: int = 25,
+        heartbeat: int = 5,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        engine = MODES.get(mode)
+        if engine is None:
+            raise ConfigError(
+                f"unknown dist mode {mode!r}; choose from {sorted(MODES)}"
+            )
+        self.mode = mode
+        self.name = f"dist-{mode}"
+        self.is_hdd = mode in ("hdd", "hdd-to")
+        self.partition = partition
+        self.plan = plan if plan is not None else FaultPlan()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.schedule = Schedule()
+        self.transactions: dict[int, Transaction] = {}
+        self._active: dict[int, Transaction] = {}
+        self._next_txn_id = 1
+        self._sink: Optional[EventSink] = None
+        self.current_step: Optional[int] = None
+        #: Coordinator-side counters only; merged with every node's in
+        #: the :attr:`stats` property (the split avoids double counting:
+        #: nodes count operations, the coordinator counts lifecycles).
+        self._stats = SchedulerStats()
+        # -- network and nodes -----------------------------------------
+        self.network = SimNetwork(
+            self.plan, seed=seed, sink_hook=self._net_event
+        )
+        classes = sorted(partition.segments)
+        if self.is_hdd:
+            leader_class = sorted(
+                map(str, partition.index.lowest_classes())
+            )[0]
+            self.leader_class = leader_class
+            if self.plan.is_ideal:
+                oracle = self.clock
+
+                def horizon_for(node, cls):
+                    return lambda: oracle.now
+
+            else:
+
+                def horizon_for(node, cls):
+                    return lambda: node._horizons.get(cls, 0)
+
+            self.nodes: dict[SegmentId, SegmentNode] = {}
+            for class_id in classes:
+                peers = sorted(
+                    {
+                        node_name(other)
+                        for other in classes
+                        if other != class_id
+                        and partition.index.comparable(class_id, other)
+                    }
+                    | {node_name(leader_class)}
+                )
+                self.nodes[class_id] = SegmentNode(
+                    class_id,
+                    self.network,
+                    engine_name=engine,
+                    index=partition.index,
+                    peers=peers,
+                    all_classes=classes,
+                    horizon_for=horizon_for,
+                    leader=class_id == leader_class,
+                    wall_interval=wall_interval,
+                    heartbeat=heartbeat,
+                )
+        else:
+            self.nodes = {
+                class_id: SegmentNode(
+                    class_id, self.network, engine_name=engine
+                )
+                for class_id in classes
+            }
+        self.network.register(self.COORD, self._on_message)
+        if self.is_hdd and not self.plan.is_ideal:
+            for node in self.nodes.values():
+                node.start_heartbeat()
+        self.store = FederatedStore(self.nodes, partition.segment_of)
+        if self.is_hdd:
+            # Instance attributes on purpose: the simulator probes
+            # ``getattr(scheduler, "walls"/"poll_walls", None)`` and the
+            # baselines must stay invisible to that probe.
+            self.walls = WallView()
+            self.poll_walls = self._poll_walls
+        # -- RPC machinery ---------------------------------------------
+        self._next_req = 1
+        self._pending: set[int] = set()
+        self._responses: dict[int, dict] = {}
+        self._inc_seen: list[tuple[str, int]] = []
+        self._node_inc: dict[str, int] = {}
+        #: ``txn_id -> node name -> incarnation at first *stateful*
+        #: touch`` (BEGIN / engine read / write).  Protocol A/C reads
+        #: are stateless at the node and need no fencing.
+        self._txn_touch: dict[int, dict[str, int]] = {}
+        self._rto = max(
+            2 * (self.plan.latency + self.plan.jitter + self.plan.spike_ticks)
+            + 2,
+            4,
+        )
+        # -- HDD coordinator caches (mirroring the monolithic ones) ----
+        self._ro_segments: dict[int, Optional[frozenset[SegmentId]]] = {}
+        self._ro_walls: dict[int, TimeWall] = {}
+        self._a_wall_cache: dict[int, dict[SegmentId, Timestamp]] = {}
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+    def _net_event(self, message: Message, what: str) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        common = dict(
+            step=self.current_step,
+            ts=self.network.tick_now,
+            seq=message.seq,
+            src=message.src,
+            dst=message.dst,
+            msg_kind=message.kind,
+        )
+        if what == "sent":
+            sink.emit(MessageSentEvent(**common))
+        elif what == "delivered":
+            sink.emit(
+                MessageDeliveredEvent(
+                    **common,
+                    delay=self.network.tick_now - message.send_tick,
+                )
+            )
+        else:
+            sink.emit(MessageDroppedEvent(**common, fate=message.fate))
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind != "RESP":  # pragma: no cover - nodes only RESP
+            return
+        payload = message.payload
+        node = payload.get("node")
+        if node is not None:
+            self._inc_seen.append((node, int(payload.get("inc", 0))))
+        req = payload.get("req")
+        if req in self._pending:
+            # Passive stashing only: never pump or mutate transaction
+            # state from inside a delivery (the waiting _rpc does that).
+            self._responses[req] = dict(payload)
+
+    def _schedule_retransmit(
+        self, req_id: int, dst: str, kind: str, wire: dict, rto: int
+    ) -> None:
+        def fire() -> None:
+            if req_id not in self._pending:
+                return
+            self.network.send(self.COORD, dst, kind, wire)
+            self._schedule_retransmit(
+                req_id, dst, kind, wire, min(rto * 2, 8 * self._rto)
+            )
+
+        self.network.at_tick(self.network.tick_now + rto, fire)
+
+    def _rpc(
+        self,
+        node: SegmentId,
+        kind: str,
+        payload: dict,
+        reliable: bool = True,
+    ) -> Optional[dict]:
+        """One synchronous request/response exchange with a node.
+
+        Reliable RPCs retransmit until answered (nodes replay cached
+        responses for duplicate request ids); unreliable ones (POLL) get
+        a small pump budget and may return ``None``.  Incarnation
+        observations picked up by the passive receive handler are acted
+        on *after* the pump returns, so fencing aborts never run
+        re-entrantly inside a message delivery.
+        """
+        req_id = self._next_req
+        self._next_req += 1
+        wire = {**payload, "req": req_id, "now": self.clock.now}
+        self._pending.add(req_id)
+        dst = node_name(node)
+        sent = self.network.send(self.COORD, dst, kind, wire)
+        if reliable and not self.plan.is_ideal:
+            self._schedule_retransmit(req_id, dst, kind, wire, self._rto)
+        if not reliable and sent.fate != "in-flight":
+            # The request died on the wire and nothing will retransmit
+            # it: abandon now instead of burning the poll budget (the
+            # fate is drawn at send time, so this stays deterministic).
+            self._pending.discard(req_id)
+            self._process_incarnations()
+            return None
+        budget = RPC_BUDGET if reliable else POLL_BUDGET
+        self.network.pump(lambda: req_id in self._responses, budget)
+        self._pending.discard(req_id)
+        response = self._responses.pop(req_id, None)
+        self._process_incarnations()
+        if response is None and reliable:
+            raise ReproError(
+                f"RPC {kind} to {dst} starved after {budget} net ticks"
+            )
+        return response
+
+    def _touch(self, txn_id: int, class_id: SegmentId) -> None:
+        """Record first *stateful* contact for incarnation fencing."""
+        name = node_name(class_id)
+        self._txn_touch.setdefault(txn_id, {}).setdefault(
+            name, self._node_inc.get(name, 0)
+        )
+
+    def _process_incarnations(self) -> None:
+        while self._inc_seen:
+            node, inc = self._inc_seen.pop(0)
+            if inc > self._node_inc.get(node, 0):
+                self._node_inc[node] = inc
+                self._fence(node, inc)
+
+    def _fence(self, node: str, inc: int) -> None:
+        """Kill every live transaction whose engine state died with
+        ``node``'s previous incarnation."""
+        victims = [
+            txn
+            for txn in self._active.values()
+            if txn.is_active
+            and self._txn_touch.get(txn.txn_id, {}).get(node, inc) < inc
+        ]
+        for txn in sorted(victims, key=lambda t: t.txn_id):
+            if txn.is_active:  # a nested fence may have got there first
+                self._cleanup_abort(
+                    txn, f"node restart: {node} lost in-flight state"
+                )
+
+    @staticmethod
+    def _outcome(response: dict) -> Outcome:
+        status = response["status"]
+        if status == "granted":
+            return granted(
+                value=response.get("value"),
+                version_ts=response.get("version_ts"),
+            )
+        if status == "blocked":
+            return blocked(waiting_for=response["waiting_for"])
+        return aborted(response.get("reason") or "rejected at node")
+
+    @staticmethod
+    def _txn_meta(txn: Transaction) -> dict:
+        return {
+            "id": txn.txn_id,
+            "I": txn.initiation_ts,
+            "class": txn.class_id,
+            "ro": txn.is_read_only,
+        }
+
+    # ------------------------------------------------------------------
+    # Tracing (mirrors BaseScheduler.set_sink / _emit_access)
+    # ------------------------------------------------------------------
+    def set_sink(self, sink: Optional[EventSink]) -> None:
+        if isinstance(sink, NullSink):
+            sink = None
+        self._sink = sink
+        for node in self.nodes.values():
+            node.sink = sink
+        if self.is_hdd:
+            leader = self.nodes[self.leader_class]
+            if leader.leader:
+                leader.walls.set_sink(sink, step_source=self)
+
+    @property
+    def sink(self) -> Optional[EventSink]:
+        return self._sink
+
+    def _txn_class(self, txn: Transaction) -> Optional[str]:
+        return txn.class_id
+
+    def _protocol_used(
+        self, txn: Transaction, granule: GranuleId, op: str
+    ) -> Optional[str]:
+        if not self.is_hdd:
+            return None
+        if op == "write":
+            return "B"
+        if not txn.is_read_only:
+            segment = self.partition.segment_of(granule)
+            return "B" if segment == txn.class_id else "A"
+        declared = self._ro_segments.get(txn.txn_id)
+        if declared is not None and (
+            self.partition.read_only_on_one_critical_path(declared)
+        ):
+            return "A"
+        return "C"
+
+    def _emit_access(
+        self, op: str, txn: Transaction, granule: GranuleId, outcome: Outcome
+    ) -> None:
+        sink = self._sink
+        assert sink is not None
+        if outcome.granted:
+            cls = ReadEvent if op == "read" else WriteEvent
+            sink.emit(
+                cls(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    granule=granule,
+                    version_ts=outcome.version_ts,
+                    protocol=self._protocol_used(txn, granule, op),
+                )
+            )
+        elif outcome.blocked:
+            sink.emit(
+                BlockedEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    op=op,
+                    granule=granule,
+                    wait_target=outcome.waiting_for,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle funnels (mirrors BaseScheduler begin/_finish_*)
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        profile: Optional[str] = None,
+        read_only: bool = False,
+    ) -> Transaction:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        initiation_ts = self.clock.tick()
+        kind = (
+            TransactionKind.READ_ONLY if read_only else TransactionKind.UPDATE
+        )
+        txn = self._make_transaction(txn_id, initiation_ts, kind, profile)
+        self.transactions[txn_id] = txn
+        self._active[txn_id] = txn
+        self._stats.begins += 1
+        if self._sink is not None:
+            self._sink.emit(
+                BeginEvent(
+                    step=self.current_step,
+                    ts=initiation_ts,
+                    txn_id=txn_id,
+                    txn_class=self._txn_class(txn),
+                    read_only=read_only,
+                    profile=profile,
+                )
+            )
+        if self.is_hdd:
+            self.poll_walls()
+        return txn
+
+    def _make_transaction(
+        self,
+        txn_id: int,
+        initiation_ts: Timestamp,
+        kind: TransactionKind,
+        profile: Optional[str],
+    ) -> Transaction:
+        if not self.is_hdd:
+            return Transaction(txn_id, initiation_ts, kind)
+        if kind is TransactionKind.READ_ONLY:
+            segments: Optional[frozenset[SegmentId]] = None
+            if profile is not None:
+                declared = self.partition.profile(profile)
+                if not declared.is_read_only:
+                    raise ProtocolViolation(
+                        f"profile {profile!r} is an update profile but "
+                        "the transaction was begun read-only"
+                    )
+                segments = declared.reads
+            self._ro_segments[txn_id] = segments
+            return Transaction(txn_id, initiation_ts, kind)
+        if profile is None:
+            raise ProtocolViolation(
+                "HDD update transactions must name a transaction profile"
+            )
+        declared = self.partition.profile(profile)
+        if declared.is_read_only:
+            raise ProtocolViolation(
+                f"profile {profile!r} is read-only; begin with "
+                "read_only=True"
+            )
+        class_id = declared.root_segment
+        txn = Transaction(txn_id, initiation_ts, kind, class_id=class_id)
+        # BEGIN is a *reliable awaited* RPC: a lost begin would leave an
+        # interval the class activity log never opened, and no later
+        # message can repair the walls computed in the gap.
+        self._touch(txn_id, class_id)
+        self._rpc(class_id, "BEGIN", {"txn": self._txn_meta(txn)})
+        return txn
+
+    def _finish_commit(self, txn: Transaction) -> Timestamp:
+        commit_ts = self.clock.tick()
+        txn.mark_committed(commit_ts)
+        self._active.pop(txn.txn_id, None)
+        self.schedule.record_commit(txn.txn_id)
+        self._stats.commits += 1
+        if self._sink is not None:
+            self._sink.emit(
+                CommittedEvent(
+                    step=self.current_step,
+                    ts=commit_ts,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                )
+            )
+        return commit_ts
+
+    def _finish_abort(self, txn: Transaction, reason: str) -> Timestamp:
+        abort_ts = self.clock.tick()
+        txn.mark_aborted(abort_ts, reason)
+        self._active.pop(txn.txn_id, None)
+        self.schedule.record_abort(txn.txn_id)
+        self._stats.count_abort(reason)
+        if self._sink is not None:
+            self._sink.emit(
+                AbortedEvent(
+                    step=self.current_step,
+                    ts=abort_ts,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    reason=reason,
+                )
+            )
+        return abort_ts
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        outcome = self._do_read(txn, granule)
+        if self._sink is not None:
+            self._emit_access("read", txn, granule, outcome)
+        return outcome
+
+    def write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        outcome = self._do_write(txn, granule, value)
+        if self._sink is not None:
+            self._emit_access("write", txn, granule, outcome)
+        return outcome
+
+    def commit(self, txn: Transaction) -> Outcome:
+        outcome = self._do_commit(txn)
+        if self._sink is not None and outcome.blocked:
+            self._sink.emit(
+                BlockedEvent(
+                    step=self.current_step,
+                    ts=self.clock.now,
+                    txn_id=txn.txn_id,
+                    txn_class=self._txn_class(txn),
+                    op="commit",
+                    granule=None,
+                    wait_target=outcome.waiting_for,
+                )
+            )
+        return outcome
+
+    def _killed(self, txn: Transaction) -> Outcome:
+        """A background incarnation fence aborted this transaction; the
+        driver's next operation learns it as an aborted outcome instead
+        of the exception a monolithic scheduler would raise."""
+        return aborted(
+            txn.abort_reason or "transaction killed by a node restart"
+        )
+
+    def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        if not txn.is_active:
+            return self._killed(txn)
+        if not self.is_hdd:
+            return self._baseline_op(txn, "READ_B", {"granule": granule})
+        segment = self.partition.segment_of(granule)
+        if txn.is_read_only:
+            return self._read_only_read(txn, granule, segment)
+        assert txn.class_id is not None
+        if segment == txn.class_id:
+            outcome = self._engine_op(
+                txn, segment, "READ_B", {"granule": granule}
+            )
+            if outcome.aborted and txn.is_active:
+                self._cleanup_abort(
+                    txn, outcome.reason or "protocol B rejection"
+                )
+            return outcome
+        if self.partition.is_higher(segment, txn.class_id):
+            return self._protocol_a_read(txn, granule, segment)
+        raise ProtocolViolation(
+            f"txn {txn.txn_id} (class {txn.class_id!r}) may not read "
+            f"segment {segment!r}: it is not higher than its root"
+        )
+
+    def _protocol_a_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+        response = self._rpc(
+            segment,
+            "READ_A",
+            {
+                "txn_id": txn.txn_id,
+                "I": txn.initiation_ts,
+                "granule": granule,
+                "reader_class": txn.class_id,
+                "wall": cache.get(segment),
+            },
+        )
+        if not txn.is_active:
+            return self._killed(txn)
+        cache[segment] = response["wall"]
+        return self._mirror_read(txn, granule, response)
+
+    def _read_only_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        declared = self._ro_segments.get(txn.txn_id)
+        if declared is not None:
+            if segment not in declared:
+                raise ProtocolViolation(
+                    f"read-only txn {txn.txn_id} declared segments "
+                    f"{sorted(declared)} but read {segment!r}"
+                )
+            if self.partition.read_only_on_one_critical_path(declared):
+                cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+                bottom = self.partition.index.lowest_of(list(declared))
+                response = self._rpc(
+                    segment,
+                    "READ_A",
+                    {
+                        "txn_id": txn.txn_id,
+                        "I": txn.initiation_ts,
+                        "granule": granule,
+                        "bottom": bottom,
+                        "wall": cache.get(segment),
+                    },
+                )
+                if not txn.is_active:
+                    return self._killed(txn)
+                cache[segment] = response["wall"]
+                return self._mirror_read(txn, granule, response)
+        return self._protocol_c_read(txn, granule, segment)
+
+    def _protocol_c_read(
+        self, txn: Transaction, granule: GranuleId, segment: SegmentId
+    ) -> Outcome:
+        wall_obj = self._ro_walls.get(txn.txn_id)
+        if wall_obj is None:
+            wall_obj = self.walls.wall_for(txn.initiation_ts)
+            if wall_obj is None and self.walls.released:
+                # Theorem 2 holds for any released wall; RT < I(t) is a
+                # freshness heuristic (same fallback as the monolith).
+                wall_obj = self.walls.released[-1]
+            if wall_obj is None:
+                self.poll_walls()
+                wall_obj = self.walls.wall_for(self.clock.now + 1)
+            if wall_obj is None:
+                self._stats.wall_blocks += 1
+                return blocked(waiting_for=WAIT_TIMEWALL)
+            # No pin: the distributed runtime never retires walls.
+            self._ro_walls[txn.txn_id] = wall_obj
+        response = self._rpc(
+            segment,
+            "READ_C",
+            {
+                "txn_id": txn.txn_id,
+                "granule": granule,
+                "component": wall_obj.component(segment),
+            },
+        )
+        if not txn.is_active:
+            return self._killed(txn)
+        return self._mirror_read(txn, granule, response)
+
+    def _mirror_read(
+        self, txn: Transaction, granule: GranuleId, response: dict
+    ) -> Outcome:
+        """Mirror a node-granted wall read into the coordinator's
+        transaction record and authoritative schedule."""
+        txn.record_read(granule)
+        self.schedule.record_read(
+            txn.txn_id, granule, response["version_ts"]
+        )
+        return granted(
+            value=response.get("value"),
+            version_ts=response["version_ts"],
+        )
+
+    def _engine_op(
+        self,
+        txn: Transaction,
+        segment: SegmentId,
+        kind: str,
+        payload: dict,
+    ) -> Outcome:
+        """A Protocol B (or baseline shard) engine operation at a node."""
+        self._touch(txn.txn_id, segment)
+        response = self._rpc(
+            segment, kind, {**payload, "txn": self._txn_meta(txn)}
+        )
+        if not txn.is_active:
+            return self._killed(txn)
+        outcome = self._outcome(response)
+        if outcome.granted:
+            granule = payload["granule"]
+            if kind == "WRITE":
+                txn.record_write(granule, payload["value"])
+                self.schedule.record_write(
+                    txn.txn_id, granule, outcome.version_ts
+                )
+            else:
+                txn.record_read(granule)
+                self.schedule.record_read(
+                    txn.txn_id, granule, outcome.version_ts
+                )
+        return outcome
+
+    def _baseline_op(
+        self, txn: Transaction, kind: str, payload: dict
+    ) -> Outcome:
+        segment = self.partition.segment_of(payload["granule"])
+        outcome = self._engine_op(txn, segment, kind, payload)
+        if outcome.aborted and txn.is_active:
+            self._cleanup_abort(txn, outcome.reason or "TO rejection")
+        return outcome
+
+    def _do_write(
+        self, txn: Transaction, granule: GranuleId, value: object
+    ) -> Outcome:
+        if not txn.is_active:
+            return self._killed(txn)
+        if txn.is_read_only:
+            raise ProtocolViolation(
+                f"read-only txn {txn.txn_id} attempted a write"
+            )
+        if not self.is_hdd:
+            return self._baseline_op(
+                txn, "WRITE", {"granule": granule, "value": value}
+            )
+        segment = self.partition.segment_of(granule)
+        if segment != txn.class_id:
+            raise ProtocolViolation(
+                f"txn {txn.txn_id} (class {txn.class_id!r}) may not "
+                f"write segment {segment!r}: updates stay in the root "
+                "segment"
+            )
+        outcome = self._engine_op(
+            txn, segment, "WRITE", {"granule": granule, "value": value}
+        )
+        if outcome.aborted and txn.is_active:
+            self._cleanup_abort(txn, outcome.reason or "protocol B rejection")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+    def _do_commit(self, txn: Transaction) -> Outcome:
+        if not txn.is_active:
+            return self._killed(txn)
+        if self.plan.crashes and not txn.is_read_only:
+            veto = self._crash_fence(txn)
+            if veto is not None:
+                return veto
+        commit_ts = self._finish_commit(txn)
+        # Deterministic finalize order: first appearance in the private
+        # workspace (write_set is a salted-hash set — never iterate it
+        # where order can reach the wire or the log).
+        by_node: dict[SegmentId, list[list]] = {}
+        for granule in txn.workspace:
+            segment = self.partition.segment_of(granule)
+            by_node.setdefault(segment, []).append(
+                [granule, txn.workspace[granule]]
+            )
+        if self.is_hdd:
+            if txn.class_id is not None:
+                writes = by_node.get(txn.class_id, [])
+                self._rpc(
+                    txn.class_id,
+                    "COMMIT_FINALIZE",
+                    {
+                        "txn_id": txn.txn_id,
+                        "I": txn.initiation_ts,
+                        "commit_ts": commit_ts,
+                        "writes": writes,
+                        "close": True,
+                    },
+                )
+        else:
+            # Finalize everywhere the transaction holds engine state,
+            # written or not, so per-transaction state is dropped like
+            # the monolithic engine.forget would.
+            touched = [
+                segment
+                for segment in sorted(self.nodes)
+                if node_name(segment) in self._txn_touch.get(txn.txn_id, {})
+            ]
+            for segment in touched:
+                self._rpc(
+                    segment,
+                    "COMMIT_FINALIZE",
+                    {
+                        "txn_id": txn.txn_id,
+                        "I": txn.initiation_ts,
+                        "commit_ts": commit_ts,
+                        "writes": by_node.get(segment, []),
+                        "close": False,
+                    },
+                )
+        self._forget(txn)
+        if self.is_hdd:
+            self.poll_walls()
+        return granted(version_ts=commit_ts)
+
+    def _crash_fence(self, txn: Transaction) -> Optional[Outcome]:
+        """Commit-time incarnation check against every stateful node."""
+        for name, inc in sorted(
+            self._txn_touch.get(txn.txn_id, {}).items()
+        ):
+            segment = name.removeprefix("node:")
+            response = self._rpc(segment, "COMMIT_CHECK", {
+                "txn_id": txn.txn_id,
+            })
+            if not txn.is_active:
+                return self._killed(txn)
+            if not response["known"] or response["inc"] != inc:
+                reason = f"node restart: {name} lost in-flight state"
+                self._cleanup_abort(txn, reason)
+                return aborted(reason)
+        return None
+
+    def abort(self, txn: Transaction, reason: str) -> None:
+        if not txn.is_active:
+            return  # a background fence already finished the job
+        self._cleanup_abort(txn, reason)
+
+    def _cleanup_abort(self, txn: Transaction, reason: str) -> None:
+        abort_ts = self._finish_abort(txn, reason)
+        by_node: dict[SegmentId, list[GranuleId]] = {}
+        for granule in txn.workspace:
+            segment = self.partition.segment_of(granule)
+            by_node.setdefault(segment, []).append(granule)
+        if self.is_hdd:
+            targets = [txn.class_id] if txn.class_id is not None else []
+        else:
+            targets = [
+                segment
+                for segment in sorted(self.nodes)
+                if node_name(segment) in self._txn_touch.get(txn.txn_id, {})
+            ]
+        for segment in targets:
+            self._rpc(
+                segment,
+                "ABORT_FINALIZE",
+                {
+                    "txn_id": txn.txn_id,
+                    "I": txn.initiation_ts,
+                    "abort_ts": abort_ts,
+                    "granules": by_node.get(segment, []),
+                    "close": self.is_hdd,
+                },
+            )
+        self._forget(txn)
+        if self.is_hdd:
+            self.poll_walls()
+
+    def _forget(self, txn: Transaction) -> None:
+        self._ro_segments.pop(txn.txn_id, None)
+        self._ro_walls.pop(txn.txn_id, None)
+        self._a_wall_cache.pop(txn.txn_id, None)
+        self._txn_touch.pop(txn.txn_id, None)
+
+    # ------------------------------------------------------------------
+    # Walls
+    # ------------------------------------------------------------------
+    def _poll_walls(self) -> None:
+        """Ask the leader to drive its wall manager; ingest fresh walls.
+
+        Unreliable on purpose: under faults an abandoned poll just means
+        the next one (every begin/commit/abort and every idle simulator
+        step) tries again.
+        """
+        after = (
+            self.walls.released[-1].release_ts
+            if self.walls.released
+            else -1
+        )
+        response = self._rpc(
+            self.leader_class, "POLL", {"after": after}, reliable=False
+        )
+        if response is not None:
+            self.walls.ingest(response["walls"])
+
+    # ------------------------------------------------------------------
+    # Introspection (BaseScheduler surface)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SchedulerStats:
+        """Coordinator lifecycle counters merged with every node's
+        operation counters.  A fresh snapshot each call — mutating it
+        goes nowhere."""
+        merged = SchedulerStats()
+        sources = [self._stats] + [
+            node.stats for node in self.nodes.values()
+        ]
+        for spec in dataclass_fields(SchedulerStats):
+            if spec.name == "aborts_by_reason":
+                continue
+            total = sum(getattr(s, spec.name) for s in sources)
+            setattr(merged, spec.name, total)
+        for source in sources:
+            for reason, count in source.aborts_by_reason.items():
+                merged.aborts_by_reason[reason] = (
+                    merged.aborts_by_reason.get(reason, 0) + count
+                )
+        return merged
+
+    def committed_transactions(self) -> list[Transaction]:
+        return [t for t in self.transactions.values() if t.is_committed]
+
+    def active_transactions(self) -> list[Transaction]:
+        return [t for t in self._active.values() if t.is_active]

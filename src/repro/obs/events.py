@@ -192,6 +192,68 @@ class WallRetiredEvent(Event):
 
 
 # ----------------------------------------------------------------------
+# Distributed runtime: network messages and digest staleness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True, kw_only=True)
+class MessageSentEvent(Event):
+    """A message left a node (``ts`` here is the *network* tick)."""
+
+    kind: ClassVar[str] = "msg_sent"
+
+    seq: int = 0
+    src: str = ""
+    dst: str = ""
+    msg_kind: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class MessageDeliveredEvent(Event):
+    """A message reached its destination handler."""
+
+    kind: ClassVar[str] = "msg_delivered"
+
+    seq: int = 0
+    src: str = ""
+    dst: str = ""
+    msg_kind: str = ""
+    delay: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class MessageDroppedEvent(Event):
+    """A message died on the wire.
+
+    ``fate`` distinguishes random loss (``dropped``), a link partition
+    (``partitioned``) and a crashed destination (``dst-down``).
+    """
+
+    kind: ClassVar[str] = "msg_dropped"
+
+    seq: int = 0
+    src: str = ""
+    dst: str = ""
+    msg_kind: str = ""
+    fate: str = "dropped"
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class DigestStalenessEvent(Event):
+    """A gossip batch advanced a remote-class digest at some node.
+
+    ``staleness`` is how far the receiver's knowledge of the sender's
+    class lagged logical time when the batch landed (0 on an ideal
+    network) — the price readers pay in extra wall conservatism.
+    """
+
+    kind: ClassVar[str] = "digest_staleness"
+
+    node: str = ""
+    source_class: str = ""
+    staleness: int = 0
+    applied: int = 0
+
+
+# ----------------------------------------------------------------------
 # Garbage collection and run bookkeeping
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True, kw_only=True)
@@ -234,6 +296,10 @@ EVENT_TYPES: dict[str, type[Event]] = {
         WallPinnedEvent,
         WallUnpinnedEvent,
         WallRetiredEvent,
+        MessageSentEvent,
+        MessageDeliveredEvent,
+        MessageDroppedEvent,
+        DigestStalenessEvent,
         GCPassEvent,
         RunEndEvent,
     )

@@ -29,9 +29,13 @@ from repro.obs.events import (
     BeginEvent,
     BlockedEvent,
     CommittedEvent,
+    DigestStalenessEvent,
     Event,
     EventSink,
     GCPassEvent,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
     ReadEvent,
     RunEndEvent,
     WallPinnedEvent,
@@ -150,6 +154,17 @@ class MetricsRegistry(EventSink):
             self.counters["gc.pruned_versions"] += event.pruned_versions
         elif isinstance(event, RunEndEvent):
             self._drain_open_blocks(event.step)
+        elif isinstance(event, MessageSentEvent):
+            self.counters[f"net.sent.{event.msg_kind}"] += 1
+        elif isinstance(event, MessageDeliveredEvent):
+            self.counters["net.delivered"] += 1
+            self.histogram("net.delay").record(float(event.delay))
+        elif isinstance(event, MessageDroppedEvent):
+            self.counters[f"net.dropped.{event.fate}"] += 1
+        elif isinstance(event, DigestStalenessEvent):
+            self.histogram("digest_staleness").record(
+                float(event.staleness)
+            )
         elif isinstance(event, (WallPinnedEvent, WallUnpinnedEvent)):
             pass  # the per-kind event counter above suffices
 

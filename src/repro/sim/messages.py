@@ -124,3 +124,70 @@ def message_report(
         releases = getattr(walls, "total_released", len(walls.released))
         report.wall_broadcast_messages = components * releases
     return report
+
+
+#: RPC kinds whose responses carry an outcome status (one data access).
+_OP_KINDS = frozenset({"READ_A", "READ_B", "READ_C", "WRITE"})
+
+
+def measured_message_report(runtime) -> tuple[MessageReport, dict[str, int]]:
+    """Count the messages a distributed run *actually* sent.
+
+    Takes a :class:`~repro.dist.runtime.DistributedRuntime` after a run
+    and buckets its network log into the analytic categories of
+    :func:`message_report`, so the §7.5 cost model can be validated
+    against a wire (``BENCH_dist_messages.json`` records the ratios):
+
+    * operation request/response pairs split by the response's outcome —
+      granted pairs are *data*, blocked pairs are *blocking*, rejected
+      pairs are *rejection* messages;
+    * ``COMMIT_FINALIZE`` pairs are commit fan-out, ``ABORT_FINALIZE``
+      pairs are rejection traffic;
+    * ``WALL`` broadcasts map one-to-one onto wall-broadcast messages;
+    * registration stays **zero**: read registration piggybacks on the
+      read request itself (the engine writes the read timestamp on
+      controller-local state), which is precisely the sense in which the
+      analytic model's registration charge is an upper bound.
+
+    Everything the analytic model does not price — BEGIN registration,
+    wall polling, crash fencing, gossip, NACK repair, retransmits — is
+    returned in the second mapping as runtime overhead, counted from the
+    same log.  Dropped messages count where they were sent: the wire
+    carried them.
+    """
+    report = MessageReport()
+    extras: dict[str, int] = {}
+
+    def bump(key: str, by: int = 1) -> None:
+        extras[key] = extras.get(key, 0) + by
+
+    request_kind: dict[object, str] = {}
+    for message in runtime.network.log:
+        payload = message.payload
+        if message.kind == "RESP":
+            kind = request_kind.get(payload.get("req"))
+            if kind in _OP_KINDS:
+                status = payload.get("status")
+                if status == "granted":
+                    report.data_messages += 2
+                elif status == "blocked":
+                    report.blocking_messages += 2
+                else:
+                    report.rejection_messages += 2
+            elif kind == "COMMIT_FINALIZE":
+                report.commit_fanout_messages += 2
+            elif kind == "ABORT_FINALIZE":
+                report.rejection_messages += 2
+            else:
+                bump(f"pair.{kind}", 2)
+        elif message.kind == "WALL":
+            report.wall_broadcast_messages += 1
+        elif message.kind in ("GOSSIP", "NACK"):
+            bump(f"oneway.{message.kind}")
+        else:
+            req = payload.get("req")
+            if req in request_kind:
+                bump("retransmit")  # the pair above counts one exchange
+            else:
+                request_kind[req] = message.kind
+    return report, extras

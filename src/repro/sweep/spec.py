@@ -96,9 +96,15 @@ class RunConfig:
     workload: Mapping[str, object] = field(
         default_factory=lambda: {"schema": "inventory"}
     )
+    #: Distributed-runtime parameters (``latency``, ``jitter``,
+    #: ``drop_rate``, ``spike_rate``, ``spike_ticks``, ``net_seed``,
+    #: ``wall_interval``, ``heartbeat``) or ``None`` for the monolithic
+    #: scheduler.  ``None`` is omitted from :meth:`to_dict` so every
+    #: pre-existing config hash (and its cached result) is unchanged.
+    dist: Optional[Mapping[str, object]] = None
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        data: dict[str, object] = {
             "scheduler": self.scheduler,
             "seed": self.seed,
             "clients": self.clients,
@@ -111,10 +117,16 @@ class RunConfig:
             "audit": self.audit,
             "workload": dict(self.workload),
         }
+        if self.dist is not None:
+            data["dist"] = dict(self.dist)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunConfig":
-        return cls(**{**data, "workload": dict(data["workload"])})
+        merged = {**data, "workload": dict(data["workload"])}
+        if merged.get("dist") is not None:
+            merged["dist"] = dict(merged["dist"])
+        return cls(**merged)
 
 
 def config_hash(config: RunConfig) -> str:
@@ -165,10 +177,56 @@ def build_workload(params: Mapping[str, object]) -> Workload:
     return build_hierarchy_workload(partition, **params)
 
 
+def _make_dist_runtime(config: RunConfig, partition):
+    """A :class:`~repro.dist.runtime.DistributedRuntime` for a config
+    carrying a ``dist`` block (imported lazily: most sweeps never pay
+    for the distributed stack)."""
+    from repro.dist import DistributedRuntime, FaultPlan
+
+    if config.scheduler not in DIST_SCHEDULERS:
+        raise ConfigError(
+            f"scheduler {config.scheduler!r} has no distributed runtime; "
+            f"choose from {sorted(DIST_SCHEDULERS)}"
+        )
+    if config.gc_interval is not None:
+        raise ConfigError(
+            "gc_interval is not supported by the distributed runtime "
+            "(it never retires walls or prunes versions)"
+        )
+    params = dict(config.dist or {})
+    net_seed = int(params.pop("net_seed", 0))
+    wall_interval = int(params.pop("wall_interval", 25))
+    heartbeat = int(params.pop("heartbeat", 5))
+    plan = FaultPlan(
+        latency=int(params.pop("latency", 0)),
+        jitter=int(params.pop("jitter", 0)),
+        drop_rate=float(params.pop("drop_rate", 0.0)),
+        spike_rate=float(params.pop("spike_rate", 0.0)),
+        spike_ticks=int(params.pop("spike_ticks", 0)),
+    )
+    if params:
+        raise ConfigError(f"unknown dist parameters: {sorted(params)}")
+    return DistributedRuntime(
+        partition,
+        mode=config.scheduler,
+        plan=plan,
+        seed=net_seed,
+        wall_interval=wall_interval,
+        heartbeat=heartbeat,
+    )
+
+
+#: Schedulers that also exist as distributed runtimes.
+DIST_SCHEDULERS = {"hdd", "hdd-to", "to", "mvto"}
+
+
 def build_simulator(config: RunConfig) -> Simulator:
     """Instantiate the scheduler + simulator a config describes."""
     workload = build_workload(config.workload)
-    scheduler = _make_scheduler(config.scheduler, workload.partition)
+    if config.dist is not None:
+        scheduler = _make_dist_runtime(config, workload.partition)
+    else:
+        scheduler = _make_scheduler(config.scheduler, workload.partition)
     return Simulator(
         scheduler,
         workload,
@@ -298,4 +356,5 @@ _CONFIG_FIELDS = {
     "gc_interval",
     "arrival_rate",
     "audit",
+    "dist",
 }

@@ -1,0 +1,94 @@
+"""Unit tests for gossip digests: clamping, gaps, and repair."""
+
+from repro.core.activity import ClassActivityLog
+from repro.dist import DigestLog, DigestTracker
+from repro.sim.inventory import build_inventory_partition
+
+import pytest
+
+
+def make_digest(horizon_box):
+    return DigestLog("remote", lambda: horizon_box[0])
+
+
+JOURNAL = [
+    {"kind": "begin", "txn": 1, "ts": 2},
+    {"kind": "begin", "txn": 2, "ts": 5},
+    {"kind": "end", "txn": 1, "ts": 7},
+    {"kind": "end", "txn": 2, "ts": 9},
+]
+
+
+def test_queries_clamp_to_horizon():
+    horizon = [4]
+    digest = make_digest(horizon)
+    assert digest.apply(JOURNAL, 0)
+    exact = ClassActivityLog("remote")
+    for entry in JOURNAL:
+        if entry["kind"] == "begin":
+            exact.record_begin(entry["txn"], entry["ts"])
+        else:
+            exact.record_end(entry["txn"], entry["ts"])
+    # At horizon 4 a query at 10 is evaluated at 5: txn 1 (begun at 2,
+    # open as of 5) pins i_old to 2 even though the replica knows the
+    # end — conservatism by construction, not by luck.
+    assert digest.i_old(10) == 2
+    assert exact.i_old(10) == 10  # everything closed by 10, omnisciently
+    horizon[0] = 10
+    assert digest.i_old(10) == exact.i_old(10) == 10
+
+
+def test_horizon_zero_floor_keeps_bootstrap_readable():
+    digest = make_digest([0])
+    # Clamp floor is h + 1 = 1, not 0: a query never collapses below
+    # the bootstrap version's timestamp 0.
+    assert digest.i_old(50) == 1
+    assert digest.c_late(50) == 1
+
+
+def test_settled_through_false_above_horizon():
+    horizon = [6]
+    digest = make_digest(horizon)
+    assert digest.apply(JOURNAL[:3], 0)
+    assert digest.settled_through(3)  # txn 1's end is known: settled
+    assert not digest.settled_through(6)  # txn 2 still open at 6
+    assert not digest.settled_through(8)  # begins may lurk past h + 1
+    horizon[0] = 20
+    assert digest.apply(JOURNAL[3:], 3)
+    assert digest.settled_through(10)
+
+
+def test_gap_rejected_and_repaired():
+    digest = make_digest([100])
+    assert digest.apply(JOURNAL[:1], 0)
+    assert not digest.apply(JOURNAL[2:], 2)  # gap: entry 1 missing
+    assert digest.applied == 1
+    # NACK repair: resend from the contiguous prefix.
+    assert digest.apply(JOURNAL[digest.applied:], digest.applied)
+    assert digest.applied == len(JOURNAL)
+
+
+def test_retransmit_overlap_skipped():
+    digest = make_digest([100])
+    assert digest.apply(JOURNAL[:3], 0)
+    assert digest.apply(JOURNAL, 0)  # full resend: prefix skipped
+    assert digest.applied == len(JOURNAL)
+    assert digest.i_old(20) == 20
+
+
+def test_tracker_swaps_remote_logs_only():
+    partition = build_inventory_partition()
+    classes = sorted(map(str, partition.index.graph.nodes))
+    own = classes[0]
+    remotes = [cls for cls in classes if cls != own]
+    tracker = DigestTracker(
+        partition.index, own, remotes, lambda cls: (lambda: 0)
+    )
+    assert isinstance(tracker.logs[own], ClassActivityLog)
+    for cls in remotes:
+        assert isinstance(tracker.logs[cls], DigestLog)
+        assert tracker.digests[cls] is tracker.logs[cls]
+    with pytest.raises(ValueError):
+        DigestTracker(
+            partition.index, own, classes, lambda cls: (lambda: 0)
+        )

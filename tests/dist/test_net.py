@@ -1,0 +1,165 @@
+"""Unit tests for the deterministic simulated network."""
+
+import pytest
+
+from repro.dist import Crash, FaultPlan, SimNetwork
+from repro.errors import ConfigError
+
+
+def collecting_endpoint(network, name):
+    received = []
+    network.register(name, received.append)
+    return received
+
+
+def test_ideal_plan_is_ideal():
+    assert FaultPlan().is_ideal
+    assert not FaultPlan(latency=1).is_ideal
+    assert not FaultPlan(drop_rate=0.1).is_ideal
+    assert not FaultPlan(
+        partitions=(FaultPlan.partition(0, 5, ["a"], ["b"]),)
+    ).is_ideal
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigError):
+        FaultPlan(latency=-1)
+    with pytest.raises(ConfigError):
+        FaultPlan(drop_rate=1.0)
+    with pytest.raises(ConfigError):
+        FaultPlan(spike_rate=1.5)
+    with pytest.raises(ConfigError):
+        SimNetwork(FaultPlan(crashes=(Crash("a", 5, 5),)))
+
+
+def test_duplicate_endpoint_rejected():
+    network = SimNetwork(FaultPlan())
+    network.register("a", lambda m: None)
+    with pytest.raises(ConfigError):
+        network.register("a", lambda m: None)
+
+
+def test_zero_latency_delivery_without_time():
+    network = SimNetwork(FaultPlan())
+    inbox = collecting_endpoint(network, "b")
+    network.register("a", lambda m: None)
+    network.send("a", "b", "PING", {"n": 1})
+    assert network.pump(lambda: bool(inbox), max_ticks=0)
+    assert network.tick_now == 0  # resolved inside the current tick
+    assert inbox[0].payload == {"n": 1}
+    assert inbox[0].fate == "delivered"
+
+
+def test_fifo_links_never_overtake():
+    """Even with jitter, per-link delivery preserves send order."""
+    plan = FaultPlan(latency=1, jitter=5)
+    network = SimNetwork(plan, seed=3)
+    inbox = collecting_endpoint(network, "b")
+    network.register("a", lambda m: None)
+    for n in range(20):
+        network.send("a", "b", "PING", {"n": n})
+    network.pump(lambda: len(inbox) == 20)
+    assert [m.payload["n"] for m in inbox] == list(range(20))
+
+
+def test_log_lines_are_deterministic():
+    def run():
+        plan = FaultPlan(latency=2, jitter=3, drop_rate=0.3, spike_rate=0.2,
+                         spike_ticks=4)
+        network = SimNetwork(plan, seed=11)
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        for n in range(30):
+            network.send("a", "b", "PING", {"n": n})
+            network.send("b", "a", "PONG", {"n": n})
+        network.pump(lambda: False, max_ticks=20)
+        return network.log_lines()
+
+    first, second = run(), run()
+    assert first == second
+    assert len(first) == 60
+
+
+def test_different_seeds_draw_different_fates():
+    def fates(seed):
+        network = SimNetwork(FaultPlan(drop_rate=0.5), seed=seed)
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        for n in range(40):
+            network.send("a", "b", "PING", {"n": n})
+        network.drain_due()
+        return [m.fate for m in network.log]
+
+    assert fates(1) != fates(2)
+
+
+def test_partition_cuts_both_directions_in_window():
+    plan = FaultPlan(
+        partitions=(FaultPlan.partition(2, 5, ["a"], ["b"]),)
+    )
+    network = SimNetwork(plan)
+    inbox_a = collecting_endpoint(network, "a")
+    inbox_b = collecting_endpoint(network, "b")
+    network.send("a", "b", "PING", {})  # tick 0: before the window
+    network.drain_due()
+    while network.tick_now < 2:
+        network.tick()
+    m1 = network.send("a", "b", "PING", {})
+    m2 = network.send("b", "a", "PONG", {})
+    network.drain_due()
+    assert (m1.fate, m2.fate) == ("partitioned", "partitioned")
+    while network.tick_now < 5:
+        network.tick()
+    network.send("a", "b", "PING", {})  # window over: heals
+    network.drain_due()
+    assert len(inbox_b) == 2 and len(inbox_a) == 0
+
+
+def test_crash_window_drops_and_recovery_hook_fires():
+    class Node:
+        def __init__(self):
+            self.recovered = 0
+            self.inbox = []
+
+        def handle(self, message):
+            self.inbox.append(message)
+
+        def on_recover(self):
+            self.recovered += 1
+
+    node = Node()
+    plan = FaultPlan(crashes=(Crash("n", 3, 6),))
+    network = SimNetwork(plan)
+    network.register("n", node.handle)
+    network.register("a", lambda m: None)
+    while network.tick_now < 3:
+        network.tick()
+    assert network.is_down("n")
+    dead = network.send("a", "n", "PING", {})
+    network.drain_due()
+    assert dead.fate == "dst-down"
+    while network.tick_now < 6:
+        network.tick()
+    assert not network.is_down("n")
+    assert node.recovered == 1
+    network.send("a", "n", "PING", {})
+    network.drain_due()
+    assert len(node.inbox) == 1
+
+
+def test_timers_fire_in_order_at_tick():
+    network = SimNetwork(FaultPlan())
+    fired = []
+    network.at_tick(2, lambda: fired.append("late"))
+    network.at_tick(1, lambda: fired.append("early"))
+    network.at_tick(1, lambda: fired.append("early-2"))
+    network.tick()
+    assert fired == ["early", "early-2"]
+    network.tick()
+    assert fired == ["early", "early-2", "late"]
+
+
+def test_pump_budget_bounds_time():
+    network = SimNetwork(FaultPlan())
+    assert not network.pump(lambda: False, max_ticks=7)
+    assert network.tick_now == 7

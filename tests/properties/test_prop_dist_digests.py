@@ -1,0 +1,214 @@
+"""Property tests for conservative activity digests (DESIGN.md §11).
+
+A segment node learns remote activity through gossip, so its replica of
+a remote class's log lags the truth.  The safety claim the distributed
+runtime hinges on: a stale digest may only LOWER a wall, never raise it
+above the frozen boundary an omniscient (zero-latency) run would
+compute.  Lower walls mean extra staleness for Protocol A/C readers —
+never a version the monolithic scheduler would forbid.
+
+We generate random journals, deliver arbitrary chunkings of an
+arbitrary prefix (with duplicated slices and gap-producing reorderings,
+repaired the way a NACK would), and compare every clamped query — and
+the composed ``A``/``E`` link functions — against the exact log.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activity import ActivityTracker, ClassActivityLog
+from repro.core.graph import Digraph, SemiTreeIndex
+from repro.dist.digest import DigestLog, DigestTracker
+from repro.errors import NotComputableError
+
+
+@st.composite
+def journals(draw, max_events=24):
+    """A valid activity journal: interleaved begin/end entries at a
+    strictly increasing logical clock, exactly as a node emits them."""
+    entries = []
+    open_txns = []
+    clock = 0
+    next_txn = 0
+    for _ in range(draw(st.integers(0, max_events))):
+        clock += draw(st.integers(1, 3))
+        if open_txns and draw(st.booleans()):
+            txn = open_txns.pop(draw(st.integers(0, len(open_txns) - 1)))
+            entries.append({"kind": "end", "txn": txn, "ts": clock})
+        else:
+            next_txn += 1
+            open_txns.append(next_txn)
+            entries.append({"kind": "begin", "txn": next_txn, "ts": clock})
+    return entries
+
+
+def exact_log(entries, class_id="remote"):
+    log = ClassActivityLog(class_id)
+    for entry in entries:
+        if entry["kind"] == "begin":
+            log.record_begin(entry["txn"], entry["ts"])
+        else:
+            log.record_end(entry["txn"], entry["ts"])
+    return log
+
+
+@st.composite
+def gossiped_digests(draw):
+    """(digest, exact, horizon, clock): a digest fed a chunked, shuffled,
+    duplicated prefix of the journal, repaired to contiguity at the end
+    (the NACK path), with a horizon at most the last applied stamp."""
+    journal = draw(journals())
+    clock = journal[-1]["ts"] if journal else 0
+    applied = draw(st.integers(0, len(journal)))
+    if applied:
+        horizon = draw(st.integers(0, journal[applied - 1]["ts"]))
+    else:
+        horizon = 0
+
+    digest = DigestLog("remote", lambda: horizon)
+    # Chunk the prefix, then deliver a shuffled copy (duplicates and
+    # out-of-order slices included) before the contiguous repair pass.
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.integers(0, applied), max_size=4, unique=True
+            )
+        )
+    )
+    cuts = [0, *bounds, applied]
+    chunks = [
+        (cuts[i], journal[cuts[i]:cuts[i + 1]])
+        for i in range(len(cuts) - 1)
+        if cuts[i] < cuts[i + 1]
+    ]
+    disorder = draw(
+        st.lists(st.integers(0, max(len(chunks) - 1, 0)), max_size=6)
+    )
+    for pick in disorder:
+        if chunks:
+            from_seq, slice_ = chunks[pick % len(chunks)]
+            digest.apply(slice_, from_seq)
+    while digest.applied < applied:  # the NACK repair: resend from here
+        assert digest.apply(journal[digest.applied:applied], digest.applied)
+    return digest, exact_log(journal), horizon, clock
+
+
+@given(gossiped_digests(), st.integers(0, 80))
+@settings(max_examples=300, deadline=None)
+def test_clamped_queries_never_exceed_exact(case, m):
+    """i_old/c_late through a digest are at most the true values."""
+    digest, exact, horizon, clock = case
+    assert digest.i_old(m) <= exact.i_old(m)
+    # Computability is where the conservatism costs liveness: a missing
+    # end keeps the digest uncomputable (the wall just waits for
+    # gossip), so only the both-computable case compares values.
+    if digest.c_late_computable(m) and exact.c_late_computable(m):
+        assert digest.c_late(m) <= exact.c_late(m)
+
+
+@given(gossiped_digests(), st.integers(0, 80))
+@settings(max_examples=300, deadline=None)
+def test_digest_settlement_is_sound(case, m):
+    """A digest never calls settled what the true log still has open."""
+    digest, exact, horizon, clock = case
+    if digest.settled_through(m):
+        assert exact.settled_through(m)
+
+
+@given(gossiped_digests())
+@settings(max_examples=200, deadline=None)
+def test_applied_prefix_agrees_below_horizon(case):
+    """Through the horizon the replica answers ``i_old`` exactly, and
+    ``c_late`` exactly whenever it answers at all (a missing end only
+    ever withholds an answer, never changes one)."""
+    digest, exact, horizon, clock = case
+    for m in range(0, horizon + 1):
+        assert digest.i_old(m) == exact.i_old(m)
+        if digest.c_late_computable(m):
+            assert digest.c_late(m) == exact.c_late(m)
+
+
+@st.composite
+def chain_histories(draw, horizon=30):
+    """A 3-class chain with random closed+open histories per class."""
+    arcs = [("mid", "top"), ("bottom", "mid"), ("bottom", "top")]
+    graph = Digraph(nodes=["top", "mid", "bottom"], arcs=arcs)
+    index = SemiTreeIndex(graph)
+    events = {cls: [] for cls in graph.nodes}
+    txn_id = 0
+    for cls in graph.nodes:
+        count = draw(st.integers(0, 4))
+        starts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, horizon),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        )
+        for start in starts:
+            txn_id += 1
+            events[cls].append(("begin", txn_id, start))
+            if draw(st.booleans()):
+                end = start + draw(st.integers(1, 8))
+                events[cls].append(("end", txn_id, end))
+    return index, events
+
+
+@given(chain_histories(), st.integers(1, 40), st.data())
+@settings(max_examples=200, deadline=None)
+def test_node_local_walls_at_most_omniscient(case, m, data):
+    """The tentpole invariant: every wall a node computes from stale
+    digests is <= the omniscient wall, for A and E alike — so no
+    Protocol A/C read returns a version a zero-latency run forbids
+    (version lookup below a wall is monotone in the wall)."""
+    index, events = case
+    omniscient = ActivityTracker(index)
+    own = "bottom"
+    remotes = [cls for cls in events if cls != own]
+    horizons = {
+        cls: data.draw(st.integers(0, 40), label=f"horizon[{cls}]")
+        for cls in remotes
+    }
+    local = DigestTracker(
+        index, own, remotes, lambda cls: (lambda: horizons[cls])
+    )
+    for cls, entries in sorted(events.items()):
+        for kind, txn, ts in entries:
+            if kind == "begin":
+                omniscient.record_begin(cls, txn, ts)
+            else:
+                omniscient.record_end(cls, txn, ts)
+        if cls == own:
+            for kind, txn, ts in entries:
+                if kind == "begin":
+                    local.record_begin(cls, txn, ts)
+                else:
+                    local.record_end(cls, txn, ts)
+        else:
+            digest = local.digests[cls]
+            journal = [
+                {"kind": kind, "txn": txn, "ts": ts}
+                for kind, txn, ts in entries
+            ]
+            # Only gossip the prefix the horizon claims completeness
+            # for — the point of the exercise is staleness.
+            prefix = [e for e in journal if e["ts"] <= horizons[cls]]
+            assert digest.apply(prefix, 0)
+    for target in ("top", "mid"):
+        assert local.a_func(own, target, m) <= omniscient.a_func(
+            own, target, m
+        )
+    for s in events:
+        for i in events:
+            try:
+                stale_wall = local.e_func(s, i, m)
+            except NotComputableError:
+                continue  # a node that cannot compute releases nothing
+            try:
+                true_wall = omniscient.e_func(s, i, m)
+            except NotComputableError:
+                continue
+            assert stale_wall <= true_wall
