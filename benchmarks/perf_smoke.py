@@ -1,0 +1,78 @@
+"""CI read-path perf smoke: catch order-of-magnitude regressions cheaply.
+
+Runs the read-path workload (``benchmarks/test_read_path.py``) at
+reduced steps, re-checks the semantics pin (cached and uncached runs
+commit the identical schedule), and compares the cached throughput
+against the committed ``BENCH_read_path.json``.  The committed number
+was measured on a different box at full length, so the gate is
+deliberately loose: the job fails only when the smoke run falls more
+than ``--tolerance`` (default 30%) below the recorded figure — a
+structural regression, not timer noise or runner-speed skew.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --steps 25000 --out perf-smoke.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_read_path import BENCH_PATH, best_of, read_path_run  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=25_000)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional shortfall vs the committed throughput",
+    )
+    parser.add_argument("--out", default="perf-smoke.json")
+    args = parser.parse_args()
+
+    committed = json.loads(BENCH_PATH.read_text())
+    baseline = committed["cached"]["commits_per_s"]
+    floor = (1.0 - args.tolerance) * baseline
+
+    uncached = read_path_run(snapshot_cache=False, max_steps=args.steps)
+    cached = best_of(
+        lambda: read_path_run(snapshot_cache=True, max_steps=args.steps)
+    )
+
+    identical = cached["schedule_md5"] == uncached["schedule_md5"]
+    passed = identical and cached["commits_per_s"] >= floor
+    payload = {
+        "bench": "read_path_smoke",
+        "steps": args.steps,
+        "committed_cached_commits_per_s": baseline,
+        "tolerance": args.tolerance,
+        "floor_commits_per_s": round(floor, 1),
+        "schedules_identical": identical,
+        "passed": passed,
+        "uncached": uncached,
+        "cached": cached,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        print("FAIL: cached and uncached schedules diverged", file=sys.stderr)
+        return 1
+    if not passed:
+        print(
+            f"FAIL: cached throughput {cached['commits_per_s']} below "
+            f"floor {floor:.1f} (committed {baseline} - {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

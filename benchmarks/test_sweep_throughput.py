@@ -15,7 +15,6 @@ Two measurements go into ``BENCH_sweep_throughput.json``:
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -23,6 +22,7 @@ from repro.core.scheduler import HDDScheduler
 from repro.sim.engine import Simulator
 from repro.sim.hierarchies import build_hierarchy_workload, star_partition
 from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.runner import usable_cpus
 
 BENCH_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_sweep_throughput.json"
@@ -38,10 +38,7 @@ GC_INTERVAL = 500
 
 
 def _cpu_count() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    return usable_cpus()
 
 
 def _record(section: str, payload: dict) -> None:
@@ -75,6 +72,9 @@ def test_parallel_sweep_throughput(benchmark, show):
         "serial_wall_s": round(serial.wall_s, 2),
         "parallel_wall_s": round(parallel.wall_s, 2),
         "speedup": round(speedup, 2),
+        # The regime label travels with the number: a sub-1.0 speedup
+        # on an oversubscribed box is pool overhead, not a regression.
+        "parallelism_note": parallel.parallelism_note(),
         "byte_identical": identical,
     }
     _record("parallel_sweep", payload)

@@ -331,6 +331,7 @@ def _dist_run(args: argparse.Namespace):
         mode=args.mode,
         plan=_dist_plan(args),
         seed=args.net_seed,
+        batch_gossip=args.batch_gossip,
     )
     result = Simulator(
         runtime,
@@ -370,7 +371,11 @@ def cmd_dist(args: argparse.Namespace) -> int:
         "net.dropped": sum(network.dropped_by_kind.values()),
         "msg.data": report.data_messages,
         "msg.sync": report.synchronization_messages,
-        "msg.runtime": sum(extras.values()),
+        "msg.runtime": sum(
+            count
+            for key, count in extras.items()
+            if key.startswith(("pair.", "oneway.")) or key == "retransmit"
+        ),
     }
     width = max(len(k) for k in rows)
     for key, value in rows.items():
@@ -573,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar=("SEGMENT", "AT", "RECOVER"),
         help="crash SEGMENT's node at tick AT, restart at RECOVER",
+    )
+    dist.add_argument(
+        "--batch-gossip",
+        action="store_true",
+        dest="batch_gossip",
+        help="coalesce journal gossip into per-link batches and "
+        "govern wall polls (same committed schedule, fewer messages)",
     )
     dist.add_argument(
         "--check-determinism",

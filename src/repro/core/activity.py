@@ -177,6 +177,14 @@ class ClassActivityLog:
         #: for log merging during dynamic restructuring and for tests.
         self._end_values: list[Optional[Timestamp]] = []
         self._index_of: dict[int, int] = {}
+        #: Count of intervals closed so far.  Queries at a fixed bound
+        #: ``m <= now`` can only change when an interval *closes*:
+        #: initiations are monotone, so a later begin never enters the
+        #: ``start < m`` prefix, and an end above ``m`` keeps its
+        #: transaction active-at-``m`` forever.  The time-wall manager
+        #: uses this to skip doomed release retries (see
+        #: :class:`~repro.core.timewall.TimeWallManager`).
+        self.closures = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -210,6 +218,7 @@ class ClassActivityLog:
             )
         self._ends.update(index, float(end))
         self._end_values[index] = end
+        self.closures += 1
 
     def records(self) -> list[tuple[int, Timestamp, Optional[Timestamp]]]:
         """All ``(txn_id, start, end)`` records, in start order."""

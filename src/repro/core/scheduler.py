@@ -33,12 +33,13 @@ expunged so walls only ever expose final data.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.activity import ActivityTracker
 from repro.core.intraclass import ENGINES, IntraClassEngine
 from repro.core.partition import HierarchicalPartition
-from repro.core.timewall import TimeWall, TimeWallManager
+from repro.core.timewall import TimeWall, TimeWallManager, WallSnapshot
 from repro.errors import ProtocolViolation, ReproError
 from repro.obs.events import GCPassEvent
 from repro.scheduling import (
@@ -72,6 +73,12 @@ class HDDScheduler(BaseScheduler):
     wall_interval:
         Release cadence of the Protocol C time-wall manager, in clock
         ticks.
+    snapshot_cache:
+        Advance per-chain frozen-prefix marks (``I_old`` of each
+        segment's class) so wall reads below them are served from the
+        permanent snapshot cache.  On by default; turning it off pins
+        every chain's ``frozen_below`` at 0, which the equivalence
+        property tests use as the reference engine.
     """
 
     name = "hdd"
@@ -84,6 +91,7 @@ class HDDScheduler(BaseScheduler):
         store: Optional[MultiVersionStore] = None,
         clock: Optional[LogicalClock] = None,
         fresh_walls: bool = False,
+        snapshot_cache: bool = True,
     ) -> None:
         super().__init__(store=store, clock=clock)
         self.partition = partition
@@ -102,10 +110,11 @@ class HDDScheduler(BaseScheduler):
         )
         #: Declared read segments of read-only transactions.
         self._ro_segments: dict[int, Optional[frozenset[SegmentId]]] = {}
-        #: Time wall pinned by each Protocol C transaction.  Pinning is
-        #: mirrored into the wall manager so retirement never drops a
-        #: wall someone is still reading below.
-        self._ro_walls: dict[int, TimeWall] = {}
+        #: Shared snapshot of the time wall pinned by each Protocol C
+        #: transaction.  Pinning is mirrored into the wall manager so
+        #: retirement never drops a wall someone is still reading below;
+        #: readers of the same wall share one resolved snapshot.
+        self._ro_walls: dict[int, WallSnapshot] = {}
         #: Cached per-transaction walls, ``txn_id -> segment -> wall``
         #: (Protocol A walls for update transactions, fictitious-class
         #: walls for declared-path readers).  The A function is
@@ -117,6 +126,19 @@ class HDDScheduler(BaseScheduler):
         #: computation for snapshot freshness (used by the Database
         #: facade; the paper's periodic cadence is the default).
         self.fresh_walls = fresh_walls
+        self.snapshot_cache = snapshot_cache
+        #: Per-segment frozen-prefix marks (``I_old`` of the segment's
+        #: class at the last wall release / GC pass).  Lazily pushed
+        #: into chains at read time; sound because updates stay in the
+        #: writer's root segment (see :meth:`_do_write`) and every
+        #: version below ``I_old`` has a finished writer.
+        self._frozen_marks: dict[SegmentId, Timestamp] = {}
+        #: Static watermark evaluation plan: ``(i, j, hop)`` triples in
+        #: dependency order (see :meth:`safe_watermarks`); built once,
+        #: the partition being immutable.
+        self._wm_plan: Optional[
+            list[tuple[SegmentId, SegmentId, SegmentId]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -216,7 +238,7 @@ class HDDScheduler(BaseScheduler):
                 txn.class_id, segment, txn.initiation_ts
             )
             cache[segment] = wall
-        return self._read_below_wall(txn, granule, wall)
+        return self._read_below_wall(txn, granule, wall, segment)
 
     def _read_only_read(
         self, txn: Transaction, granule: GranuleId, segment: SegmentId
@@ -237,14 +259,15 @@ class HDDScheduler(BaseScheduler):
                         bottom, segment, txn.initiation_ts
                     )
                     cache[segment] = wall
-                return self._read_below_wall(txn, granule, wall)
+                return self._read_below_wall(txn, granule, wall, segment)
         return self._protocol_c_read(txn, granule, segment)
 
     def _protocol_c_read(
         self, txn: Transaction, granule: GranuleId, segment: SegmentId
     ) -> Outcome:
-        wall_obj = self._ro_walls.get(txn.txn_id)
-        if wall_obj is None:
+        snap = self._ro_walls.get(txn.txn_id)
+        if snap is None:
+            wall_obj: Optional[TimeWall]
             if self.fresh_walls and self.walls.released:
                 # Freshness mode: pin the newest wall outright (any
                 # released wall is a consistent cut; the RT < I(t)
@@ -264,17 +287,25 @@ class HDDScheduler(BaseScheduler):
             if wall_obj is None:
                 self.stats.wall_blocks += 1
                 return blocked(waiting_for=WAIT_TIMEWALL)
-            self._ro_walls[txn.txn_id] = wall_obj
+            snap = self.walls.snapshot(wall_obj)
+            self._ro_walls[txn.txn_id] = snap
             self.walls.pin(wall_obj, txn_id=txn.txn_id)
         return self._read_below_wall(
-            txn, granule, wall_obj.component(segment)
+            txn, granule, snap.component(segment), segment
         )
 
     def _read_below_wall(
-        self, txn: Transaction, granule: GranuleId, wall: Timestamp
+        self,
+        txn: Transaction,
+        granule: GranuleId,
+        wall: Timestamp,
+        segment: SegmentId,
     ) -> Outcome:
         """Common Protocol A / fictitious-class / Protocol C visibility."""
         chain = self.store.chain(granule)
+        mark = self._frozen_marks.get(segment)
+        if mark is not None and mark > chain.frozen_below:
+            chain.advance_frozen(mark)
         version = chain.latest_before(wall, committed_only=False)
         if version is None:  # pragma: no cover - bootstrap prevents this
             raise ReproError(f"{granule}: no version below wall {wall}")
@@ -364,7 +395,7 @@ class HDDScheduler(BaseScheduler):
         self._ro_segments.pop(txn.txn_id, None)
         pinned = self._ro_walls.pop(txn.txn_id, None)
         if pinned is not None:
-            self.walls.unpin(pinned, txn_id=txn.txn_id)
+            self.walls.unpin(pinned.wall, txn_id=txn.txn_id)
         self._a_wall_cache.pop(txn.txn_id, None)
 
     # ------------------------------------------------------------------
@@ -372,7 +403,27 @@ class HDDScheduler(BaseScheduler):
     # ------------------------------------------------------------------
     def poll_walls(self) -> Optional[TimeWall]:
         """Drive the Protocol C wall-release loop."""
-        return self.walls.poll()
+        released = self.walls.poll()
+        if released is not None:
+            self._advance_frozen_marks()
+        return released
+
+    def _advance_frozen_marks(self) -> None:
+        """Refresh the per-segment frozen marks to ``I_old(j, now)``.
+
+        Called at wall-release cadence (and from GC) so the marks track
+        the settled history closely: every wall a reader can hold was
+        settled at its release, hence at or below ``I_old`` of each
+        component's class at that moment — reads below it hit the
+        chain-level snapshot cache.
+        """
+        if not self.snapshot_cache:
+            return
+        now = self.clock.now
+        tracker = self.tracker
+        marks = self._frozen_marks
+        for j in self.partition.segments:
+            marks[j] = tracker.i_old(j, now)
 
     def retire_walls(self) -> int:
         """Retire released walls no present or future reader can be handed.
@@ -422,33 +473,27 @@ class HDDScheduler(BaseScheduler):
         * ``I_old_j(now)`` — intra-class MVTO readers need versions at
           or below their own initiation timestamps.
 
-        ``A`` evaluations at ``now`` are memoised per ``(i, j)`` pair,
-        sharing critical-path prefixes: ``A_i^j(now) =
-        I_old_j(A_i^parent(now))``, so a deep hierarchy costs one
-        ``I_old`` per pair instead of one per path hop per pair.
+        ``A`` evaluations at ``now`` follow a *static* per-``(i, j)``
+        plan built once from the (immutable) partition, sharing
+        critical-path prefixes: ``A_i^j(now) = I_old_j(A_i^hop(now))``
+        where ``hop`` is the pair's last path step, so a deep hierarchy
+        costs one ``I_old`` per pair per pass — with no per-pass path
+        derivation or recursion.
         """
         now = self.clock.now
         tracker = self.tracker
         index = self.partition.index
         a_now: dict[tuple[SegmentId, SegmentId], Timestamp] = {}
-
-        def a_func_now(i: SegmentId, j: SegmentId) -> Timestamp:
-            if i == j:
-                return now
-            value = a_now.get((i, j))
-            if value is None:
-                path = index.critical_path(i, j)  # cached by the index
-                assert path is not None  # is_higher(j, i) guarded it
-                value = tracker.i_old(j, a_func_now(i, path[-2]))
-                a_now[(i, j)] = value
-            return value
+        for i, j, hop in self._watermark_plan():
+            base = now if hop == i else a_now[(i, hop)]
+            a_now[(i, j)] = tracker.i_old(j, base)
 
         marks: dict[SegmentId, Timestamp] = {}
         for j in self.partition.segments:
             candidates = [tracker.i_old(j, now)]
             for i in self.partition.segments:
                 if self.partition.is_higher(j, i):
-                    candidates.append(a_func_now(i, j))
+                    candidates.append(a_now[(i, j)])
                     candidates.append(
                         tracker.a_func_from_below(i, j, now)
                     )
@@ -498,6 +543,32 @@ class HDDScheduler(BaseScheduler):
                 marks[j] = min(marks[j], wall)
         return marks
 
+    def _watermark_plan(
+        self,
+    ) -> list[tuple[SegmentId, SegmentId, SegmentId]]:
+        """Dependency-ordered ``(i, j, hop)`` triples for the ``A``-at-
+        ``now`` sweep in :meth:`safe_watermarks`.
+
+        ``hop`` is the last step of the critical path from ``i`` to
+        ``j`` (``i`` itself for one-hop pairs); ordering by path length
+        guarantees ``(i, hop)`` is evaluated before ``(i, j)``.  Built
+        once — the partition never changes.
+        """
+        if self._wm_plan is None:
+            index = self.partition.index
+            entries: list[
+                tuple[int, SegmentId, SegmentId, SegmentId]
+            ] = []
+            for j in self.partition.segments:
+                for i in self.partition.segments:
+                    if self.partition.is_higher(j, i):
+                        path = index.critical_path(i, j)
+                        assert path is not None  # is_higher guarded it
+                        entries.append((len(path), i, j, path[-2]))
+            entries.sort(key=lambda entry: entry[0])
+            self._wm_plan = [(i, j, hop) for _, i, j, hop in entries]
+        return self._wm_plan
+
     def collect_garbage(self) -> GCReport:
         """Prune versions below :meth:`safe_watermarks`.
 
@@ -506,21 +577,28 @@ class HDDScheduler(BaseScheduler):
         collector make progress on a long-quiet wall schedule), then
         retires dead walls so the watermarks consult live walls only.
         """
+        started = time.perf_counter()
         try:
             self.walls.force_release()
         except ReproError:
             pass  # not settled right now; collect under the old clamp
+        self._advance_frozen_marks()
         retired = self.retire_walls()
         collector = WatermarkGC(self.store, self.partition.segment_of)
         report = collector.collect(self.safe_watermarks())
         report.walls_retired = retired
+        report.duration_s = time.perf_counter() - started
         if self._sink is not None:
+            hits, misses = self.store.snapshot_cache_stats()
             self._sink.emit(
                 GCPassEvent(
                     step=self.current_step,
                     ts=self.clock.now,
                     pruned_versions=report.pruned_versions,
                     walls_retired=retired,
+                    duration_ms=round(report.duration_s * 1000.0, 3),
+                    cache_hits=hits,
+                    cache_misses=misses,
                 )
             )
         return report

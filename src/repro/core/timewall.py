@@ -91,6 +91,30 @@ class TimeWall:
         )
 
 
+class WallSnapshot:
+    """A shared, resolved read view of one released wall.
+
+    ``TimeWall.components`` is a ``MappingProxyType`` (immutability
+    certificate); dereferencing it through :meth:`TimeWall.component`
+    on every read puts a method call and a proxy hop on the hot path.
+    The manager resolves each wall into one plain-dict snapshot and
+    every Protocol C reader of that wall shares the same object — one
+    dict lookup per read, one resolution per wall ever.
+    """
+
+    __slots__ = ("wall", "components")
+
+    def __init__(self, wall: TimeWall) -> None:
+        self.wall = wall
+        self.components: dict[SegmentId, Timestamp] = dict(wall.components)
+
+    def component(self, segment: SegmentId) -> Timestamp:
+        value = self.components.get(segment)
+        if value is None:
+            raise ReproError(f"time wall has no component for {segment!r}")
+        return value
+
+
 class TimeWallManager:
     """Computes, releases and serves time walls (Protocol C support).
 
@@ -142,6 +166,9 @@ class TimeWallManager:
         #: Pin counts per ``release_ts``: walls Protocol C transactions
         #: are actively reading below.  A pinned wall is never retired.
         self._pins: dict[Timestamp, int] = {}
+        #: Shared resolved snapshots, one per live wall (lazily built);
+        #: retired walls drop theirs.
+        self._snapshots: dict[Timestamp, WallSnapshot] = {}
         #: Base time of the wall currently being computed, if any.
         self._pending_base: Optional[Timestamp] = None
         self.attempts = 0
@@ -153,6 +180,20 @@ class TimeWallManager:
         #: Most recent cause of a failed release attempt, as
         #: ``(class_id, txn_id)`` — reported on the next success.
         self._last_delay: Optional[tuple[SegmentId, Optional[int]]] = None
+        #: Retry gate for the pending computation, as ``(base_time,
+        #: blocking_class, closures_at_failure)``.  A failed attempt at
+        #: a fixed base can only turn around when the class it tripped
+        #: over closes an interval (initiations are monotone, so new
+        #: begins never enter a past-bound query; values already
+        #: computed on earlier hops are final).  Until that class's
+        #: ``closures`` counter moves, a retry is provably the same
+        #: failure and is skipped wholesale.
+        self._retry_gate: Optional[
+            tuple[Timestamp, SegmentId, int]
+        ] = None
+        #: Attempts skipped by the retry gate (each one a whole
+        #: ``E``-walk over every class that provably could not succeed).
+        self.retries_skipped = 0
 
     # ------------------------------------------------------------------
     # Tracing
@@ -190,6 +231,16 @@ class TimeWallManager:
             self.attempts += 1
         if self._pending_base is None:
             return None
+        gate = self._retry_gate
+        if gate is not None and gate[0] == self._pending_base:
+            log = self._tracker.logs.get(gate[1])
+            if log is not None and log.closures == gate[2]:
+                # Provably the same failure as last time: charge the
+                # attempt to the blocked counter (parity with an
+                # actual failed walk) and skip the E-walks.
+                self.computations_blocked += 1
+                self.retries_skipped += 1
+                return None
         return self._try_release(self._pending_base)
 
     def force_release(self) -> TimeWall:
@@ -216,30 +267,24 @@ class TimeWallManager:
 
     def _try_release(self, base_time: Timestamp) -> Optional[TimeWall]:
         components: dict[SegmentId, Timestamp] = {}
-        for class_id in self._tracker.logs:
-            if self._sink is None:
-                # Fast path: no tracing, no culprit to name.
-                wall = self._tracker.try_e_func(
+        tracker = self._tracker
+        try:
+            for class_id in tracker.logs:
+                components[class_id] = tracker.e_func(
                     self.start_class, class_id, base_time
                 )
-                if wall is None:
-                    self.computations_blocked += 1
-                    return None
-            else:
-                try:
-                    wall = self._tracker.e_func(
-                        self.start_class, class_id, base_time
-                    )
-                except NotComputableError as exc:
-                    self._note_delay(exc.class_id, base_time)
-                    return None
-            components[class_id] = wall
+        except NotComputableError as exc:
+            self._note_delay(exc.class_id, base_time)
+            self._arm_gate(base_time, exc.class_id)
+            return None
         # Settlement: every transaction below each component must have
         # finished, so readers at this wall never see uncommitted data.
         for class_id, wall in components.items():
-            if not self._tracker.logs[class_id].settled_through(wall):
+            if not tracker.logs[class_id].settled_through(wall):
                 self._note_delay(class_id, wall)
+                self._arm_gate(base_time, class_id)
                 return None
+        self._retry_gate = None
         released = TimeWall(
             start_class=self.start_class,
             base_time=base_time,
@@ -267,6 +312,20 @@ class TimeWallManager:
         self._last_delay = None
         return released
 
+    def _arm_gate(
+        self, base_time: Timestamp, class_id: Optional[SegmentId]
+    ) -> None:
+        """Remember which class blocked the attempt at ``base_time`` so
+        retries can be skipped until that class closes an interval."""
+        if class_id is None:
+            self._retry_gate = None
+            return
+        log = self._tracker.logs.get(class_id)
+        if log is None:
+            self._retry_gate = None
+            return
+        self._retry_gate = (base_time, class_id, log.closures)
+
     def _note_delay(
         self, class_id: Optional[SegmentId], bound: Timestamp
     ) -> None:
@@ -284,6 +343,24 @@ class TimeWallManager:
             if culprit is not None:
                 txn_id = culprit[0]
         self._last_delay = (class_id, txn_id)
+
+    @property
+    def pending_base(self) -> Optional[Timestamp]:
+        """Base time of the wall computation in flight (``None`` = idle)."""
+        return self._pending_base
+
+    @property
+    def blocking_class(self) -> Optional[SegmentId]:
+        """The class the armed retry gate waits on for the pending base.
+
+        ``None`` when no computation is pending, when no gate is armed,
+        or when the gate belongs to an older base — callers must then
+        assume the next :meth:`poll` could succeed.
+        """
+        gate = self._retry_gate
+        if gate is None or gate[0] != self._pending_base:
+            return None
+        return gate[1]
 
     # ------------------------------------------------------------------
     # Serving read-only transactions
@@ -305,6 +382,14 @@ class TimeWallManager:
         if position == 0:
             return None
         return self.released[position - 1]
+
+    def snapshot(self, wall: TimeWall) -> WallSnapshot:
+        """The shared :class:`WallSnapshot` of ``wall`` (built once)."""
+        snap = self._snapshots.get(wall.release_ts)
+        if snap is None or snap.wall is not wall:
+            snap = WallSnapshot(wall)
+            self._snapshots[wall.release_ts] = snap
+        return snap
 
     # ------------------------------------------------------------------
     # Lifecycle: pinning and retirement
@@ -382,4 +467,11 @@ class TimeWallManager:
                 )
             self.released = survivors
             self.total_retired += retired
+            if self._snapshots:
+                live = {wall.release_ts for wall in survivors}
+                self._snapshots = {
+                    ts: snap
+                    for ts, snap in self._snapshots.items()
+                    if ts in live
+                }
         return retired

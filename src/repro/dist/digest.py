@@ -122,6 +122,17 @@ class DigestLog:
     def records(self):
         return self._inner.records()
 
+    @property
+    def closures(self) -> int:
+        """Change counter for fixed-bound queries (retry gating).
+
+        A clamped query can change when the replica closes an interval
+        *or* when the horizon advances (the clamp loosens, and
+        :meth:`settled_through` flips on the horizon alone), so both
+        feed the counter.  Monotone, which is all the gate needs.
+        """
+        return self._inner.closures + self._horizon()
+
 
 class DigestTracker(ActivityTracker):
     """An ``ActivityTracker`` whose non-local logs are gossip digests.

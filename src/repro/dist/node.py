@@ -111,6 +111,14 @@ class SegmentNode:
         table otherwise.
     leader:
         Whether this node hosts the :class:`TimeWallManager`.
+    batch_gossip:
+        Coalesce journal gossip: instead of pushing news to every peer
+        inside each handler, entries accumulate and ship as one batched
+        message per link when the coordinator *needs* them — via
+        :meth:`flush_gossip_to` barriers before digest-consuming RPCs
+        (or, under a faulty plan, at the heartbeat cadence).  The WALL
+        broadcast is also suppressed (no node ever reads it; walls
+        reach the coordinator in POLL responses).
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class SegmentNode:
         leader: bool = False,
         wall_interval: int = 25,
         heartbeat: int = 5,
+        batch_gossip: bool = False,
     ) -> None:
         self.class_id = class_id
         self.name = node_name(class_id)
@@ -139,6 +148,7 @@ class SegmentNode:
         self.leader = leader
         self.wall_interval = wall_interval
         self.heartbeat = heartbeat
+        self.batch_gossip = batch_gossip
         self.incarnation = 0
         self.known_now = 0
         self.sink: Optional[EventSink] = None
@@ -465,10 +475,14 @@ class SegmentNode:
         released = self.walls.released
         # Broadcast fresh walls to every other segment controller —
         # the paper's per-segment wall distribution, priced by the
-        # message report.
+        # message report.  Batched mode suppresses it: no node consumes
+        # the broadcast, and the coordinator (the only wall consumer)
+        # receives walls in this very response.
         while self._broadcast_through < len(released):
             wall = released[self._broadcast_through]
             self._broadcast_through += 1
+            if self.batch_gossip:
+                continue
             serialized = self._serialize_wall(wall)
             for peer_class in self.all_classes:
                 peer = node_name(peer_class)
@@ -482,7 +496,15 @@ class SegmentNode:
             for w in released
             if w.release_ts > after
         ]
-        return {"walls": fresh}
+        # ``pending``/``blocked_on`` feed the coordinator's poll
+        # governor: while the computation at ``pending`` is gated on
+        # ``blocked_on`` closing an interval, further polls are provably
+        # no-ops and the coordinator may skip them.
+        return {
+            "walls": fresh,
+            "pending": self.walls.pending_base,
+            "blocked_on": self.walls.blocking_class,
+        }
 
     @staticmethod
     def _serialize_wall(wall) -> dict:
@@ -498,7 +520,14 @@ class SegmentNode:
     # Gossip
     # ------------------------------------------------------------------
     def _gossip(self) -> None:
-        """Push journal news (and our clock stamp) to every peer."""
+        """Push journal news (and our clock stamp) to every peer.
+
+        In batched mode this defers instead: ``_sent_through`` lags the
+        journal and the backlog ships coalesced — one message per link —
+        at the next :meth:`flush_gossip_to` barrier (or heartbeat).
+        """
+        if self.batch_gossip:
+            return
         for peer in self.peers:
             sent = self._sent_through[peer]
             entries = self.journal[sent:]
@@ -516,6 +545,33 @@ class SegmentNode:
             # Optimistic: a drop is repaired by the receiver's NACK
             # when the gap becomes visible (next gossip or heartbeat).
             self._sent_through[peer] = len(self.journal)
+
+    def flush_gossip_to(self, peer: str) -> None:
+        """Ship the deferred journal backlog to one peer, coalesced.
+
+        The batched-mode barrier: the coordinator calls this before any
+        RPC whose handler consumes this class's digest at ``peer`` (the
+        leader's POLL, a wall-computing READ_A), so the digest there is
+        exactly as complete as eager gossip would have made it.  A no-op
+        when nothing is pending on the link.
+        """
+        if peer == self.name or peer not in self._sent_through:
+            return
+        sent = self._sent_through[peer]
+        if sent >= len(self.journal):
+            return
+        self.network.send(
+            self.name,
+            peer,
+            "GOSSIP",
+            {
+                "class": self.class_id,
+                "from_seq": sent,
+                "entries": self.journal[sent:],
+                "stamp": self.known_now,
+            },
+        )
+        self._sent_through[peer] = len(self.journal)
 
     def _ingest_gossip(self, message: Message) -> None:
         payload = message.payload

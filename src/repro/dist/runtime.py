@@ -27,6 +27,30 @@ pins this).  The coordinator methods below deliberately mirror
 :class:`repro.core.scheduler.HDDScheduler` line by line; deviations are
 commented where the wire forces one.
 
+Gossip batching
+---------------
+``batch_gossip=True`` coalesces the wire without touching the
+execution.  Nodes stop pushing journal gossip eagerly from inside
+handlers; instead the coordinator raises *flush barriers* exactly where
+digests are consumed: every node flushes to the leader before a POLL
+(``e_func`` and settlement read every class's digest, and an interval
+end at any timestamp can flip computability), and the intermediate
+classes of the critical path flush to the target before a
+wall-computing READ_A (one-hop walls are first-hand at the target and
+need no barrier).  BEGIN stays a synchronous RPC — its gossip may
+defer, but the class's own activity log is first-hand where it
+matters.  On an ideal plan a *poll governor* additionally skips POLLs
+that are provably no-ops, using the leader's ``pending``/``blocked_on``
+response fields and the retry-gate argument (a blocked wall computation
+at a fixed base can only turn around when the blocking class closes an
+interval — and every closure goes through this coordinator).  The WALL
+broadcast is suppressed entirely: no node reads it, and the
+coordinator — the only wall consumer — gets walls from POLL responses.
+Committed schedule, stats, walls and values stay byte-identical to the
+eager wire (pinned by ``tests/dist/test_batching.py``); under a faulty
+plan the governor disarms (a lost response could wedge it) and the
+heartbeat becomes the gossip cadence, with NACK repair unchanged.
+
 Fault handling
 --------------
 Reliable RPCs retransmit with doubled timeouts (nodes deduplicate by
@@ -205,6 +229,7 @@ class DistributedRuntime:
         wall_interval: int = 25,
         heartbeat: int = 5,
         clock: Optional[LogicalClock] = None,
+        batch_gossip: bool = False,
     ) -> None:
         engine = MODES.get(mode)
         if engine is None:
@@ -216,6 +241,8 @@ class DistributedRuntime:
         self.is_hdd = mode in ("hdd", "hdd-to")
         self.partition = partition
         self.plan = plan if plan is not None else FaultPlan()
+        self.wall_interval = wall_interval
+        self.batch_gossip = batch_gossip and self.is_hdd
         self.clock = clock if clock is not None else LogicalClock()
         self.schedule = Schedule()
         self.transactions: dict[int, Transaction] = {}
@@ -270,6 +297,7 @@ class DistributedRuntime:
                     leader=class_id == leader_class,
                     wall_interval=wall_interval,
                     heartbeat=heartbeat,
+                    batch_gossip=self.batch_gossip,
                 )
         else:
             self.nodes = {
@@ -308,6 +336,26 @@ class DistributedRuntime:
         self._ro_segments: dict[int, Optional[frozenset[SegmentId]]] = {}
         self._ro_walls: dict[int, TimeWall] = {}
         self._a_wall_cache: dict[int, dict[SegmentId, Timestamp]] = {}
+        # -- gossip batching: barriers and the poll governor -----------
+        #: Classes whose digests a wall-computing READ_A at a target
+        #: node consumes, keyed by ``(start, target, from_below)``.
+        self._read_a_deps: dict[
+            tuple[SegmentId, SegmentId, bool], tuple[SegmentId, ...]
+        ] = {}
+        #: The governor skips POLLs that are provably no-ops.  Sound
+        #: only on an ideal plan, where the leader's digests are exact
+        #: after the flush barrier and no response is ever lost.
+        self._gov_active = self.batch_gossip and self.plan.is_ideal
+        #: Last POLL's verdict: ``None`` = must poll, ``("idle",)`` =
+        #: poll only when the release cadence comes due, ``("blocked",
+        #: class, ends)`` = poll only after that class closes an
+        #: interval (the retry-gate argument, relocated to the wire).
+        self._gov_state: Optional[tuple] = None
+        #: Interval closures this coordinator has finalized, per class.
+        self._gov_ends: dict[SegmentId, int] = {}
+        #: POLL round-trips the governor avoided (observability only —
+        #: never merged into ``stats``, which must match the monolith).
+        self.polls_skipped = 0
 
     # ------------------------------------------------------------------
     # Network plumbing
@@ -701,6 +749,9 @@ class DistributedRuntime:
         self, txn: Transaction, granule: GranuleId, segment: SegmentId
     ) -> Outcome:
         cache = self._a_wall_cache.setdefault(txn.txn_id, {})
+        if self.batch_gossip and cache.get(segment) is None:
+            # The node is about to compute A_i^j(I) from its digests.
+            self._flush_for_wall_read(txn.class_id, segment, False)
         response = self._rpc(
             segment,
             "READ_A",
@@ -730,6 +781,8 @@ class DistributedRuntime:
             if self.partition.read_only_on_one_critical_path(declared):
                 cache = self._a_wall_cache.setdefault(txn.txn_id, {})
                 bottom = self.partition.index.lowest_of(list(declared))
+                if self.batch_gossip and cache.get(segment) is None:
+                    self._flush_for_wall_read(bottom, segment, True)
                 response = self._rpc(
                     segment,
                     "READ_A",
@@ -891,6 +944,7 @@ class DistributedRuntime:
                         "close": True,
                     },
                 )
+                self._note_closure(txn.class_id)
         else:
             # Finalize everywhere the transaction holds engine state,
             # written or not, so per-transaction state is dropped like
@@ -965,6 +1019,8 @@ class DistributedRuntime:
                     "close": self.is_hdd,
                 },
             )
+            if self.is_hdd:
+                self._note_closure(segment)
         self._forget(txn)
         if self.is_hdd:
             self.poll_walls()
@@ -976,15 +1032,77 @@ class DistributedRuntime:
         self._txn_touch.pop(txn.txn_id, None)
 
     # ------------------------------------------------------------------
-    # Walls
+    # Walls and gossip batching
     # ------------------------------------------------------------------
+    def _note_closure(self, class_id: SegmentId) -> None:
+        """An interval of ``class_id`` just closed (commit/abort
+        finalize): the poll governor may now have to poll again."""
+        self._gov_ends[class_id] = self._gov_ends.get(class_id, 0) + 1
+
+    def _flush_for_wall_read(
+        self, start: SegmentId, target: SegmentId, from_below: bool
+    ) -> None:
+        """Batched-mode barrier before a wall-computing READ_A.
+
+        ``a_func(start, target, I)`` at the target node walks
+        ``I_old`` hops over ``critical_path[1:]`` — the target's own
+        log is first-hand, so only the *intermediate* classes' digests
+        matter (a one-hop path needs no flush at all).  The
+        fictitious-class variant prepends an ``I_old`` hop at ``start``
+        itself, so ``start``'s digest joins the set.
+        """
+        key = (start, target, from_below)
+        deps = self._read_a_deps.get(key)
+        if deps is None:
+            path = self.partition.index.critical_path(start, target)
+            middle = list(path[1:-1]) if path else []
+            if from_below and path and start != target:
+                middle.insert(0, path[0])
+            deps = tuple(middle)
+            self._read_a_deps[key] = deps
+        dst = node_name(target)
+        for class_id in deps:
+            self.nodes[class_id].flush_gossip_to(dst)
+
+    def _gov_skip(self) -> bool:
+        """Is the next POLL provably a no-op at the leader?
+
+        Mirrors the leader's own logic against coordinator-local state:
+        with no pending computation, ``poll()`` only acts when the
+        release cadence is due (the coordinator holds every released
+        wall, so it evaluates the same ``now - last_base`` test); with a
+        pending computation gated on a class, ``poll()`` skips until
+        that class closes an interval — and every closure goes through
+        this coordinator's finalize RPCs.
+        """
+        state = self._gov_state
+        if state is None:
+            return False
+        if state[0] == "idle":
+            if not self.walls.released:
+                return False
+            last_base = self.walls.released[-1].base_time
+            return self.clock.now - last_base < self.wall_interval
+        _, class_id, ends = state
+        return self._gov_ends.get(class_id, 0) == ends
+
     def _poll_walls(self) -> None:
         """Ask the leader to drive its wall manager; ingest fresh walls.
 
         Unreliable on purpose: under faults an abandoned poll just means
         the next one (every begin/commit/abort and every idle simulator
-        step) tries again.
+        step) tries again.  In batched mode every node first flushes its
+        deferred gossip to the leader — ``e_func`` and settlement read
+        every class's digest, and ends at *any* timestamp can change
+        computability, so the leader barrier is total (unlike READ_A's).
         """
+        if self._gov_active and self._gov_skip():
+            self.polls_skipped += 1
+            return
+        if self.batch_gossip:
+            leader = node_name(self.leader_class)
+            for class_id in sorted(self.nodes):
+                self.nodes[class_id].flush_gossip_to(leader)
         after = (
             self.walls.released[-1].release_ts
             if self.walls.released
@@ -993,8 +1111,25 @@ class DistributedRuntime:
         response = self._rpc(
             self.leader_class, "POLL", {"after": after}, reliable=False
         )
-        if response is not None:
-            self.walls.ingest(response["walls"])
+        if response is None:
+            self._gov_state = None
+            return
+        self.walls.ingest(response["walls"])
+        if not self._gov_active:
+            return
+        pending = response.get("pending")
+        if pending is None:
+            self._gov_state = ("idle",)
+        else:
+            blocked_on = response.get("blocked_on")
+            if blocked_on is None:
+                self._gov_state = None
+            else:
+                self._gov_state = (
+                    "blocked",
+                    blocked_on,
+                    self._gov_ends.get(blocked_on, 0),
+                )
 
     # ------------------------------------------------------------------
     # Introspection (BaseScheduler surface)

@@ -264,6 +264,12 @@ class GCPassEvent(Event):
 
     pruned_versions: int = 0
     walls_retired: int = 0
+    #: Wall-clock cost of the pass, and the frozen-prefix cache totals
+    #: at its end (cumulative over the run) — zero/absent in records
+    #: from engines that do not time their passes.
+    duration_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)

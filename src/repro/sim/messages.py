@@ -154,6 +154,13 @@ def measured_message_report(runtime) -> tuple[MessageReport, dict[str, int]]:
     returned in the second mapping as runtime overhead, counted from the
     same log.  Dropped messages count where they were sent: the wire
     carried them.
+
+    Gossip batching (``batch_gossip``) changes the wire, not the model:
+    ``gossip_entries`` counts the journal entries the GOSSIP messages
+    carried, so ``gossip_entries / oneway.GOSSIP`` is the coalescing
+    factor (1.0-ish eager, larger batched), and ``polls_skipped``
+    reports the POLL round-trips the coordinator's governor proved
+    unnecessary and never sent.
     """
     report = MessageReport()
     extras: dict[str, int] = {}
@@ -161,6 +168,9 @@ def measured_message_report(runtime) -> tuple[MessageReport, dict[str, int]]:
     def bump(key: str, by: int = 1) -> None:
         extras[key] = extras.get(key, 0) + by
 
+    skipped = getattr(runtime, "polls_skipped", 0)
+    if skipped:
+        extras["polls_skipped"] = skipped
     request_kind: dict[object, str] = {}
     for message in runtime.network.log:
         payload = message.payload
@@ -184,6 +194,8 @@ def measured_message_report(runtime) -> tuple[MessageReport, dict[str, int]]:
             report.wall_broadcast_messages += 1
         elif message.kind in ("GOSSIP", "NACK"):
             bump(f"oneway.{message.kind}")
+            if message.kind == "GOSSIP":
+                bump("gossip_entries", len(payload.get("entries", ())))
         else:
             req = payload.get("req")
             if req in request_kind:

@@ -14,6 +14,16 @@ The chain answers the visibility questions the protocols ask:
 * MV2PL read-only snapshots: *latest version committed before a commit-
   time bound* (:meth:`VersionChain.latest_committed_before_commit_ts`);
 * single-version engines: *the newest version* (:meth:`VersionChain.head`).
+
+Frozen prefix (DESIGN.md §12): by Theorem 1 every version below the
+oldest active initiation of the granule's segment class is final —
+never mutated, never joined by a late sibling, always committed.  The
+scheduler advances :attr:`VersionChain.frozen_below` to that mark, and
+``latest_before`` answers queries at walls at or below it from a
+permanent ``wall -> version`` cache.  Entries below the mark can never
+be invalidated (mutations only touch the unfrozen suffix, which the
+mutators assert), so the cache needs no invalidation protocol — only
+GC trims keys that no future reader can query.
 """
 
 from __future__ import annotations
@@ -26,14 +36,38 @@ from repro.storage.version import Version
 from repro.txn.clock import Timestamp
 from repro.txn.transaction import GranuleId
 
+#: Cache sentinel distinguishing "not cached" from a cached ``None``.
+_UNCACHED = object()
+
 
 class VersionChain:
     """Sorted container of the versions of one granule."""
 
     def __init__(self, granule: GranuleId, initial_value: object = 0) -> None:
         self.granule = granule
-        self._versions: list[Version] = [Version.bootstrap(granule, initial_value)]
-        self._ts_index: list[Timestamp] = [self._versions[0].ts]
+        boot = Version.bootstrap(granule, initial_value)
+        self._versions: list[Version] = [boot]
+        self._ts_index: list[Timestamp] = [boot.ts]
+        #: Committed versions in commit-timestamp order, with a parallel
+        #: key list for bisection — the MV2PL snapshot rule asks for the
+        #: newest ``commit_ts`` below a bound, which the ``ts``-sorted
+        #: chain cannot answer without a scan.
+        self._commit_order: list[Version] = [boot]
+        self._commit_ts_index: list[Timestamp] = [boot.commit_ts or 0]
+        #: Everything with ``ts`` strictly below this mark is frozen:
+        #: committed, final, and outside the reach of every future
+        #: install/remove/commit.  Advanced (monotonically) by the
+        #: scheduler from the activity logs; 0 means "nothing frozen".
+        self.frozen_below: Timestamp = 0
+        #: ``wall -> latest committed version strictly below wall`` for
+        #: walls at or below :attr:`frozen_below`.  Permanently valid.
+        self._snap_cache: dict[Timestamp, Optional[Version]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Mutation epoch for the lazily rebuilt committed-count prefix.
+        self._mutations = 0
+        self._prefix_epoch = -1
+        self._committed_prefix: list[int] = []
 
     # ------------------------------------------------------------------
     # Mutation
@@ -45,30 +79,54 @@ class VersionChain:
                 f"version for {version.granule!r} installed into chain "
                 f"of {self.granule!r}"
             )
-        position = bisect.bisect_left(self._ts_index, version.ts)
-        if (
-            position < len(self._ts_index)
-            and self._ts_index[position] == version.ts
-        ):
+        if version.ts < self.frozen_below:
             raise StorageError(
-                f"{self.granule}: version with ts {version.ts} already exists"
+                f"{self.granule}: install at ts {version.ts} below frozen "
+                f"mark {self.frozen_below} — frozen prefix is immutable"
             )
-        self._versions.insert(position, version)
-        self._ts_index.insert(position, version.ts)
+        index = self._ts_index
+        if version.ts > index[-1]:
+            # Writers are admitted in initiation order far more often
+            # than not, so the common install is a pure append.
+            self._versions.append(version)
+            index.append(version.ts)
+        else:
+            position = bisect.bisect_left(index, version.ts)
+            if position < len(index) and index[position] == version.ts:
+                raise StorageError(
+                    f"{self.granule}: version with ts {version.ts} "
+                    "already exists"
+                )
+            self._versions.insert(position, version)
+            index.insert(position, version.ts)
+        if version.committed:
+            self._index_commit(version)
+        self._mutations += 1
 
     def remove(self, ts: Timestamp) -> Version:
         """Remove and return the version with timestamp ``ts`` (abort path)."""
+        if ts < self.frozen_below:
+            raise StorageError(
+                f"{self.granule}: remove at ts {ts} below frozen mark "
+                f"{self.frozen_below} — frozen prefix is immutable"
+            )
         position = self._find(ts)
         if position is None:
             raise StorageError(f"{self.granule}: no version with ts {ts}")
         self._ts_index.pop(position)
-        return self._versions.pop(position)
+        version = self._versions.pop(position)
+        if version.committed:
+            self._drop_commit(version)
+        self._mutations += 1
+        return version
 
     def commit_version(self, ts: Timestamp, commit_ts: Timestamp) -> Version:
         """Mark the version written at ``ts`` committed at ``commit_ts``."""
         version = self.version_at(ts)
         version.committed = True
         version.commit_ts = commit_ts
+        self._index_commit(version)
+        self._mutations += 1
         return version
 
     def prune_below(self, keep_from_ts: Timestamp) -> list[Version]:
@@ -95,7 +153,37 @@ class VersionChain:
         if pruned:
             self._versions = keep
             self._ts_index = [v.ts for v in keep]
+            dead = {id(v) for v in pruned}
+            self._commit_order = [
+                v for v in self._commit_order if id(v) not in dead
+            ]
+            self._commit_ts_index = [
+                v.commit_ts or 0 for v in self._commit_order
+            ]
+            if self._snap_cache:
+                # Keys below the watermark can never be queried again
+                # (GC safety: no present or future read undercuts it);
+                # keys at or above it resolve to versions at or above
+                # ``base``, which all survived.
+                self._snap_cache = {
+                    wall: version
+                    for wall, version in self._snap_cache.items()
+                    if wall >= keep_from_ts
+                }
+            self._mutations += 1
         return pruned
+
+    def advance_frozen(self, mark: Timestamp) -> None:
+        """Raise the frozen-prefix mark (monotone; lower marks ignored).
+
+        Soundness is the caller's contract: every version with ``ts``
+        below ``mark`` must be committed and no future mutation may
+        land below it.  ``I_old`` of the granule's segment class
+        satisfies both (writes stay in the writer's root segment and
+        carry its initiation timestamp).
+        """
+        if mark > self.frozen_below:
+            self.frozen_below = mark
 
     # ------------------------------------------------------------------
     # Lookup
@@ -116,7 +204,26 @@ class VersionChain:
 
         This is the Protocol A / Protocol C visibility rule:
         ``TS(d^0) = max TS(d^v)`` over ``TS(d^v) < wall``.
+
+        Walls at or below :attr:`frozen_below` are answered from the
+        permanent snapshot cache: below the mark every version is
+        committed and final, so the answer never changes (and the
+        ``committed_only`` flag cannot matter).
         """
+        if wall <= self.frozen_below:
+            cached = self._snap_cache.get(wall, _UNCACHED)
+            if cached is not _UNCACHED:
+                self.cache_hits += 1
+                return cached  # type: ignore[return-value]
+            self.cache_misses += 1
+            version = self._scan_before(wall, committed_only=True)
+            self._snap_cache[wall] = version
+            return version
+        return self._scan_before(wall, committed_only)
+
+    def _scan_before(
+        self, wall: Timestamp, committed_only: bool
+    ) -> Optional[Version]:
         position = bisect.bisect_left(self._ts_index, wall) - 1
         while position >= 0:
             version = self._versions[position]
@@ -136,19 +243,13 @@ class VersionChain:
     ) -> Optional[Version]:
         """Newest version with ``commit_ts < bound`` (MV2PL snapshot rule).
 
-        Versions commit in commit-timestamp order but the chain is
-        sorted by write timestamp, so this scans; chains are short in
-        practice (GC) and correctness beats micro-optimisation here.
+        Served from the commit-timestamp index — one bisection instead
+        of the full-chain scan the ``ts`` order would force.
         """
-        best: Optional[Version] = None
-        for version in self._versions:
-            if not version.committed or version.commit_ts is None:
-                continue
-            if version.commit_ts >= bound:
-                continue
-            if best is None or version.commit_ts > best.commit_ts:  # type: ignore[operator]
-                best = version
-        return best
+        position = bisect.bisect_left(self._commit_ts_index, bound) - 1
+        if position < 0:
+            return None
+        return self._commit_order[position]
 
     def head(self) -> Version:
         """The newest version regardless of commit state."""
@@ -172,10 +273,23 @@ class VersionChain:
 
         This is the *staleness* of a read that returned version ``ts``:
         0 means the read was fresh, k means k committed updates were
-        already invisible to it.
+        already invisible to it.  Answered from a cumulative
+        committed-count prefix, rebuilt lazily when the chain has
+        mutated since the last query — runs of queries between
+        mutations cost one bisection each instead of a suffix scan.
         """
+        if self._prefix_epoch != self._mutations:
+            running = 0
+            prefix = [0] * (len(self._versions) + 1)
+            for index, version in enumerate(self._versions):
+                if version.committed:
+                    running += 1
+                prefix[index + 1] = running
+            self._committed_prefix = prefix
+            self._prefix_epoch = self._mutations
         position = bisect.bisect_right(self._ts_index, ts)
-        return sum(1 for v in self._versions[position:] if v.committed)
+        prefix = self._committed_prefix
+        return prefix[-1] - prefix[position]
 
     def __iter__(self) -> Iterator[Version]:
         return iter(self._versions)
@@ -191,6 +305,30 @@ class VersionChain:
         ):
             return position
         return None
+
+    def _index_commit(self, version: Version) -> None:
+        key = version.commit_ts or 0
+        index = self._commit_ts_index
+        if not index or key >= index[-1]:
+            # Commits overwhelmingly arrive in commit-timestamp order.
+            self._commit_order.append(version)
+            index.append(key)
+        else:
+            position = bisect.bisect_right(index, key)
+            self._commit_order.insert(position, version)
+            index.insert(position, key)
+
+    def _drop_commit(self, version: Version) -> None:
+        key = version.commit_ts or 0
+        position = bisect.bisect_left(self._commit_ts_index, key)
+        while position < len(self._commit_order):
+            if self._commit_order[position] is version:
+                self._commit_order.pop(position)
+                self._commit_ts_index.pop(position)
+                return
+            if self._commit_ts_index[position] != key:
+                break
+            position += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VersionChain({self.granule}, {self._versions!r})"

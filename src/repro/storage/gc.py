@@ -37,6 +37,10 @@ class GCReport:
     #: Time walls retired alongside this pass (HDD scheduler only; the
     #: wall lifecycle and version GC are driven together, DESIGN.md §8).
     walls_retired: int = 0
+    #: Wall-clock duration of the whole pass (wall refresh + retirement
+    #: + watermark derivation + pruning) — makes the bounded-mode GC
+    #: overhead attributable instead of folded into throughput noise.
+    duration_s: float = 0.0
 
     def merge(self, granule: GranuleId, count: int) -> None:
         if count:

@@ -71,6 +71,15 @@ class MultiVersionStore:
     def total_versions(self) -> int:
         return sum(len(chain) for chain in self._chains.values())
 
+    def snapshot_cache_stats(self) -> tuple[int, int]:
+        """Aggregate frozen-prefix cache ``(hits, misses)`` over all chains."""
+        hits = 0
+        misses = 0
+        for chain in self._chains.values():
+            hits += chain.cache_hits
+            misses += chain.cache_misses
+        return hits, misses
+
     def committed_value(
         self, granule: GranuleId, before: Optional[Timestamp] = None
     ) -> object:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -36,6 +37,14 @@ from repro.sweep.spec import (
     config_hash,
     effective_seed,
 )
+
+
+def usable_cpus() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def execute_config(config_dict: Mapping[str, object]) -> dict[str, object]:
@@ -73,6 +82,27 @@ class SweepOutcome:
     cache_hits: int
     workers: int
     wall_s: float
+    #: Usable cores when the sweep ran — wall-clock comparisons are
+    #: meaningless without it (4 workers on 1 core measure pool
+    #: overhead, not parallelism).
+    cpu_count: int = 0
+
+    def parallelism_note(self) -> str:
+        """Human-readable label of the execution regime.
+
+        Attach this wherever ``wall_s`` or a speedup derived from it is
+        reported, so a sub-1.0 "speedup" measured on a starved box is
+        read as the oversubscription artifact it is, not a regression.
+        """
+        if self.workers <= 1:
+            return f"serial on {self.cpu_count} core(s)"
+        if self.cpu_count >= self.workers:
+            return f"{self.workers} workers on {self.cpu_count} cores"
+        return (
+            f"{self.workers} workers oversubscribed on "
+            f"{self.cpu_count} core(s): the pool only adds overhead, "
+            "wall-clock speedup is not meaningful"
+        )
 
     def merged(self) -> dict[str, object]:
         """The deterministic merged document (no timing, no run info)."""
@@ -169,6 +199,7 @@ class SweepRunner:
             cache_hits=cache_hits,
             workers=self.workers,
             wall_s=time.perf_counter() - started,
+            cpu_count=usable_cpus(),
         )
 
     # ------------------------------------------------------------------

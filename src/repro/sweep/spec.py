@@ -98,9 +98,10 @@ class RunConfig:
     )
     #: Distributed-runtime parameters (``latency``, ``jitter``,
     #: ``drop_rate``, ``spike_rate``, ``spike_ticks``, ``net_seed``,
-    #: ``wall_interval``, ``heartbeat``) or ``None`` for the monolithic
-    #: scheduler.  ``None`` is omitted from :meth:`to_dict` so every
-    #: pre-existing config hash (and its cached result) is unchanged.
+    #: ``wall_interval``, ``heartbeat``, ``batch_gossip``) or ``None``
+    #: for the monolithic scheduler.  ``None`` is omitted from
+    #: :meth:`to_dict` so every pre-existing config hash (and its
+    #: cached result) is unchanged.
     dist: Optional[Mapping[str, object]] = None
 
     def to_dict(self) -> dict[str, object]:
@@ -197,6 +198,7 @@ def _make_dist_runtime(config: RunConfig, partition):
     net_seed = int(params.pop("net_seed", 0))
     wall_interval = int(params.pop("wall_interval", 25))
     heartbeat = int(params.pop("heartbeat", 5))
+    batch_gossip = bool(params.pop("batch_gossip", False))
     plan = FaultPlan(
         latency=int(params.pop("latency", 0)),
         jitter=int(params.pop("jitter", 0)),
@@ -213,6 +215,7 @@ def _make_dist_runtime(config: RunConfig, partition):
         seed=net_seed,
         wall_interval=wall_interval,
         heartbeat=heartbeat,
+        batch_gossip=batch_gossip,
     )
 
 

@@ -192,7 +192,7 @@ class TestSchedulerRetirement:
         assert candidate in s.walls.released
         # The late first read pins exactly that wall.
         s.read(ro, "left:g")
-        assert s._ro_walls[ro.txn_id] is candidate
+        assert s._ro_walls[ro.txn_id].wall is candidate
         assert s._ro_walls[ro.txn_id].component("left") == expected
 
     def test_watermarks_ignore_retired_walls(self, fork_partition):

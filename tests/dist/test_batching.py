@@ -1,0 +1,139 @@
+"""Coalesced gossip batching: same execution, fewer messages.
+
+``batch_gossip=True`` defers journal gossip into per-link batches
+flushed at digest-consumption barriers, governs wall polls on ideal
+plans, and drops the (unread) WALL broadcast.  These tests pin the
+optimisation's whole contract: the batched wire must replay the
+monolithic scheduler byte for byte on an ideal plan, stay deterministic
+under faults, and actually shrink the message count.
+"""
+
+import pytest
+
+from repro.core.scheduler import HDDScheduler
+from repro.dist import Crash, DistributedRuntime, FaultPlan, node_name
+from repro.sim.engine import Simulator
+from repro.sim.inventory import (
+    build_inventory_partition,
+    build_inventory_workload,
+)
+
+COMMITS = 150
+
+
+def run_one(make_scheduler, target_commits=COMMITS):
+    partition = build_inventory_partition()
+    workload = build_inventory_workload(
+        partition, read_only_share=0.25, skew=1.0
+    )
+    scheduler = make_scheduler(partition)
+    result = Simulator(
+        scheduler,
+        workload,
+        clients=8,
+        seed=42,
+        target_commits=target_commits,
+        max_steps=200_000,
+        audit=True,
+    ).run()
+    return scheduler, result
+
+
+def batched(partition, mode="hdd", plan=None, seed=0):
+    return DistributedRuntime(
+        partition,
+        mode=mode,
+        plan=plan if plan is not None else FaultPlan(),
+        seed=seed,
+        batch_gossip=True,
+    )
+
+
+@pytest.mark.parametrize("mode", ["hdd", "hdd-to"])
+def test_batched_ideal_run_byte_identical_to_monolithic(mode):
+    protocol_b = "to" if mode == "hdd-to" else "mvto"
+    mono, mono_result = run_one(
+        lambda p: HDDScheduler(p, protocol_b=protocol_b)
+    )
+    dist, dist_result = run_one(lambda p: batched(p, mode=mode))
+    assert str(dist.schedule) == str(mono.schedule)
+    assert dist_result.commits == mono_result.commits
+    assert dist_result.steps == mono_result.steps
+    assert dist.stats == mono.stats
+    for granule in mono.store.granules():
+        assert dist.store.committed_value(
+            granule
+        ) == mono.store.committed_value(granule)
+
+
+def test_batched_walls_match_monolithic_releases():
+    mono, _ = run_one(lambda p: HDDScheduler(p))
+    dist, _ = run_one(lambda p: batched(p))
+    mono_walls = [
+        (w.base_time, w.release_ts, dict(w.components))
+        for w in mono.walls.released
+    ]
+    dist_walls = [
+        (w.base_time, w.release_ts, dict(w.components))
+        for w in dist.walls.released
+    ]
+    assert dist_walls == mono_walls
+
+
+def test_batched_wire_is_smaller_and_governed():
+    eager, _ = run_one(
+        lambda p: DistributedRuntime(p, mode="hdd", plan=FaultPlan(), seed=0)
+    )
+    dist, _ = run_one(lambda p: batched(p))
+    assert len(dist.network.log) < len(eager.network.log)
+    # The governor actually fired, and the WALL broadcast is gone.
+    assert dist.polls_skipped > 0
+    assert dist.network.sent_by_kind.get("WALL", 0) == 0
+    assert eager.network.sent_by_kind.get("WALL", 0) > 0
+    # Fewer POLL round-trips and fewer (coalesced) gossip messages.
+    assert dist.network.sent_by_kind["POLL"] < eager.network.sent_by_kind[
+        "POLL"
+    ]
+    assert dist.network.sent_by_kind["GOSSIP"] < eager.network.sent_by_kind[
+        "GOSSIP"
+    ]
+
+
+def faulty_batched_run():
+    partition = build_inventory_partition()
+    workload = build_inventory_workload(
+        partition, read_only_share=0.25, skew=1.0
+    )
+    plan = FaultPlan(
+        latency=1,
+        jitter=2,
+        drop_rate=0.08,
+        spike_rate=0.05,
+        spike_ticks=4,
+        crashes=(Crash(node_name("inventory"), 200, 230),),
+    )
+    runtime = batched(partition, plan=plan, seed=9)
+    result = Simulator(
+        runtime,
+        workload,
+        clients=8,
+        seed=7,
+        target_commits=80,
+        max_steps=200_000,
+        audit=True,
+    ).run()
+    return runtime, result
+
+
+def test_batched_faulty_runs_stay_deterministic():
+    first, first_result = faulty_batched_run()
+    second, second_result = faulty_batched_run()
+    assert first.network.log_lines() == second.network.log_lines()
+    assert str(first.schedule) == str(second.schedule)
+    assert first.stats == second.stats
+    assert first_result.steps == second_result.steps
+    assert first_result.commits == 80
+    # The governor must be disarmed under faults: a lost POLL response
+    # could otherwise wedge it on stale state.
+    assert not first._gov_active
+    assert first.polls_skipped == 0

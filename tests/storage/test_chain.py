@@ -125,3 +125,116 @@ class TestPrune:
         chain.prune_below(5)
         assert [v.ts for v in chain] == [3, 5, 8]
         assert chain.latest_before(5).ts == 3
+
+
+class TestFrozenPrefix:
+    def frozen_chain(self):
+        chain = chain_with(3, 5, 8)
+        for ts in (3, 5):
+            chain.commit_version(ts, ts + 100)
+        chain.advance_frozen(6)  # ts 3 and 5 frozen; 8 still open
+        return chain
+
+    def test_advance_is_monotone(self):
+        chain = self.frozen_chain()
+        chain.advance_frozen(4)  # lower mark: ignored
+        assert chain.frozen_below == 6
+        chain.advance_frozen(9)
+        assert chain.frozen_below == 9
+
+    def test_cache_miss_then_hit(self):
+        chain = self.frozen_chain()
+        assert chain.latest_before(6).ts == 5
+        assert (chain.cache_hits, chain.cache_misses) == (0, 1)
+        assert chain.latest_before(6).ts == 5
+        assert (chain.cache_hits, chain.cache_misses) == (1, 1)
+
+    def test_cached_none_is_a_hit(self):
+        chain = VersionChain("s:g")
+        chain.advance_frozen(1)
+        assert chain.latest_before(0) is None
+        assert chain.latest_before(0) is None
+        assert (chain.cache_hits, chain.cache_misses) == (1, 1)
+
+    def test_walls_above_mark_bypass_cache(self):
+        chain = self.frozen_chain()
+        assert chain.latest_before(7).ts == 5
+        assert (chain.cache_hits, chain.cache_misses) == (0, 0)
+        # Unfrozen suffix stays live: committing ts 8 changes the answer.
+        chain.commit_version(8, 200)
+        assert chain.latest_before(9).ts == 8
+
+    def test_install_below_mark_rejected(self):
+        chain = self.frozen_chain()
+        with pytest.raises(StorageError):
+            chain.install(Version("s:g", 4, value=1, writer_id=4))
+        chain.install(Version("s:g", 7, value=1, writer_id=7))  # above: fine
+
+    def test_remove_below_mark_rejected(self):
+        chain = self.frozen_chain()
+        with pytest.raises(StorageError):
+            chain.remove(5)
+        assert chain.remove(8).ts == 8  # above the mark: abort path works
+
+    def test_prune_trims_unreachable_cache_keys(self):
+        chain = chain_with(3, 5, 8)
+        for ts in (3, 5, 8):
+            chain.commit_version(ts, ts + 100)
+        chain.advance_frozen(9)
+        for wall in (4, 6, 9):
+            chain.latest_before(wall)
+        chain.prune_below(6)  # readers from wall 6 up survive GC
+        assert set(chain._snap_cache) == {6, 9}
+        # The surviving keys still answer correctly (and from the cache).
+        hits = chain.cache_hits
+        assert chain.latest_before(6).ts == 5
+        assert chain.latest_before(9).ts == 8
+        assert chain.cache_hits == hits + 2
+
+
+class TestCommitTsIndex:
+    def test_remove_drops_committed_entry(self):
+        chain = chain_with(3, 5)
+        chain.commit_version(5, 50)
+        chain.remove(5)
+        assert chain.latest_committed_before_commit_ts(60).ts == 0
+
+    def test_remove_with_duplicate_commit_key_drops_right_version(self):
+        # commit_ts is unique in real executions, but the index must not
+        # corrupt itself if two entries ever share a key.
+        chain = chain_with(3, 5)
+        chain.commit_version(3, 50)
+        chain.commit_version(5, 50)
+        chain.remove(5)
+        assert chain.latest_committed_before_commit_ts(51).ts == 3
+
+    def test_out_of_order_commits_bisect_correctly(self):
+        chain = chain_with(3, 5, 8)
+        chain.commit_version(8, 40)
+        chain.commit_version(3, 60)
+        chain.commit_version(5, 80)
+        assert chain.latest_committed_before_commit_ts(41).ts == 8
+        assert chain.latest_committed_before_commit_ts(61).ts == 3
+        assert chain.latest_committed_before_commit_ts(81).ts == 5
+        assert chain.latest_committed_before_commit_ts(40).ts == 0
+
+
+class TestCommittedCountPrefix:
+    def test_counts_match_naive_scan(self):
+        chain = chain_with(3, 5, 8, 11)
+        for ts in (3, 8):
+            chain.commit_version(ts, ts + 100)
+        for probe in (0, 2, 3, 5, 8, 12):
+            naive = sum(
+                1 for v in chain if v.committed and v.ts > probe
+            )
+            assert chain.committed_count_after(probe) == naive
+
+    def test_prefix_rebuilds_after_mutation(self):
+        chain = chain_with(3, 5)
+        chain.commit_version(3, 103)
+        assert chain.committed_count_after(0) == 1
+        chain.commit_version(5, 105)  # mutation: cached prefix is stale
+        assert chain.committed_count_after(0) == 2
+        chain.remove(5)
+        assert chain.committed_count_after(0) == 1
