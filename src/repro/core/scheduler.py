@@ -74,11 +74,14 @@ class HDDScheduler(BaseScheduler):
         Release cadence of the Protocol C time-wall manager, in clock
         ticks.
     snapshot_cache:
-        Advance per-chain frozen-prefix marks (``I_old`` of each
-        segment's class) so wall reads below them are served from the
-        permanent snapshot cache.  On by default; turning it off pins
-        every chain's ``frozen_below`` at 0, which the equivalence
-        property tests use as the reference engine.
+        Advance per-chain frozen-prefix marks (the newest released
+        wall's components) so wall reads below them take the frozen path:
+        hot walls (queried more than once store-wide, per the
+        :class:`~repro.storage.chain.WallPopularity` admission gate)
+        are served from the permanent snapshot cache, cold walls cost
+        one bisection.  On by default; turning it off pins every
+        chain's ``frozen_below`` at 0, which the equivalence property
+        tests use as the reference engine.
     """
 
     name = "hdd"
@@ -127,11 +130,17 @@ class HDDScheduler(BaseScheduler):
         #: facade; the paper's periodic cadence is the default).
         self.fresh_walls = fresh_walls
         self.snapshot_cache = snapshot_cache
-        #: Per-segment frozen-prefix marks (``I_old`` of the segment's
-        #: class at the last wall release / GC pass).  Lazily pushed
-        #: into chains at read time; sound because updates stay in the
-        #: writer's root segment (see :meth:`_do_write`) and every
-        #: version below ``I_old`` has a finished writer.
+        #: Per-segment frozen-prefix marks: the components of the newest
+        #: released time wall, lazily pushed into chains at read time.
+        #: A released component is permanently settled — the invariant
+        #: that lets pinned readers re-read below it forever — so every
+        #: version below it is committed and no future install can land
+        #: under it (:meth:`VersionChain.advance_frozen` debug-checks
+        #: the delta rather than trusting this).  Crucially the marks
+        #: cost nothing to maintain: the release already computed the
+        #: components, so refreshing is a three-entry dict merge, where
+        #: recomputing ``I_old`` per segment walked the activity log and
+        #: was itself the biggest cached-path overhead.
         self._frozen_marks: dict[SegmentId, Timestamp] = {}
         #: Static watermark evaluation plan: ``(i, j, hop)`` triples in
         #: dependency order (see :meth:`safe_watermarks`); built once,
@@ -303,9 +312,10 @@ class HDDScheduler(BaseScheduler):
     ) -> Outcome:
         """Common Protocol A / fictitious-class / Protocol C visibility."""
         chain = self.store.chain(granule)
-        mark = self._frozen_marks.get(segment)
-        if mark is not None and mark > chain.frozen_below:
-            chain.advance_frozen(mark)
+        if self.snapshot_cache and wall > chain.frozen_below:
+            mark = self._frozen_marks.get(segment)
+            if mark is not None and mark > chain.frozen_below:
+                chain.advance_frozen(mark)
         version = chain.latest_before(wall, committed_only=False)
         if version is None:  # pragma: no cover - bootstrap prevents this
             raise ReproError(f"{granule}: no version below wall {wall}")
@@ -409,21 +419,24 @@ class HDDScheduler(BaseScheduler):
         return released
 
     def _advance_frozen_marks(self) -> None:
-        """Refresh the per-segment frozen marks to ``I_old(j, now)``.
+        """Adopt the newest released wall's components as frozen marks.
 
-        Called at wall-release cadence (and from GC) so the marks track
-        the settled history closely: every wall a reader can hold was
-        settled at its release, hence at or below ``I_old`` of each
-        component's class at that moment — reads below it hit the
-        chain-level snapshot cache.
+        Called at wall-release cadence (and from GC).  Every *released*
+        wall a Protocol C reader can hold has components at or below the
+        newest one's (components are monotone in the wall base time), so
+        once a chain's ``frozen_below`` catches up those reads all take
+        the frozen path — and the few distinct component values are
+        exactly the walls readers share, which is what makes cached
+        entries reusable.  Per-transaction Protocol A walls can run
+        ahead of the mark; those reads simply scan, as they would
+        uncached.
         """
-        if not self.snapshot_cache:
+        if not self.snapshot_cache or not self.walls.released:
             return
-        now = self.clock.now
-        tracker = self.tracker
         marks = self._frozen_marks
-        for j in self.partition.segments:
-            marks[j] = tracker.i_old(j, now)
+        for j, component in self.walls.released[-1].components.items():
+            if component > marks.get(j, 0):
+                marks[j] = component
 
     def retire_walls(self) -> int:
         """Retire released walls no present or future reader can be handed.
@@ -589,7 +602,7 @@ class HDDScheduler(BaseScheduler):
         report.walls_retired = retired
         report.duration_s = time.perf_counter() - started
         if self._sink is not None:
-            hits, misses = self.store.snapshot_cache_stats()
+            cache = self.store.snapshot_cache_report()
             self._sink.emit(
                 GCPassEvent(
                     step=self.current_step,
@@ -597,8 +610,10 @@ class HDDScheduler(BaseScheduler):
                     pruned_versions=report.pruned_versions,
                     walls_retired=retired,
                     duration_ms=round(report.duration_s * 1000.0, 3),
-                    cache_hits=hits,
-                    cache_misses=misses,
+                    cache_hits=cache["hits"],
+                    cache_misses=cache["misses"],
+                    cache_cold=cache["cold"],
+                    cache_entries=cache["entries"],
                 )
             )
         return report

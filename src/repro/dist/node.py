@@ -119,6 +119,16 @@ class SegmentNode:
         (or, under a faulty plan, at the heartbeat cadence).  The WALL
         broadcast is also suppressed (no node ever reads it; walls
         reach the coordinator in POLL responses).
+    snapshot_cache:
+        Advance each served chain's frozen-prefix mark to ``I_old`` of
+        this node's *own* class (first-hand activity log — exact, not
+        gossip-conservative: every writer of this segment registers
+        here before any install, and updates stay in the writer's root
+        segment) so wall reads below it go through the admission-gated
+        snapshot cache exactly like the monolith's (DESIGN.md §12).
+        Answers are unchanged — the frozen prefix is all-committed —
+        which is what keeps cached dist runs byte-identical to the
+        cache-disabled monolith.
     """
 
     def __init__(
@@ -136,6 +146,7 @@ class SegmentNode:
         wall_interval: int = 25,
         heartbeat: int = 5,
         batch_gossip: bool = False,
+        snapshot_cache: bool = True,
     ) -> None:
         self.class_id = class_id
         self.name = node_name(class_id)
@@ -149,6 +160,7 @@ class SegmentNode:
         self.wall_interval = wall_interval
         self.heartbeat = heartbeat
         self.batch_gossip = batch_gossip
+        self.snapshot_cache = snapshot_cache
         self.incarnation = 0
         self.known_now = 0
         self.sink: Optional[EventSink] = None
@@ -384,6 +396,19 @@ class SegmentNode:
 
     def _version_below_wall(self, granule: GranuleId, wall: int) -> Version:
         chain = self.store.chain(granule)
+        if (
+            self.snapshot_cache
+            and self.index is not None
+            and wall > chain.frozen_below
+        ):
+            # Only walk the activity log for ``I_old`` when the current
+            # mark cannot serve this wall.  Crash-safe: a restart
+            # rebuilds the activity log from the WAL with in-flight
+            # intervals still open, so ``I_old`` (hence the mark) never
+            # overtakes a pending writer's initiation timestamp.
+            mark = self.activity.i_old(self.known_now)
+            if mark > chain.frozen_below:
+                chain.advance_frozen(mark)
         version = chain.latest_before(wall, committed_only=False)
         if version is None:  # pragma: no cover - bootstrap prevents this
             raise ReproError(f"{granule}: no version below wall {wall}")

@@ -210,6 +210,24 @@ class FederatedStore:
             node.store.total_versions() for node in self._nodes.values()
         )
 
+    def snapshot_cache_stats(self) -> tuple[int, int]:
+        """Aggregate frozen-prefix cache ``(hits, misses)`` over nodes."""
+        hits = 0
+        misses = 0
+        for node in self._nodes.values():
+            node_hits, node_misses = node.store.snapshot_cache_stats()
+            hits += node_hits
+            misses += node_misses
+        return hits, misses
+
+    def snapshot_cache_report(self) -> dict[str, int]:
+        """Admission-policy accounting summed over every node's store."""
+        totals: dict[str, int] = {}
+        for node in self._nodes.values():
+            for key, value in node.store.snapshot_cache_report().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def __iter__(self) -> Iterator:
         for segment in sorted(self._nodes):
             yield from self._nodes[segment].store
@@ -230,6 +248,7 @@ class DistributedRuntime:
         heartbeat: int = 5,
         clock: Optional[LogicalClock] = None,
         batch_gossip: bool = False,
+        snapshot_cache: bool = True,
     ) -> None:
         engine = MODES.get(mode)
         if engine is None:
@@ -243,6 +262,7 @@ class DistributedRuntime:
         self.plan = plan if plan is not None else FaultPlan()
         self.wall_interval = wall_interval
         self.batch_gossip = batch_gossip and self.is_hdd
+        self.snapshot_cache = snapshot_cache
         self.clock = clock if clock is not None else LogicalClock()
         self.schedule = Schedule()
         self.transactions: dict[int, Transaction] = {}
@@ -298,6 +318,7 @@ class DistributedRuntime:
                     wall_interval=wall_interval,
                     heartbeat=heartbeat,
                     batch_gossip=self.batch_gossip,
+                    snapshot_cache=snapshot_cache,
                 )
         else:
             self.nodes = {

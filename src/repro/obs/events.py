@@ -270,6 +270,10 @@ class GCPassEvent(Event):
     duration_ms: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Admission-policy breakdown (DESIGN.md §12): cold-wall lookups
+    #: that bypassed the cache, and live cache entries at pass end.
+    cache_cold: int = 0
+    cache_entries: int = 0
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)

@@ -24,6 +24,18 @@ permanent ``wall -> version`` cache.  Entries below the mark can never
 be invalidated (mutations only touch the unfrozen suffix, which the
 mutators assert), so the cache needs no invalidation protocol — only
 GC trims keys that no future reader can query.
+
+Admission (DESIGN.md §12): caching a (chain, wall) entry only pays if
+the pair is queried again, and most walls never are — Protocol A walls
+are keyed to initiation timestamps, so they mostly die after one
+transaction.  A shared :class:`WallPopularity` tracker (one per
+:class:`~repro.storage.store.MultiVersionStore`) counts wall reuse
+*across the store*: the first query of a wall anywhere answers with a
+plain bisection and only records the wall; once a wall has been
+queried more than once it is *hot* and chains cache their entries for
+it.  Protocol C readers sharing a released ``WallSnapshot`` make the
+hot walls light up after one shared read, while one-shot walls never
+pay an insert.
 """
 
 from __future__ import annotations
@@ -40,10 +52,58 @@ from repro.txn.transaction import GranuleId
 _UNCACHED = object()
 
 
+class WallPopularity:
+    """Store-level wall-reuse tracker gating snapshot-cache admission.
+
+    ``admit`` records one frozen-path query of ``wall`` and answers
+    whether chains may cache entries for it.  A wall becomes *hot* on
+    its second query anywhere in the store; admission is purely an
+    optimisation gate — forgetting a wall (GC trim) merely re-runs the
+    cold path, never changes an answer.
+    """
+
+    __slots__ = ("_seen_once", "_hot")
+
+    def __init__(self) -> None:
+        #: Walls queried exactly once so far.
+        self._seen_once: set[Timestamp] = set()
+        #: Walls queried more than once: chains cache entries for these.
+        self._hot: set[Timestamp] = set()
+
+    def admit(self, wall: Timestamp) -> bool:
+        """Record a query of ``wall``; True once the wall is hot."""
+        if wall in self._hot:
+            return True
+        if wall in self._seen_once:
+            self._seen_once.discard(wall)
+            self._hot.add(wall)
+            return True
+        self._seen_once.add(wall)
+        return False
+
+    def trim_below(self, watermark: Timestamp) -> None:
+        """Forget walls below ``watermark`` (GC: unreachable forever)."""
+        self._seen_once = {w for w in self._seen_once if w >= watermark}
+        self._hot = {w for w in self._hot if w >= watermark}
+
+    @property
+    def hot_walls(self) -> int:
+        return len(self._hot)
+
+    @property
+    def tracked_walls(self) -> int:
+        return len(self._seen_once) + len(self._hot)
+
+
 class VersionChain:
     """Sorted container of the versions of one granule."""
 
-    def __init__(self, granule: GranuleId, initial_value: object = 0) -> None:
+    def __init__(
+        self,
+        granule: GranuleId,
+        initial_value: object = 0,
+        admission: Optional[WallPopularity] = None,
+    ) -> None:
         self.granule = granule
         boot = Version.bootstrap(granule, initial_value)
         self._versions: list[Version] = [boot]
@@ -53,17 +113,28 @@ class VersionChain:
         #: newest ``commit_ts`` below a bound, which the ``ts``-sorted
         #: chain cannot answer without a scan.
         self._commit_order: list[Version] = [boot]
-        self._commit_ts_index: list[Timestamp] = [boot.commit_ts or 0]
+        self._commit_ts_index: list[Timestamp] = [self._commit_key(boot)]
         #: Everything with ``ts`` strictly below this mark is frozen:
         #: committed, final, and outside the reach of every future
         #: install/remove/commit.  Advanced (monotonically) by the
         #: scheduler from the activity logs; 0 means "nothing frozen".
         self.frozen_below: Timestamp = 0
         #: ``wall -> latest committed version strictly below wall`` for
-        #: walls at or below :attr:`frozen_below`.  Permanently valid.
+        #: *hot* walls at or below :attr:`frozen_below`.  Permanently
+        #: valid once inserted.
         self._snap_cache: dict[Timestamp, Optional[Version]] = {}
+        #: Wall-reuse admission gate, shared store-wide (a private one
+        #: is created for standalone chains, degrading gracefully to
+        #: per-chain popularity).
+        self._admission = (
+            admission if admission is not None else WallPopularity()
+        )
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Frozen-path queries answered by a plain bisection because the
+        #: wall was not hot yet — the cost a cold wall pays instead of a
+        #: scan plus a dict insert.
+        self.cache_cold = 0
         #: Mutation epoch for the lazily rebuilt committed-count prefix.
         self._mutations = 0
         self._prefix_epoch = -1
@@ -122,7 +193,23 @@ class VersionChain:
 
     def commit_version(self, ts: Timestamp, commit_ts: Timestamp) -> Version:
         """Mark the version written at ``ts`` committed at ``commit_ts``."""
+        if ts < self.frozen_below:
+            raise StorageError(
+                f"{self.granule}: commit at ts {ts} below frozen mark "
+                f"{self.frozen_below} — frozen prefix is immutable"
+            )
         version = self.version_at(ts)
+        if version.committed:
+            # Re-committing would duplicate the commit-ts index entry
+            # (and, if commit_ts changed, strand the old one under a
+            # stale key) — the idempotent path is a no-op.
+            if version.commit_ts != commit_ts:
+                raise StorageError(
+                    f"{self.granule}: version at ts {ts} already "
+                    f"committed at {version.commit_ts}, refusing "
+                    f"re-commit at {commit_ts}"
+                )
+            return version
         version.committed = True
         version.commit_ts = commit_ts
         self._index_commit(version)
@@ -138,9 +225,13 @@ class VersionChain:
         ``latest_before(keep_from_ts)`` — strict, matching the read
         rule exactly (a watermark equal to a version's timestamp must
         keep the version *below* it).  Everything committed and older
-        than that base is pruned and returned.
+        than that base is pruned and returned.  The lookup deliberately
+        bypasses the snapshot cache and its admission accounting: a GC
+        watermark is queried once per chain per pass, precisely the
+        access pattern the admission policy exists to keep *out* of the
+        cache.
         """
-        base = self.latest_before(keep_from_ts, committed_only=True)
+        base = self._scan_before(keep_from_ts, committed_only=True)
         if base is None:
             return []
         pruned: list[Version] = []
@@ -158,7 +249,7 @@ class VersionChain:
                 v for v in self._commit_order if id(v) not in dead
             ]
             self._commit_ts_index = [
-                v.commit_ts or 0 for v in self._commit_order
+                self._commit_key(v) for v in self._commit_order
             ]
             if self._snap_cache:
                 # Keys below the watermark can never be queried again
@@ -180,10 +271,27 @@ class VersionChain:
         below ``mark`` must be committed and no future mutation may
         land below it.  ``I_old`` of the granule's segment class
         satisfies both (writes stay in the writer's root segment and
-        carry its initiation timestamp).
+        carry its initiation timestamp).  In debug builds the committed
+        half of the contract is checked on the newly frozen delta —
+        each version is inspected exactly once across all advances, so
+        the check stays amortised-linear — which is what lets the
+        cached read path serve ``committed_only=False`` queries from
+        committed-only answers (no uncommitted version can sit below
+        the mark).
         """
-        if mark > self.frozen_below:
-            self.frozen_below = mark
+        if mark <= self.frozen_below:
+            return
+        if __debug__:
+            lo = bisect.bisect_left(self._ts_index, self.frozen_below)
+            hi = bisect.bisect_left(self._ts_index, mark)
+            for position in range(lo, hi):
+                version = self._versions[position]
+                assert version.committed, (
+                    f"{self.granule}: advance_frozen({mark}) would "
+                    f"freeze uncommitted version at ts {version.ts} — "
+                    "caller broke the Theorem-1 contract"
+                )
+        self.frozen_below = mark
 
     # ------------------------------------------------------------------
     # Lookup
@@ -205,21 +313,52 @@ class VersionChain:
         This is the Protocol A / Protocol C visibility rule:
         ``TS(d^0) = max TS(d^v)`` over ``TS(d^v) < wall``.
 
-        Walls at or below :attr:`frozen_below` are answered from the
-        permanent snapshot cache: below the mark every version is
-        committed and final, so the answer never changes (and the
-        ``committed_only`` flag cannot matter).
+        Walls at or below :attr:`frozen_below` take the frozen path:
+        below the mark every version is committed and final, so the
+        answer never changes — the ``committed_only`` flag cannot
+        matter, an invariant :meth:`advance_frozen` debug-checks
+        instead of trusting.  Hot walls (queried more than once across
+        the store, per :class:`WallPopularity`) are served from — and
+        admitted into — the permanent snapshot cache; cold walls cost
+        exactly one bisection, with no insert.
         """
         if wall <= self.frozen_below:
             cached = self._snap_cache.get(wall, _UNCACHED)
             if cached is not _UNCACHED:
                 self.cache_hits += 1
                 return cached  # type: ignore[return-value]
-            self.cache_misses += 1
-            version = self._scan_before(wall, committed_only=True)
-            self._snap_cache[wall] = version
+            # Inlined _frozen_before + WallPopularity.admit: this branch
+            # runs per frozen read, and the call overhead alone was
+            # measurable against the one-bisection scan it replaces.
+            position = bisect.bisect_left(self._ts_index, wall) - 1
+            version = self._versions[position] if position >= 0 else None
+            admission = self._admission
+            if wall in admission._hot:
+                self.cache_misses += 1
+                self._snap_cache[wall] = version
+            elif wall in admission._seen_once:
+                admission._seen_once.discard(wall)
+                admission._hot.add(wall)
+                self.cache_misses += 1
+                self._snap_cache[wall] = version
+            else:
+                admission._seen_once.add(wall)
+                self.cache_cold += 1
             return version
         return self._scan_before(wall, committed_only)
+
+    def _frozen_before(self, wall: Timestamp) -> Optional[Version]:
+        """``latest_before`` under the frozen invariant: one bisection.
+
+        Every version below ``wall <= frozen_below`` is committed, so
+        the newest ``ts < wall`` needs no committed-flag walk.
+        (:meth:`latest_before` inlines this on its frozen branch; kept
+        as the readable statement of that branch's lookup.)
+        """
+        position = bisect.bisect_left(self._ts_index, wall) - 1
+        if position < 0:
+            return None
+        return self._versions[position]
 
     def _scan_before(
         self, wall: Timestamp, committed_only: bool
@@ -306,8 +445,19 @@ class VersionChain:
             return position
         return None
 
+    @staticmethod
+    def _commit_key(version: Version) -> Timestamp:
+        """Sort key of ``version`` in the commit-ts index.
+
+        ``commit_ts`` is ``None`` only for bootstrap-style versions
+        that predate every real commit, so they key to 0 — explicitly,
+        not via ``commit_ts or 0``, which would also coerce a genuine
+        commit timestamp of 0 and make the two indistinguishable.
+        """
+        return 0 if version.commit_ts is None else version.commit_ts
+
     def _index_commit(self, version: Version) -> None:
-        key = version.commit_ts or 0
+        key = self._commit_key(version)
         index = self._commit_ts_index
         if not index or key >= index[-1]:
             # Commits overwhelmingly arrive in commit-timestamp order.
@@ -319,16 +469,32 @@ class VersionChain:
             index.insert(position, key)
 
     def _drop_commit(self, version: Version) -> None:
-        key = version.commit_ts or 0
-        position = bisect.bisect_left(self._commit_ts_index, key)
-        while position < len(self._commit_order):
-            if self._commit_order[position] is version:
-                self._commit_order.pop(position)
-                self._commit_ts_index.pop(position)
+        """Remove ``version`` from the commit-ts index (abort path).
+
+        The key-directed walk must cover the *whole* run of equal keys
+        — several versions may share one (every ``commit_ts=None``
+        entry keys to 0) — and must never stop early on an identity
+        mismatch, or a removed version would linger in
+        :attr:`_commit_order` and be served by
+        :meth:`latest_committed_before_commit_ts`.  If the stored key
+        went stale (``commit_ts`` mutated after indexing), the identity
+        sweep below still guarantees removal.
+        """
+        key = self._commit_key(version)
+        order = self._commit_order
+        index = self._commit_ts_index
+        position = bisect.bisect_left(index, key)
+        while position < len(order) and index[position] == key:
+            if order[position] is version:
+                order.pop(position)
+                index.pop(position)
                 return
-            if self._commit_ts_index[position] != key:
-                break
             position += 1
+        for position, entry in enumerate(order):
+            if entry is version:
+                order.pop(position)
+                index.pop(position)
+                return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VersionChain({self.granule}, {self._versions!r})"

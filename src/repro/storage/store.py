@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
-from repro.storage.chain import VersionChain
+from repro.storage.chain import VersionChain, WallPopularity
 from repro.storage.version import Version
 from repro.txn.clock import Timestamp
 from repro.txn.transaction import GranuleId
@@ -32,6 +32,11 @@ class MultiVersionStore:
     ) -> None:
         self._chains: dict[GranuleId, VersionChain] = {}
         self._initial_value = initial_value
+        #: Wall-reuse admission gate for the frozen-prefix snapshot
+        #: caches, shared by every chain: a wall queried more than once
+        #: *anywhere* in the store is hot, and only hot walls earn
+        #: cache entries (DESIGN.md §12).
+        self.wall_popularity = WallPopularity()
 
     def chain(self, granule: GranuleId) -> VersionChain:
         existing = self._chains.get(granule)
@@ -41,7 +46,9 @@ class MultiVersionStore:
             value = self._initial_value(granule)
         else:
             value = self._initial_value
-        created = VersionChain(granule, initial_value=value)
+        created = VersionChain(
+            granule, initial_value=value, admission=self.wall_popularity
+        )
         self._chains[granule] = created
         return created
 
@@ -49,7 +56,9 @@ class MultiVersionStore:
         """Explicitly create ``granule`` with a given initial value."""
         if granule in self._chains:
             raise KeyError(f"granule {granule!r} already exists")
-        chain = VersionChain(granule, initial_value=value)
+        chain = VersionChain(
+            granule, initial_value=value, admission=self.wall_popularity
+        )
         self._chains[granule] = chain
         return chain
 
@@ -79,6 +88,44 @@ class MultiVersionStore:
             hits += chain.cache_hits
             misses += chain.cache_misses
         return hits, misses
+
+    def snapshot_cache_report(self) -> dict[str, int]:
+        """Full admission-policy accounting across the store.
+
+        ``hits``
+            frozen-path queries served from a snapshot cache;
+        ``misses``
+            admitted queries that scanned once and inserted an entry;
+        ``cold``
+            cold-wall queries answered by a single bisection, no insert
+            (the cost the admission policy saves vs always-insert);
+        ``entries``
+            live cache entries over all chains;
+        ``hot_walls`` / ``tracked_walls``
+            distinct walls promoted to hot / still being counted.
+        """
+        hits = misses = cold = entries = 0
+        for chain in self._chains.values():
+            hits += chain.cache_hits
+            misses += chain.cache_misses
+            cold += chain.cache_cold
+            entries += len(chain._snap_cache)
+        return {
+            "hits": hits,
+            "misses": misses,
+            "cold": cold,
+            "entries": entries,
+            "hot_walls": self.wall_popularity.hot_walls,
+            "tracked_walls": self.wall_popularity.tracked_walls,
+        }
+
+    def trim_wall_popularity(self, watermark: Timestamp) -> None:
+        """GC hook: forget admission state for walls below ``watermark``.
+
+        Purely hygiene — a forgotten wall re-runs the cold path if it
+        is somehow queried again; no cached answer ever changes.
+        """
+        self.wall_popularity.trim_below(watermark)
 
     def committed_value(
         self, granule: GranuleId, before: Optional[Timestamp] = None

@@ -110,6 +110,13 @@ def test_cached_run_byte_identical_to_uncached(
     assert cached_result.steps == base_result.steps
     # The uncached run must not be silently exercising the cache.
     assert base.store.snapshot_cache_stats() == (0, 0)
+    assert base.store.snapshot_cache_report()["cold"] == 0
+    # Admission accounting: every resident entry was paid for by one
+    # admitted miss, and a wall only goes hot after being seen cold.
+    report = cached.store.snapshot_cache_report()
+    assert report["entries"] <= report["misses"]
+    assert report["hot_walls"] <= report["tracked_walls"]
+    assert report["hits"] >= 0 and report["cold"] >= 0
 
 
 @given(
@@ -171,3 +178,33 @@ def test_dist_runtime_matches_uncached_monolith(
     )
     assert dist_result.commits == mono_result.commits
     assert dist_result.steps == mono_result.steps
+
+
+@given(
+    batch_gossip=st.booleans(),
+    seed=st.integers(0, 10_000),
+    clients=st.integers(2, 8),
+)
+@settings(max_examples=8, deadline=None)
+def test_dist_cache_toggle_byte_identical(batch_gossip, seed, clients):
+    """Node-side frozen marks come from first-hand activity logs, so
+    disabling the cache on every segment node must not move a single
+    read: the two distributed runs replay each other exactly."""
+    runs = []
+    for snapshot_cache in (False, True):
+        partition = build_inventory_partition()
+        dist = DistributedRuntime(
+            partition,
+            mode="hdd",
+            plan=FaultPlan(),
+            seed=0,
+            batch_gossip=batch_gossip,
+            snapshot_cache=snapshot_cache,
+        )
+        run_sim(dist, partition, seed, clients, read_only_share=0.25)
+        runs.append((fingerprint(dist, partition), dist))
+    (base_fp, base), (cached_fp, cached) = runs
+    assert cached_fp == base_fp
+    assert base.store.snapshot_cache_stats() == (0, 0)
+    report = cached.store.snapshot_cache_report()
+    assert report["entries"] <= report["misses"]

@@ -135,34 +135,62 @@ class TestFrozenPrefix:
         chain.advance_frozen(6)  # ts 3 and 5 frozen; 8 still open
         return chain
 
+    def counters(self, chain):
+        return (chain.cache_hits, chain.cache_misses, chain.cache_cold)
+
     def test_advance_is_monotone(self):
         chain = self.frozen_chain()
         chain.advance_frozen(4)  # lower mark: ignored
         assert chain.frozen_below == 6
+        chain.commit_version(8, 200)
         chain.advance_frozen(9)
         assert chain.frozen_below == 9
 
-    def test_cache_miss_then_hit(self):
+    def test_advance_over_uncommitted_version_is_caught(self):
+        """The Theorem-1 contract is debug-checked, not trusted: a mark
+        that would freeze an uncommitted version trips the assertion."""
+        chain = self.frozen_chain()  # ts 8 still uncommitted
+        with pytest.raises(AssertionError):
+            chain.advance_frozen(9)
+        assert chain.frozen_below == 6  # the bad advance did not land
+
+    def test_cold_wall_then_admission_then_hit(self):
         chain = self.frozen_chain()
+        # First query anywhere: cold — answered, counted, not cached.
         assert chain.latest_before(6).ts == 5
-        assert (chain.cache_hits, chain.cache_misses) == (0, 1)
+        assert self.counters(chain) == (0, 0, 1)
+        # Second query: the wall is hot now — scan once, insert.
         assert chain.latest_before(6).ts == 5
-        assert (chain.cache_hits, chain.cache_misses) == (1, 1)
+        assert self.counters(chain) == (0, 1, 1)
+        # Third query: served from the cache.
+        assert chain.latest_before(6).ts == 5
+        assert self.counters(chain) == (1, 1, 1)
 
     def test_cached_none_is_a_hit(self):
         chain = VersionChain("s:g")
         chain.advance_frozen(1)
-        assert chain.latest_before(0) is None
-        assert chain.latest_before(0) is None
-        assert (chain.cache_hits, chain.cache_misses) == (1, 1)
+        assert chain.latest_before(0) is None  # cold
+        assert chain.latest_before(0) is None  # admitted: caches None
+        assert chain.latest_before(0) is None  # hit on the cached None
+        assert self.counters(chain) == (1, 1, 1)
 
     def test_walls_above_mark_bypass_cache(self):
         chain = self.frozen_chain()
         assert chain.latest_before(7).ts == 5
-        assert (chain.cache_hits, chain.cache_misses) == (0, 0)
+        assert self.counters(chain) == (0, 0, 0)
         # Unfrozen suffix stays live: committing ts 8 changes the answer.
         chain.commit_version(8, 200)
         assert chain.latest_before(9).ts == 8
+
+    def test_frozen_path_ignores_committed_only_flag(self):
+        """Below the mark everything is committed (debug-checked by
+        ``advance_frozen``), so both flag values get the same answer —
+        cold path and cache alike."""
+        chain = self.frozen_chain()
+        assert chain.latest_before(6, committed_only=False).ts == 5
+        assert chain.latest_before(6, committed_only=True).ts == 5
+        assert chain.latest_before(6, committed_only=False).ts == 5
+        assert self.counters(chain) == (1, 1, 1)
 
     def test_install_below_mark_rejected(self):
         chain = self.frozen_chain()
@@ -176,13 +204,43 @@ class TestFrozenPrefix:
             chain.remove(5)
         assert chain.remove(8).ts == 8  # above the mark: abort path works
 
+    def test_commit_below_mark_rejected(self):
+        """``commit_version`` enforces the same frozen guard as
+        ``install``/``remove``: a commit landing under the mark would
+        silently break the "frozen prefix is final" invariant the
+        permanent cache depends on."""
+        chain = chain_with(3, 5)
+        chain.commit_version(3, 103)
+        chain.advance_frozen(4)  # ts 3 frozen; ts 5 still uncommitted
+        with pytest.raises(StorageError):
+            chain.commit_version(3, 999)  # below the mark
+        chain.commit_version(5, 105)  # above the mark: fine
+
+    def test_abort_commit_race_around_mark(self):
+        """A writer straddling the mark: its version sits above, so both
+        the commit and the abort path stay legal — but once the mark
+        passes the version, both raise instead of mutating history."""
+        chain = chain_with(3, 5, 8)
+        for ts in (3, 5):
+            chain.commit_version(ts, ts + 100)
+        chain.advance_frozen(6)
+        # Commit race: ts 8 commits while the mark sits below it.
+        chain.commit_version(8, 200)
+        chain.advance_frozen(9)
+        with pytest.raises(StorageError):
+            chain.remove(8)  # too late to abort: frozen
+        with pytest.raises(StorageError):
+            chain.commit_version(5, 777)  # and no re-commit below it
+
     def test_prune_trims_unreachable_cache_keys(self):
         chain = chain_with(3, 5, 8)
         for ts in (3, 5, 8):
             chain.commit_version(ts, ts + 100)
         chain.advance_frozen(9)
         for wall in (4, 6, 9):
-            chain.latest_before(wall)
+            chain.latest_before(wall)  # cold pass: records popularity
+            chain.latest_before(wall)  # hot: admitted into the cache
+        assert set(chain._snap_cache) == {4, 6, 9}
         chain.prune_below(6)  # readers from wall 6 up survive GC
         assert set(chain._snap_cache) == {6, 9}
         # The surviving keys still answer correctly (and from the cache).
@@ -190,6 +248,20 @@ class TestFrozenPrefix:
         assert chain.latest_before(6).ts == 5
         assert chain.latest_before(9).ts == 8
         assert chain.cache_hits == hits + 2
+
+    def test_prune_lookup_skips_admission_accounting(self):
+        """GC watermark lookups are once-per-pass by construction; they
+        must neither warm the popularity tracker nor insert entries."""
+        chain = chain_with(3, 5)
+        for ts in (3, 5):
+            chain.commit_version(ts, ts + 100)
+        chain.advance_frozen(6)
+        chain.prune_below(4)
+        assert self.counters(chain) == (0, 0, 0)
+        assert chain._snap_cache == {}
+        # And the wall GC probed is still cold for real readers.
+        chain.latest_before(4)
+        assert self.counters(chain) == (0, 0, 1)
 
 
 class TestCommitTsIndex:
@@ -207,6 +279,45 @@ class TestCommitTsIndex:
         chain.commit_version(5, 50)
         chain.remove(5)
         assert chain.latest_committed_before_commit_ts(51).ts == 3
+
+    def test_remove_two_none_commit_ts_versions_pops_the_right_ones(self):
+        """Regression: versions committed without a ``commit_ts`` all
+        key to 0 in the commit-ts index (colliding with bootstrap); the
+        drop walk must cover the whole equal-key run and remove exactly
+        the requested version each time."""
+        chain = VersionChain("s:g")
+        v3 = Version("s:g", 3, value=30, writer_id=3, committed=True)
+        v5 = Version("s:g", 5, value=50, writer_id=5, committed=True)
+        chain.install(v3)
+        chain.install(v5)
+        assert chain._commit_ts_index == [0, 0, 0]
+        chain.remove(3)
+        assert [v.ts for v in chain._commit_order] == [0, 5]
+        chain.remove(5)
+        assert [v.ts for v in chain._commit_order] == [0]
+        # Only bootstrap is left; no dangling popped version answers.
+        assert chain.latest_committed_before_commit_ts(100).ts == 0
+
+    def test_remove_after_commit_ts_mutation_still_drops_the_entry(self):
+        """If a version's ``commit_ts`` changes after indexing (stale
+        stored key), the identity fallback still removes it — the index
+        must never serve a popped version."""
+        chain = VersionChain("s:g")
+        v3 = Version("s:g", 3, value=30, writer_id=3, committed=True)
+        chain.install(v3)  # indexed under key 0 (commit_ts is None)
+        v3.commit_ts = 70  # stale: the index still holds key 0
+        chain.remove(3)
+        assert [v.ts for v in chain._commit_order] == [0]
+        assert chain.latest_committed_before_commit_ts(100).ts == 0
+
+    def test_recommit_is_idempotent_but_never_reindexes(self):
+        chain = chain_with(3)
+        first = chain.commit_version(3, 50)
+        again = chain.commit_version(3, 50)  # idempotent replay: no-op
+        assert again is first
+        assert chain._commit_ts_index.count(50) == 1
+        with pytest.raises(StorageError):
+            chain.commit_version(3, 60)  # changing the commit ts is not
 
     def test_out_of_order_commits_bisect_correctly(self):
         chain = chain_with(3, 5, 8)

@@ -1,0 +1,154 @@
+"""White-box tests for the wall-reuse admission policy (DESIGN.md §12).
+
+The snapshot cache only pays when a (chain, wall) entry is queried
+again, and most walls never are.  Admission is gated by a store-level
+:class:`~repro.storage.chain.WallPopularity` tracker: the first query
+of a wall *anywhere* in the store answers cold (one bisection, no
+insert); the second query — on any chain — makes the wall hot, and
+from then on chains cache their entries for it.
+"""
+
+import pytest
+
+from repro.storage.chain import VersionChain, WallPopularity
+from repro.storage.gc import WatermarkGC
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+
+
+def store_with_frozen_chains():
+    """Two chains, both frozen through wall 10."""
+    store = MultiVersionStore()
+    for granule in ("s:a", "s:b"):
+        chain = store.chain(granule)
+        for ts in (3, 5):
+            chain.install(
+                Version(granule, ts, value=ts, writer_id=ts)
+            )
+            chain.commit_version(ts, ts + 100)
+        chain.advance_frozen(10)
+    return store
+
+
+class TestWallPopularity:
+    def test_second_query_promotes(self):
+        tracker = WallPopularity()
+        assert tracker.admit(6) is False
+        assert tracker.admit(6) is True
+        assert tracker.admit(6) is True
+        assert (tracker.hot_walls, tracker.tracked_walls) == (1, 1)
+
+    def test_distinct_walls_tracked_independently(self):
+        tracker = WallPopularity()
+        assert tracker.admit(6) is False
+        assert tracker.admit(7) is False
+        assert tracker.admit(6) is True
+        assert (tracker.hot_walls, tracker.tracked_walls) == (1, 2)
+
+    def test_trim_below_forgets_cold_and_hot(self):
+        tracker = WallPopularity()
+        tracker.admit(4)
+        tracker.admit(6)
+        tracker.admit(6)
+        tracker.trim_below(5)
+        assert (tracker.hot_walls, tracker.tracked_walls) == (1, 1)
+        # A trimmed wall restarts cold — admission is hygiene-safe.
+        assert tracker.admit(4) is False
+
+
+class TestStoreLevelAdmission:
+    def test_cold_wall_not_cached_second_query_admits(self):
+        store = store_with_frozen_chains()
+        chain = store.chain("s:a")
+        assert chain.latest_before(6).ts == 5  # cold
+        assert chain._snap_cache == {}
+        assert chain.latest_before(6).ts == 5  # hot now: cached
+        assert 6 in chain._snap_cache
+        assert chain.latest_before(6).ts == 5  # hit
+        assert (
+            chain.cache_hits,
+            chain.cache_misses,
+            chain.cache_cold,
+        ) == (1, 1, 1)
+
+    def test_popularity_is_shared_across_chains(self):
+        """One query per chain is enough: the wall goes hot on the
+        second query *store-wide*, so chain b admits immediately."""
+        store = store_with_frozen_chains()
+        a, b = store.chain("s:a"), store.chain("s:b")
+        assert a.latest_before(6).ts == 5  # cold (first store-wide)
+        assert b.latest_before(6).ts == 5  # second store-wide: admits
+        assert a._snap_cache == {}
+        assert 6 in b._snap_cache
+        # Chain a admits on its own next query of the now-hot wall.
+        assert a.latest_before(6).ts == 5
+        assert 6 in a._snap_cache
+
+    def test_standalone_chain_degrades_to_private_popularity(self):
+        chain = VersionChain("s:g")
+        chain.advance_frozen(1)
+        assert chain.latest_before(1).ts == 0
+        assert chain._snap_cache == {}
+        assert chain.latest_before(1).ts == 0
+        assert 1 in chain._snap_cache
+
+    def test_report_accounting(self):
+        store = store_with_frozen_chains()
+        a, b = store.chain("s:a"), store.chain("s:b")
+        for _ in range(3):
+            a.latest_before(6)
+        b.latest_before(6)
+        b.latest_before(9)
+        report = store.snapshot_cache_report()
+        assert report["hits"] == 1  # a's third query
+        assert report["misses"] == 2  # a's second, b's first (hot wall)
+        assert report["cold"] == 2  # a's first of 6, b's first of 9
+        assert report["entries"] == 2
+        assert report["hot_walls"] == 1
+        assert report["tracked_walls"] == 2
+        assert store.snapshot_cache_stats() == (1, 2)
+        # Every cache entry was paid for by exactly one admitted miss.
+        assert report["entries"] <= report["misses"]
+
+
+class TestGCTrimsAdmissionState:
+    def test_collect_trims_wall_popularity(self):
+        store = store_with_frozen_chains()
+        chain = store.chain("s:a")
+        chain.latest_before(4)
+        chain.latest_before(9)
+        assert store.wall_popularity.tracked_walls == 2
+        gc = WatermarkGC(store, lambda granule: "s")
+        gc.collect({"s": 8})
+        # Wall 4 can never be queried again; wall 9 stays tracked.
+        assert store.wall_popularity.tracked_walls == 1
+        assert store.wall_popularity.admit(9) is True
+
+    def test_segments_without_watermarks_are_left_alone(self):
+        store = store_with_frozen_chains()
+        chain = store.chain("s:a")
+        chain.latest_before(9)
+        gc = WatermarkGC(store, lambda granule: "s")
+        report = gc.collect({})
+        assert report.pruned_versions == 0
+        assert store.wall_popularity.tracked_walls == 1
+
+
+class TestFrozenGuardRaces:
+    def test_commit_below_mark_raises_like_install_and_remove(self):
+        store = store_with_frozen_chains()
+        chain = store.chain("s:a")
+        with pytest.raises(Exception) as excinfo:
+            chain.commit_version(5, 999)
+        assert "frozen" in str(excinfo.value)
+
+    def test_frozen_answers_match_either_committed_only_flag(self):
+        """The cached branch serves the committed-only answer for both
+        flag values; below the mark that is an invariant, not a hope —
+        advance_frozen debug-checks it."""
+        store = store_with_frozen_chains()
+        chain = store.chain("s:a")
+        for wall in (4, 6, 10):
+            relaxed = chain.latest_before(wall, committed_only=False)
+            strict = chain.latest_before(wall, committed_only=True)
+            assert relaxed is strict
