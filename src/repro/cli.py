@@ -276,7 +276,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    explainer = TraceExplainer.from_file(args.trace)
+    from repro.obs import is_dist_trace, load_trace
+
+    events = load_trace(args.trace)
+    if is_dist_trace(events):
+        # One entry point for both runtimes: a dist trace (it carries
+        # message/op-span events) goes to the causal explainer.
+        return _explain_dist(events, args.txn)
+    explainer = TraceExplainer(events)
     if args.txn is not None:
         print(explainer.explain_txn(args.txn))
         return 0
@@ -284,6 +291,23 @@ def cmd_explain(args: argparse.Namespace) -> int:
     print()
     print(explainer.render_latency_breakdown())
     return 0
+
+
+def _explain_dist(events, txn: Optional[int]) -> int:
+    from repro.obs import CausalTrace, CriticalPathAnalyzer
+
+    analyzer = CriticalPathAnalyzer(CausalTrace(events))
+    if txn is not None:
+        print(analyzer.render_txn(txn))
+        return 0
+    print(analyzer.render())
+    return 0 if not analyzer.check() else 1
+
+
+def cmd_dist_explain(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace
+
+    return _explain_dist(load_trace(args.trace), args.txn)
 
 
 def _dist_plan(args: argparse.Namespace):
@@ -320,7 +344,7 @@ def _dist_plan(args: argparse.Namespace):
     )
 
 
-def _dist_run(args: argparse.Namespace):
+def _dist_run(args: argparse.Namespace, trace_sink=None):
     from repro.dist import DistributedRuntime
 
     partition, workload = _build_workload(
@@ -341,6 +365,7 @@ def _dist_run(args: argparse.Namespace):
         target_commits=args.commits,
         max_steps=max(args.commits * 500, 100_000),
         audit=True,
+        trace_sink=trace_sink,
     ).run()
     return runtime, result
 
@@ -348,8 +373,17 @@ def _dist_run(args: argparse.Namespace):
 def cmd_dist(args: argparse.Namespace) -> int:
     from repro.sim.messages import measured_message_report
 
-    runtime, result = _dist_run(args)
+    if args.trace_out:
+        with JsonlTraceSink(args.trace_out) as sink:
+            runtime, result = _dist_run(args, trace_sink=sink)
+            events_written = sink.events_written
+        print(f"{events_written} events -> {args.trace_out}")
+    else:
+        runtime, result = _dist_run(args)
     if args.check_determinism:
+        # The second run is always untraced, so with --trace-out this
+        # check doubles as the non-perturbation assertion: tracing may
+        # not change a single byte of the message log or schedule.
         second, _ = _dist_run(args)
         if runtime.network.log_lines() != second.network.log_lines():
             print("DETERMINISM FAILURE: message logs diverge")
@@ -598,7 +632,28 @@ def build_parser() -> argparse.ArgumentParser:
         dest="message_log",
         help="write the canonical message trace to this file",
     )
+    dist.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="write a causal JSONL event trace to this file",
+    )
     dist.set_defaults(fn=cmd_dist)
+
+    dist_explain = sub.add_parser(
+        "dist-explain",
+        help="attribute commit latency from a dist JSONL trace",
+    )
+    dist_explain.add_argument(
+        "trace", help="trace file written by `repro dist --trace-out`"
+    )
+    dist_explain.add_argument(
+        "--txn",
+        type=int,
+        default=None,
+        help="explain one committed transaction's critical path",
+    )
+    dist_explain.set_defaults(fn=cmd_dist_explain)
 
     report = sub.add_parser(
         "report", help="run the headline experiments, emit markdown"

@@ -121,7 +121,16 @@ class FaultPlan:
 
 @dataclass
 class Message:
-    """One message on the wire (payloads must stay JSON-safe)."""
+    """One message on the wire (payloads must stay JSON-safe).
+
+    The causal fields (``lamport``, ``txn_id``, ``parent_span``,
+    ``retransmit_of``) are stamped on *every* send, tracing or not —
+    they are pure bookkeeping over deterministic state, so the traced
+    and untraced runs execute identically and the message log itself
+    encodes the happens-before DAG.  ``parent_span`` is the ``seq`` of
+    the message whose delivery caused this send (``None`` for root
+    sends: coordinator RPCs, timers).
+    """
 
     seq: int
     src: str
@@ -131,6 +140,10 @@ class Message:
     send_tick: int
     deliver_tick: int
     fate: str = "in-flight"  # delivered | dropped | partitioned | dst-down
+    lamport: int = 0
+    txn_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    retransmit_of: Optional[int] = None
 
     def log_record(self) -> dict[str, object]:
         return {
@@ -142,6 +155,10 @@ class Message:
             "kind": self.kind,
             "payload": dict(self.payload),
             "fate": self.fate,
+            "lamport": self.lamport,
+            "txn": self.txn_id,
+            "cause": self.parent_span,
+            "rtx": self.retransmit_of,
         }
 
 
@@ -179,6 +196,16 @@ class SimNetwork:
         #: Observability hook: called as (message, "sent"/"delivered"/
         #: "dropped"); the runtime turns these into trace events.
         self.sink_hook = sink_hook
+        #: Lifecycle hook: called as (node, "down"/"up") when a crash
+        #: plan takes an endpoint down or brings it back.
+        self.lifecycle_hook: Optional[Callable[[str, str], None]] = None
+        #: Per-endpoint Lamport clocks (send: increment and stamp;
+        #: deliver: advance past the stamp before the handler runs).
+        self._lamport: dict[str, int] = {}
+        #: The message currently being delivered — any send issued from
+        #: inside its handler is causally its child and inherits its
+        #: transaction unless the sender says otherwise.
+        self._delivering: Optional[Message] = None
         for crash in plan.crashes:
             if crash.recover <= crash.at:
                 raise ConfigError(
@@ -215,6 +242,8 @@ class SimNetwork:
             if endpoint is None:  # pragma: no cover - plan names a node
                 raise ReproError(f"crash plan names unknown node {node!r}")
             endpoint.down = True
+            if self.lifecycle_hook is not None:
+                self.lifecycle_hook(node, "down")
 
         return fire
 
@@ -225,6 +254,8 @@ class SimNetwork:
             recover = getattr(endpoint.handler, "__self__", None)
             if recover is not None and hasattr(recover, "on_recover"):
                 recover.on_recover()
+            if self.lifecycle_hook is not None:
+                self.lifecycle_hook(node, "up")
 
         return fire
 
@@ -240,9 +271,23 @@ class SimNetwork:
         return rng
 
     def send(
-        self, src: str, dst: str, kind: str, payload: Mapping[str, object]
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Mapping[str, object],
+        txn_id: Optional[int] = None,
+        parent: Optional[int] = None,
+        retransmit_of: Optional[int] = None,
     ) -> Message:
-        """Stamp, log, and (unless a fault eats it) enqueue a message."""
+        """Stamp, log, and (unless a fault eats it) enqueue a message.
+
+        Causal context defaults from the delivery in progress: a send
+        issued inside a handler gets the handled message as its parent
+        span and inherits its transaction.  Root senders (the
+        coordinator, retransmit timers) pass ``txn_id`` / ``parent`` /
+        ``retransmit_of`` explicitly.
+        """
         plan = self.plan
         rng = self._link_rng(src, dst)
         delay = plan.latency
@@ -250,6 +295,14 @@ class SimNetwork:
             delay += rng.randrange(plan.jitter + 1)
         if plan.spike_rate and rng.random() < plan.spike_rate:
             delay += plan.spike_ticks
+        cause = self._delivering
+        if cause is not None and cause.dst == src:
+            if parent is None:
+                parent = cause.seq
+            if txn_id is None:
+                txn_id = cause.txn_id
+        lamport = self._lamport.get(src, 0) + 1
+        self._lamport[src] = lamport
         message = Message(
             seq=self._next_seq,
             src=src,
@@ -258,6 +311,10 @@ class SimNetwork:
             payload=payload,
             send_tick=self.tick_now,
             deliver_tick=self.tick_now + delay,
+            lamport=lamport,
+            txn_id=txn_id,
+            parent_span=parent,
+            retransmit_of=retransmit_of,
         )
         self._next_seq += 1
         self.log.append(message)
@@ -299,9 +356,16 @@ class SimNetwork:
             return bool(self._drop(message, "dst-down")) or True
         message.fate = "delivered"
         self.delivered += 1
+        clock = self._lamport.get(message.dst, 0)
+        self._lamport[message.dst] = max(clock, message.lamport) + 1
         if self.sink_hook is not None:
             self.sink_hook(message, "delivered")
-        endpoint.handler(message)
+        outer = self._delivering
+        self._delivering = message
+        try:
+            endpoint.handler(message)
+        finally:
+            self._delivering = outer
         return True
 
     def tick(self) -> int:

@@ -616,6 +616,7 @@ class SegmentNode:
                 self.sink.emit(
                     DigestStalenessEvent(
                         ts=self.known_now,
+                        tick=self.network.tick_now,
                         node=self.name,
                         source_class=source_class,
                         staleness=max(0, self.known_now - stamp),

@@ -89,7 +89,10 @@ from repro.obs.events import (
     MessageDeliveredEvent,
     MessageDroppedEvent,
     MessageSentEvent,
+    NodeCrashedEvent,
+    NodeRecoveredEvent,
     NullSink,
+    OpSpanEvent,
     ReadEvent,
     WriteEvent,
 )
@@ -328,6 +331,10 @@ class DistributedRuntime:
                 for class_id in classes
             }
         self.network.register(self.COORD, self._on_message)
+        self.network.lifecycle_hook = self._node_lifecycle
+        self._nodes_by_name = {
+            node.name: node for node in self.nodes.values()
+        }
         if self.is_hdd and not self.plan.is_ideal:
             for node in self.nodes.values():
                 node.start_heartbeat()
@@ -341,7 +348,14 @@ class DistributedRuntime:
         # -- RPC machinery ---------------------------------------------
         self._next_req = 1
         self._pending: set[int] = set()
+        #: Fire-and-forget reliable requests (abort finalizes to a dead
+        #: node): retransmits keep firing until the ack arrives, but no
+        #: pump ever waits for it — the ack is swallowed on delivery.
+        self._background: set[int] = set()
         self._responses: dict[int, dict] = {}
+        #: Depth of nested operation funnels; an :class:`OpSpanEvent`
+        #: is emitted only when the *outermost* one returns.
+        self._op_depth = 0
         self._inc_seen: list[tuple[str, int]] = []
         self._node_inc: dict[str, int] = {}
         #: ``txn_id -> node name -> incarnation at first *stateful*
@@ -392,6 +406,11 @@ class DistributedRuntime:
             src=message.src,
             dst=message.dst,
             msg_kind=message.kind,
+            lamport=message.lamport,
+            txn_id=message.txn_id,
+            parent_span=message.parent_span,
+            retransmit_of=message.retransmit_of,
+            req=message.payload.get("req"),
         )
         if what == "sent":
             sink.emit(MessageSentEvent(**common))
@@ -405,6 +424,32 @@ class DistributedRuntime:
         else:
             sink.emit(MessageDroppedEvent(**common, fate=message.fate))
 
+    def _node_lifecycle(self, name: str, what: str) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        if what == "down":
+            sink.emit(
+                NodeCrashedEvent(
+                    step=self.current_step,
+                    ts=self.network.tick_now,
+                    node=name,
+                )
+            )
+            return
+        node = self._nodes_by_name.get(name)
+        sink.emit(
+            NodeRecoveredEvent(
+                step=self.current_step,
+                ts=self.network.tick_now,
+                node=name,
+                incarnation=node.incarnation if node is not None else 0,
+                wal_records=(
+                    len(node.wal.records) if node is not None else 0
+                ),
+            )
+        )
+
     def _on_message(self, message: Message) -> None:
         if message.kind != "RESP":  # pragma: no cover - nodes only RESP
             return
@@ -413,20 +458,45 @@ class DistributedRuntime:
         if node is not None:
             self._inc_seen.append((node, int(payload.get("inc", 0))))
         req = payload.get("req")
-        if req in self._pending:
+        if req in self._background:
+            # Fire-and-forget ack: stop the retransmits, keep nothing.
+            self._background.discard(req)
+            self._pending.discard(req)
+        elif req in self._pending:
             # Passive stashing only: never pump or mutate transaction
             # state from inside a delivery (the waiting _rpc does that).
             self._responses[req] = dict(payload)
 
     def _schedule_retransmit(
-        self, req_id: int, dst: str, kind: str, wire: dict, rto: int
+        self,
+        req_id: int,
+        dst: str,
+        kind: str,
+        wire: dict,
+        rto: int,
+        txn_id: Optional[int],
+        origin_seq: int,
     ) -> None:
         def fire() -> None:
             if req_id not in self._pending:
                 return
-            self.network.send(self.COORD, dst, kind, wire)
+            self.network.send(
+                self.COORD,
+                dst,
+                kind,
+                wire,
+                txn_id=txn_id,
+                parent=origin_seq,
+                retransmit_of=origin_seq,
+            )
             self._schedule_retransmit(
-                req_id, dst, kind, wire, min(rto * 2, 8 * self._rto)
+                req_id,
+                dst,
+                kind,
+                wire,
+                min(rto * 2, 8 * self._rto),
+                txn_id,
+                origin_seq,
             )
 
         self.network.at_tick(self.network.tick_now + rto, fire)
@@ -437,6 +507,7 @@ class DistributedRuntime:
         kind: str,
         payload: dict,
         reliable: bool = True,
+        txn_id: Optional[int] = None,
     ) -> Optional[dict]:
         """One synchronous request/response exchange with a node.
 
@@ -452,9 +523,11 @@ class DistributedRuntime:
         wire = {**payload, "req": req_id, "now": self.clock.now}
         self._pending.add(req_id)
         dst = node_name(node)
-        sent = self.network.send(self.COORD, dst, kind, wire)
+        sent = self.network.send(self.COORD, dst, kind, wire, txn_id=txn_id)
         if reliable and not self.plan.is_ideal:
-            self._schedule_retransmit(req_id, dst, kind, wire, self._rto)
+            self._schedule_retransmit(
+                req_id, dst, kind, wire, self._rto, txn_id, sent.seq
+            )
         if not reliable and sent.fate != "in-flight":
             # The request died on the wire and nothing will retransmit
             # it: abandon now instead of burning the poll budget (the
@@ -472,6 +545,34 @@ class DistributedRuntime:
                 f"RPC {kind} to {dst} starved after {budget} net ticks"
             )
         return response
+
+    def _rpc_background(
+        self,
+        node: SegmentId,
+        kind: str,
+        payload: dict,
+        txn_id: Optional[int],
+    ) -> None:
+        """A reliable request nobody waits for (dead-on-wire cleanup).
+
+        Used to finalize an abort at a node that is *down right now*:
+        pumping for the ack would stall the whole coordinator until the
+        node recovers, for a transaction that is already doomed.  The
+        retransmit timers keep firing during every later pump, so the
+        finalize lands (and the activity interval closes) shortly after
+        recovery; the passive receive handler swallows the ack.
+        """
+        req_id = self._next_req
+        self._next_req += 1
+        wire = {**payload, "req": req_id, "now": self.clock.now}
+        self._pending.add(req_id)
+        self._background.add(req_id)
+        dst = node_name(node)
+        sent = self.network.send(self.COORD, dst, kind, wire, txn_id=txn_id)
+        if not self.plan.is_ideal:
+            self._schedule_retransmit(
+                req_id, dst, kind, wire, self._rto, txn_id, sent.seq
+            )
 
     def _touch(self, txn_id: int, class_id: SegmentId) -> None:
         """Record first *stateful* contact for incarnation fencing."""
@@ -501,6 +602,29 @@ class DistributedRuntime:
                 self._cleanup_abort(
                     txn, f"node restart: {node} lost in-flight state"
                 )
+
+    def _wire_fence(self, txn: Transaction) -> Optional[Outcome]:
+        """Fast-abandon a transaction whose stateful node is down *now*.
+
+        The recorded touch incarnation is at most the node's incarnation
+        when it went down, and recovery bumps it past that — so the
+        incarnation fence is guaranteed to kill this transaction at its
+        next observation.  Aborting immediately (with the abort finalize
+        running fire-and-forget via :meth:`_rpc_background`) spares the
+        client the wait for the node's recovery; the interval closes
+        when the retransmitted finalize lands after restart.
+        """
+        if not self.plan.crashes:
+            return None
+        touched = self._txn_touch.get(txn.txn_id)
+        if not touched:
+            return None
+        for name in sorted(touched):
+            if self.network.is_down(name):
+                reason = f"dead on wire: {name} is down with in-flight state"
+                self._cleanup_abort(txn, reason, background=True)
+                return aborted(reason)
+        return None
 
     @staticmethod
     def _outcome(response: dict) -> Outcome:
@@ -540,6 +664,48 @@ class DistributedRuntime:
     @property
     def sink(self) -> Optional[EventSink]:
         return self._sink
+
+    def _span_open(self) -> int:
+        """Enter an operation funnel; returns its start network tick."""
+        self._op_depth += 1
+        return self.network.tick_now
+
+    def _span_close(
+        self,
+        op: str,
+        txn_id: Optional[int],
+        start_tick: int,
+        status: str = "",
+    ) -> None:
+        """Leave an operation funnel; the outermost one emits its span.
+
+        Nested funnels (the wall poll inside begin/commit, the cleanup
+        abort a fence runs inside another transaction's read) stay
+        silent: their ticks belong to the enclosing span, and the
+        critical-path analyzer re-attributes them RPC by RPC.
+        """
+        self._op_depth -= 1
+        if self._sink is None or self._op_depth:
+            return
+        self._sink.emit(
+            OpSpanEvent(
+                step=self.current_step,
+                ts=self.network.tick_now,
+                txn_id=txn_id,
+                op=op,
+                start_tick=start_tick,
+                end_tick=self.network.tick_now,
+                status=status,
+            )
+        )
+
+    @staticmethod
+    def _status(outcome: Outcome) -> str:
+        if outcome.granted:
+            return "granted"
+        if outcome.blocked:
+            return "blocked"
+        return "aborted"
 
     def _txn_class(self, txn: Transaction) -> Optional[str]:
         return txn.class_id
@@ -601,6 +767,7 @@ class DistributedRuntime:
         read_only: bool = False,
     ) -> Transaction:
         txn_id = self._next_txn_id
+        start_tick = self._span_open()
         self._next_txn_id += 1
         initiation_ts = self.clock.tick()
         kind = (
@@ -622,7 +789,8 @@ class DistributedRuntime:
                 )
             )
         if self.is_hdd:
-            self.poll_walls()
+            self.poll_walls(txn_id)
+        self._span_close("begin", txn_id, start_tick)
         return txn
 
     def _make_transaction(
@@ -662,7 +830,12 @@ class DistributedRuntime:
         # interval the class activity log never opened, and no later
         # message can repair the walls computed in the gap.
         self._touch(txn_id, class_id)
-        self._rpc(class_id, "BEGIN", {"txn": self._txn_meta(txn)})
+        self._rpc(
+            class_id,
+            "BEGIN",
+            {"txn": self._txn_meta(txn)},
+            txn_id=txn_id,
+        )
         return txn
 
     def _finish_commit(self, txn: Transaction) -> Timestamp:
@@ -704,20 +877,29 @@ class DistributedRuntime:
     # Operations
     # ------------------------------------------------------------------
     def read(self, txn: Transaction, granule: GranuleId) -> Outcome:
+        start_tick = self._span_open()
         outcome = self._do_read(txn, granule)
         if self._sink is not None:
             self._emit_access("read", txn, granule, outcome)
+        self._span_close(
+            "read", txn.txn_id, start_tick, self._status(outcome)
+        )
         return outcome
 
     def write(
         self, txn: Transaction, granule: GranuleId, value: object
     ) -> Outcome:
+        start_tick = self._span_open()
         outcome = self._do_write(txn, granule, value)
         if self._sink is not None:
             self._emit_access("write", txn, granule, outcome)
+        self._span_close(
+            "write", txn.txn_id, start_tick, self._status(outcome)
+        )
         return outcome
 
     def commit(self, txn: Transaction) -> Outcome:
+        start_tick = self._span_open()
         outcome = self._do_commit(txn)
         if self._sink is not None and outcome.blocked:
             self._sink.emit(
@@ -731,6 +913,9 @@ class DistributedRuntime:
                     wait_target=outcome.waiting_for,
                 )
             )
+        self._span_close(
+            "commit", txn.txn_id, start_tick, self._status(outcome)
+        )
         return outcome
 
     def _killed(self, txn: Transaction) -> Outcome:
@@ -744,6 +929,9 @@ class DistributedRuntime:
     def _do_read(self, txn: Transaction, granule: GranuleId) -> Outcome:
         if not txn.is_active:
             return self._killed(txn)
+        doomed = self._wire_fence(txn)
+        if doomed is not None:
+            return doomed
         if not self.is_hdd:
             return self._baseline_op(txn, "READ_B", {"granule": granule})
         segment = self.partition.segment_of(granule)
@@ -783,6 +971,7 @@ class DistributedRuntime:
                 "reader_class": txn.class_id,
                 "wall": cache.get(segment),
             },
+            txn_id=txn.txn_id,
         )
         if not txn.is_active:
             return self._killed(txn)
@@ -814,6 +1003,7 @@ class DistributedRuntime:
                         "bottom": bottom,
                         "wall": cache.get(segment),
                     },
+                    txn_id=txn.txn_id,
                 )
                 if not txn.is_active:
                     return self._killed(txn)
@@ -832,7 +1022,7 @@ class DistributedRuntime:
                 # freshness heuristic (same fallback as the monolith).
                 wall_obj = self.walls.released[-1]
             if wall_obj is None:
-                self.poll_walls()
+                self.poll_walls(txn.txn_id)
                 wall_obj = self.walls.wall_for(self.clock.now + 1)
             if wall_obj is None:
                 self._stats.wall_blocks += 1
@@ -847,6 +1037,7 @@ class DistributedRuntime:
                 "granule": granule,
                 "component": wall_obj.component(segment),
             },
+            txn_id=txn.txn_id,
         )
         if not txn.is_active:
             return self._killed(txn)
@@ -876,7 +1067,10 @@ class DistributedRuntime:
         """A Protocol B (or baseline shard) engine operation at a node."""
         self._touch(txn.txn_id, segment)
         response = self._rpc(
-            segment, kind, {**payload, "txn": self._txn_meta(txn)}
+            segment,
+            kind,
+            {**payload, "txn": self._txn_meta(txn)},
+            txn_id=txn.txn_id,
         )
         if not txn.is_active:
             return self._killed(txn)
@@ -909,6 +1103,9 @@ class DistributedRuntime:
     ) -> Outcome:
         if not txn.is_active:
             return self._killed(txn)
+        doomed = self._wire_fence(txn)
+        if doomed is not None:
+            return doomed
         if txn.is_read_only:
             raise ProtocolViolation(
                 f"read-only txn {txn.txn_id} attempted a write"
@@ -937,6 +1134,9 @@ class DistributedRuntime:
     def _do_commit(self, txn: Transaction) -> Outcome:
         if not txn.is_active:
             return self._killed(txn)
+        doomed = self._wire_fence(txn)
+        if doomed is not None:
+            return doomed
         if self.plan.crashes and not txn.is_read_only:
             veto = self._crash_fence(txn)
             if veto is not None:
@@ -964,6 +1164,7 @@ class DistributedRuntime:
                         "writes": writes,
                         "close": True,
                     },
+                    txn_id=txn.txn_id,
                 )
                 self._note_closure(txn.class_id)
         else:
@@ -986,10 +1187,11 @@ class DistributedRuntime:
                         "writes": by_node.get(segment, []),
                         "close": False,
                     },
+                    txn_id=txn.txn_id,
                 )
         self._forget(txn)
         if self.is_hdd:
-            self.poll_walls()
+            self.poll_walls(txn.txn_id)
         return granted(version_ts=commit_ts)
 
     def _crash_fence(self, txn: Transaction) -> Optional[Outcome]:
@@ -998,9 +1200,12 @@ class DistributedRuntime:
             self._txn_touch.get(txn.txn_id, {}).items()
         ):
             segment = name.removeprefix("node:")
-            response = self._rpc(segment, "COMMIT_CHECK", {
-                "txn_id": txn.txn_id,
-            })
+            response = self._rpc(
+                segment,
+                "COMMIT_CHECK",
+                {"txn_id": txn.txn_id},
+                txn_id=txn.txn_id,
+            )
             if not txn.is_active:
                 return self._killed(txn)
             if not response["known"] or response["inc"] != inc:
@@ -1012,9 +1217,13 @@ class DistributedRuntime:
     def abort(self, txn: Transaction, reason: str) -> None:
         if not txn.is_active:
             return  # a background fence already finished the job
+        start_tick = self._span_open()
         self._cleanup_abort(txn, reason)
+        self._span_close("abort", txn.txn_id, start_tick, "aborted")
 
-    def _cleanup_abort(self, txn: Transaction, reason: str) -> None:
+    def _cleanup_abort(
+        self, txn: Transaction, reason: str, background: bool = False
+    ) -> None:
         abort_ts = self._finish_abort(txn, reason)
         by_node: dict[SegmentId, list[GranuleId]] = {}
         for granule in txn.workspace:
@@ -1029,22 +1238,30 @@ class DistributedRuntime:
                 if node_name(segment) in self._txn_touch.get(txn.txn_id, {})
             ]
         for segment in targets:
-            self._rpc(
-                segment,
-                "ABORT_FINALIZE",
-                {
-                    "txn_id": txn.txn_id,
-                    "I": txn.initiation_ts,
-                    "abort_ts": abort_ts,
-                    "granules": by_node.get(segment, []),
-                    "close": self.is_hdd,
-                },
-            )
+            wire = {
+                "txn_id": txn.txn_id,
+                "I": txn.initiation_ts,
+                "abort_ts": abort_ts,
+                "granules": by_node.get(segment, []),
+                "close": self.is_hdd,
+            }
+            if background:
+                # The target is down *right now* (wire fence): a
+                # synchronous finalize would stall on the very outage
+                # that doomed the transaction.  Fire-and-forget keeps
+                # the retransmit timer alive until the node recovers.
+                self._rpc_background(
+                    segment, "ABORT_FINALIZE", wire, txn.txn_id
+                )
+            else:
+                self._rpc(
+                    segment, "ABORT_FINALIZE", wire, txn_id=txn.txn_id
+                )
             if self.is_hdd:
                 self._note_closure(segment)
         self._forget(txn)
         if self.is_hdd:
-            self.poll_walls()
+            self.poll_walls(txn.txn_id)
 
     def _forget(self, txn: Transaction) -> None:
         self._ro_segments.pop(txn.txn_id, None)
@@ -1107,7 +1324,7 @@ class DistributedRuntime:
         _, class_id, ends = state
         return self._gov_ends.get(class_id, 0) == ends
 
-    def _poll_walls(self) -> None:
+    def _poll_walls(self, txn_id: Optional[int] = None) -> None:
         """Ask the leader to drive its wall manager; ingest fresh walls.
 
         Unreliable on purpose: under faults an abandoned poll just means
@@ -1117,6 +1334,11 @@ class DistributedRuntime:
         every class's digest, and ends at *any* timestamp can change
         computability, so the leader barrier is total (unlike READ_A's).
         """
+        start_tick = self._span_open()
+        self._do_poll_walls(txn_id)
+        self._span_close("poll", txn_id, start_tick)
+
+    def _do_poll_walls(self, txn_id: Optional[int]) -> None:
         if self._gov_active and self._gov_skip():
             self.polls_skipped += 1
             return
@@ -1130,7 +1352,11 @@ class DistributedRuntime:
             else -1
         )
         response = self._rpc(
-            self.leader_class, "POLL", {"after": after}, reliable=False
+            self.leader_class,
+            "POLL",
+            {"after": after},
+            reliable=False,
+            txn_id=txn_id,
         )
         if response is None:
             self._gov_state = None

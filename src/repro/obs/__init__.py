@@ -5,33 +5,51 @@ reads are free, Protocol B conflicts and time-wall waits are not — so
 this package makes every scheduler decision observable:
 
 * :mod:`repro.obs.events` — the typed event taxonomy (begin / read /
-  write / blocked / aborted / committed / wall lifecycle / GC) plus the
-  sink contract and the in-memory sinks;
+  write / blocked / aborted / committed / wall lifecycle / network
+  messages / GC) plus the sink contract and the in-memory sinks;
 * :mod:`repro.obs.jsonl` — a streaming JSONL sink and its loader, so
   traces survive the process and can be explained offline;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` sink keeping
   counters and histograms (per-protocol reads, block durations, wall
-  lag, abort reasons);
+  lag, abort reasons, per-link delays);
 * :mod:`repro.obs.explain` — reconstruct per-transaction timelines and
   wait chains from a trace and answer "why was this transaction
-  waiting?".
+  waiting?";
+* :mod:`repro.obs.causal` — reassemble a distributed trace into its
+  happens-before DAG (message fates, RPC exchanges, op spans, down
+  windows);
+* :mod:`repro.obs.critical_path` — attribute every tick of every
+  commit's latency to an exact bucket on top of that DAG.
 
 Tracing is off by default and costs a single ``if self._sink is not
 None`` branch per instrumented operation (see
 :meth:`repro.scheduling.BaseScheduler.set_sink`).
 """
 
+from repro.obs.causal import CausalTrace, is_dist_trace
+from repro.obs.critical_path import (
+    BUCKETS,
+    CommitPath,
+    CriticalPathAnalyzer,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     AbortedEvent,
     BeginEvent,
     BlockedEvent,
     CommittedEvent,
+    DigestStalenessEvent,
     Event,
     EventSink,
     GCPassEvent,
     MemorySink,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
+    NodeCrashedEvent,
+    NodeRecoveredEvent,
     NullSink,
+    OpSpanEvent,
     ReadEvent,
     RunEndEvent,
     TeeSink,
@@ -47,19 +65,30 @@ from repro.obs.jsonl import JsonlTraceSink, load_trace
 from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = [
+    "BUCKETS",
     "EVENT_TYPES",
     "AbortedEvent",
     "BeginEvent",
     "BlockedEvent",
+    "CausalTrace",
+    "CommitPath",
     "CommittedEvent",
+    "CriticalPathAnalyzer",
+    "DigestStalenessEvent",
     "Event",
     "EventSink",
     "GCPassEvent",
     "Histogram",
     "JsonlTraceSink",
     "MemorySink",
+    "MessageDeliveredEvent",
+    "MessageDroppedEvent",
+    "MessageSentEvent",
     "MetricsRegistry",
+    "NodeCrashedEvent",
+    "NodeRecoveredEvent",
     "NullSink",
+    "OpSpanEvent",
     "ReadEvent",
     "RunEndEvent",
     "TeeSink",
@@ -70,5 +99,6 @@ __all__ = [
     "WallUnpinnedEvent",
     "WriteEvent",
     "event_from_record",
+    "is_dist_trace",
     "load_trace",
 ]

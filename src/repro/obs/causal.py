@@ -1,0 +1,424 @@
+"""The happens-before DAG of a distributed-runtime trace.
+
+A dist trace (``repro dist --trace-out``) interleaves four strands of
+truth about one run:
+
+* **message events** (``msg_sent`` / ``msg_delivered`` /
+  ``msg_dropped``) carrying the causal fields stamped by
+  :class:`~repro.dist.net.SimNetwork` — Lamport clock, transaction id,
+  ``parent_span`` (the ``seq`` of the delivery that caused the send),
+  ``retransmit_of`` and the RPC ``req`` id;
+* **operation spans** (``op_span``) marking every *top-level*
+  coordinator operation with its start/end network tick — because the
+  network only advances inside coordinator pumps, these spans
+  partition the run's ticks exactly;
+* **node lifecycle** (``node_crashed`` / ``node_recovered``) bracketing
+  each down window on the tick axis;
+* **digest staleness** samples localising how far each node's remote
+  knowledge lagged when gossip landed.
+
+:class:`CausalTrace` reassembles those strands into navigable
+structures: per-``seq`` :class:`MessageView` fate records, per-``req``
+:class:`RpcExchange` groupings (original attempt, retransmits,
+responses), per-span :class:`OpRegion` slices of the event file, down
+windows and staleness step points.  File order is preserved everywhere
+(``*_index`` fields) because it encodes the coordinator's actual
+execution order — the critical-path analyzer
+(:mod:`repro.obs.critical_path`) leans on it to decide whether a poll
+was answered in place or abandoned.
+
+The module is pure trace-reading: it imports nothing from the dist
+runtime and works offline on a JSONL file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.events import (
+    AbortedEvent,
+    BeginEvent,
+    CommittedEvent,
+    DigestStalenessEvent,
+    Event,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
+    NodeCrashedEvent,
+    NodeRecoveredEvent,
+    OpSpanEvent,
+    WallReleasedEvent,
+)
+
+#: The coordinator's endpoint name on the simulated network.
+COORD = "coord"
+
+
+def is_dist_trace(events: Iterable[Event]) -> bool:
+    """Does this trace come from the distributed runtime?
+
+    Message and op-span events only exist there; a monolithic trace has
+    neither.
+    """
+    return any(
+        isinstance(e, (MessageSentEvent, OpSpanEvent)) for e in events
+    )
+
+
+@dataclass
+class MessageView:
+    """One message's life, collated from its sent/delivered/dropped
+    events (``*_index`` fields are positions in the event file)."""
+
+    seq: int
+    src: str = ""
+    dst: str = ""
+    msg_kind: str = ""
+    lamport: int = 0
+    txn_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    retransmit_of: Optional[int] = None
+    req: Optional[int] = None
+    sent_tick: Optional[int] = None
+    sent_index: Optional[int] = None
+    delivered_tick: Optional[int] = None
+    delivered_index: Optional[int] = None
+    delay: Optional[int] = None
+    dropped_fate: Optional[str] = None
+
+    @property
+    def is_response(self) -> bool:
+        return self.msg_kind == "RESP"
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_tick is not None
+
+
+@dataclass
+class RpcExchange:
+    """Every message sharing one coordinator RPC ``req`` id.
+
+    ``attempts`` holds the coordinator's request sends in file order —
+    the first is the original (``retransmit_of is None``), the rest are
+    retransmissions.  ``responses`` holds the node's RESP sends for the
+    req (a node replays its cached response to duplicate requests, so
+    several can exist; the first *delivered* one is what the waiting
+    coordinator consumed).
+    """
+
+    req: int
+    attempts: list[MessageView] = field(default_factory=list)
+    responses: list[MessageView] = field(default_factory=list)
+
+    @property
+    def origin(self) -> MessageView:
+        return self.attempts[0]
+
+    @property
+    def kind(self) -> str:
+        return self.origin.msg_kind
+
+    @property
+    def dst(self) -> str:
+        return self.origin.dst
+
+    @property
+    def txn_id(self) -> Optional[int]:
+        return self.origin.txn_id
+
+    @property
+    def retransmits(self) -> int:
+        return len(self.attempts) - 1
+
+    def first_response(self) -> Optional[MessageView]:
+        """The first *delivered* response in file order — the one the
+        coordinator's pump actually consumed (if it was still waiting).
+        """
+        delivered = [r for r in self.responses if r.delivered]
+        if not delivered:
+            return None
+        return min(delivered, key=lambda r: r.delivered_index or 0)
+
+    def winning_attempt(self) -> Optional[MessageView]:
+        """The request attempt whose delivery produced the first
+        response (``response.parent_span`` names it)."""
+        response = self.first_response()
+        if response is None:
+            return None
+        for attempt in self.attempts:
+            if attempt.seq == response.parent_span:
+                return attempt
+        return self.attempts[0]
+
+
+@dataclass
+class OpRegion:
+    """One top-level coordinator operation and the events emitted
+    during it.
+
+    ``op_span`` events are emitted when an operation *returns*, so the
+    events of region *k* are exactly those between span *k-1*'s event
+    and span *k*'s — the spans partition the file.  ``rpc_reqs`` lists
+    the req ids of RPC exchanges *originated* in this region, in
+    send order.
+    """
+
+    span: OpSpanEvent
+    span_index: int
+    events: list[Event] = field(default_factory=list)
+    rpc_reqs: list[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return self.span.end_tick - self.span.start_tick
+
+
+class CausalTrace:
+    """A dist trace reassembled into its happens-before structure."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self.events: list[Event] = list(events)
+        self.messages: dict[int, MessageView] = {}
+        self.exchanges: dict[int, RpcExchange] = {}
+        self.regions: list[OpRegion] = []
+        #: A committed/aborted transaction's op regions, in file order.
+        self.regions_by_txn: dict[int, list[OpRegion]] = {}
+        #: Closed (and one possibly open) down windows per node name.
+        self.down_windows: dict[str, list[tuple[int, Optional[int]]]] = {}
+        #: Staleness samples per (node, source_class), in tick order.
+        self.staleness_points: dict[
+            tuple[str, str], list[tuple[int, int]]
+        ] = {}
+        self.begins: dict[int, BeginEvent] = {}
+        self.commits: dict[int, CommittedEvent] = {}
+        self.aborts: dict[int, AbortedEvent] = {}
+        self.walls: list[tuple[int, WallReleasedEvent]] = []
+        #: The wall leader's node name (dst of POLL requests).
+        self.leader: Optional[str] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str) -> "CausalTrace":
+        from repro.obs.jsonl import load_trace
+
+        return cls(load_trace(path))
+
+    def _build(self) -> None:
+        buffer: list[Event] = []
+        for index, event in enumerate(self.events):
+            if isinstance(event, OpSpanEvent):
+                self._close_region(event, index, buffer)
+                buffer = []
+                continue
+            buffer.append(event)
+            if isinstance(event, MessageSentEvent):
+                self._on_sent(event, index)
+            elif isinstance(event, MessageDeliveredEvent):
+                self._on_delivered(event, index)
+            elif isinstance(event, MessageDroppedEvent):
+                self._on_dropped(event, index)
+            elif isinstance(event, NodeCrashedEvent):
+                self.down_windows.setdefault(event.node, []).append(
+                    (event.ts, None)
+                )
+            elif isinstance(event, NodeRecoveredEvent):
+                windows = self.down_windows.setdefault(event.node, [])
+                if windows and windows[-1][1] is None:
+                    windows[-1] = (windows[-1][0], event.ts)
+                else:  # recovered without a crash event (partial trace)
+                    windows.append((0, event.ts))
+            elif isinstance(event, DigestStalenessEvent):
+                self.staleness_points.setdefault(
+                    (event.node, event.source_class), []
+                ).append((event.tick, event.staleness))
+            elif isinstance(event, BeginEvent):
+                self.begins[event.txn_id] = event
+            elif isinstance(event, CommittedEvent):
+                self.commits[event.txn_id] = event
+            elif isinstance(event, AbortedEvent):
+                self.aborts[event.txn_id] = event
+            elif isinstance(event, WallReleasedEvent):
+                self.walls.append((index, event))
+
+    def _view(self, seq: int) -> MessageView:
+        view = self.messages.get(seq)
+        if view is None:
+            view = self.messages[seq] = MessageView(seq=seq)
+        return view
+
+    @staticmethod
+    def _stamp(view: MessageView, event) -> None:
+        view.src = event.src
+        view.dst = event.dst
+        view.msg_kind = event.msg_kind
+        view.lamport = event.lamport
+        view.txn_id = event.txn_id
+        view.parent_span = event.parent_span
+        view.retransmit_of = event.retransmit_of
+        view.req = event.req
+
+    def _on_sent(self, event: MessageSentEvent, index: int) -> None:
+        view = self._view(event.seq)
+        self._stamp(view, event)
+        view.sent_tick = event.ts
+        view.sent_index = index
+        if event.src == COORD and event.msg_kind != "RESP":
+            if event.req is not None:
+                exchange = self.exchanges.get(event.req)
+                if exchange is None:
+                    exchange = self.exchanges[event.req] = RpcExchange(
+                        req=event.req
+                    )
+                exchange.attempts.append(view)
+                if event.msg_kind == "POLL" and self.leader is None:
+                    self.leader = event.dst
+        elif event.msg_kind == "RESP" and event.req is not None:
+            exchange = self.exchanges.get(event.req)
+            if exchange is not None:
+                exchange.responses.append(view)
+
+    def _on_delivered(
+        self, event: MessageDeliveredEvent, index: int
+    ) -> None:
+        view = self._view(event.seq)
+        self._stamp(view, event)
+        view.delivered_tick = event.ts
+        view.delivered_index = index
+        view.delay = event.delay
+
+    def _on_dropped(self, event: MessageDroppedEvent, index: int) -> None:
+        view = self._view(event.seq)
+        self._stamp(view, event)
+        view.dropped_fate = event.fate
+
+    def _close_region(
+        self, span: OpSpanEvent, index: int, buffer: list[Event]
+    ) -> None:
+        region = OpRegion(span=span, span_index=index, events=buffer)
+        for event in buffer:
+            if (
+                isinstance(event, MessageSentEvent)
+                and event.src == COORD
+                and event.msg_kind != "RESP"
+                and event.retransmit_of is None
+                and event.req is not None
+            ):
+                region.rpc_reqs.append(event.req)
+        self.regions.append(region)
+        if span.txn_id is not None:
+            self.regions_by_txn.setdefault(span.txn_id, []).append(region)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @property
+    def is_dist(self) -> bool:
+        return bool(self.messages) or bool(self.regions)
+
+    def children(self) -> dict[int, list[int]]:
+        """Happens-before adjacency: message seq -> seqs of the sends
+        its delivery caused (``parent_span`` edges, including
+        retransmit edges back to the original attempt)."""
+        adjacency: dict[int, list[int]] = {}
+        for view in self.messages.values():
+            if view.parent_span is not None:
+                adjacency.setdefault(view.parent_span, []).append(view.seq)
+        return adjacency
+
+    def node_down_overlap(self, node: str, start: int, end: int) -> int:
+        """Ticks of ``[start, end)`` during which ``node`` was down.
+
+        An open window (crash without recovery in the trace) extends to
+        the end of the run.
+        """
+        if end <= start:
+            return 0
+        total = 0
+        for w_start, w_end in self.down_windows.get(node, []):
+            hi = end if w_end is None else min(end, w_end)
+            lo = max(start, w_start)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def staleness_affected(self, node: str) -> list[tuple[int, int]]:
+        """Merged tick intervals during which ``node``'s view of some
+        class was stale.
+
+        Each staleness sample at tick ``T`` with value ``s`` testifies
+        about the gossip gap *ending* at ``T``: the interval since the
+        previous sample of that class was lagging iff ``s > 0``.  The
+        per-class intervals are unioned and merged.
+        """
+        raw: list[tuple[int, int]] = []
+        for (point_node, _cls), points in self.staleness_points.items():
+            if point_node != node:
+                continue
+            previous = 0
+            for tick, staleness in points:
+                if staleness > 0 and tick > previous:
+                    raw.append((previous, tick))
+                previous = tick
+        if not raw:
+            return []
+        raw.sort()
+        merged = [raw[0]]
+        for start, end in raw[1:]:
+            if start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Structural invariants of the causal encoding.
+
+        Returns human-readable problems (empty list = sound trace):
+        Lamport stamps strictly increase per sender, every delivery or
+        drop pairs with a send, deliveries never precede their send on
+        the tick axis, and ``parent_span`` / ``retransmit_of`` edges
+        point at known messages.
+        """
+        problems: list[str] = []
+        last_lamport: dict[str, int] = {}
+        for event in self.events:
+            if not isinstance(event, MessageSentEvent):
+                continue
+            previous = last_lamport.get(event.src, 0)
+            if event.lamport <= previous:
+                problems.append(
+                    f"lamport not increasing at {event.src}: "
+                    f"{event.lamport} after {previous} (seq {event.seq})"
+                )
+            last_lamport[event.src] = event.lamport
+        for view in self.messages.values():
+            if view.sent_tick is None:
+                problems.append(f"seq {view.seq} delivered/dropped "
+                                "without a send")
+                continue
+            if (
+                view.delivered_tick is not None
+                and view.delivered_tick < view.sent_tick
+            ):
+                problems.append(
+                    f"seq {view.seq} delivered at {view.delivered_tick} "
+                    f"before its send at {view.sent_tick}"
+                )
+            for label, edge in (
+                ("parent_span", view.parent_span),
+                ("retransmit_of", view.retransmit_of),
+            ):
+                if edge is not None and edge not in self.messages:
+                    problems.append(
+                        f"seq {view.seq} {label} -> {edge} "
+                        "which is not in the trace"
+                    )
+        return problems

@@ -1,0 +1,511 @@
+"""Exact commit critical-path attribution for distributed traces.
+
+Where does a committed transaction's latency go?  The monolithic
+:class:`~repro.obs.explain.TraceExplainer` answers in engine steps;
+this module answers in *network ticks* for the distributed runtime,
+with the same discipline: **every tick of every commit's latency lands
+in exactly one bucket, and the per-transaction sums cross-check the
+measured latency exactly** — an analyzer bug shows up as a failed
+reconciliation, not a silently wrong report.
+
+The exactness argument rests on two structural facts of the runtime:
+
+1. Network ticks only advance inside coordinator RPC pumps, and every
+   pump runs inside a top-level operation funnel that emits an
+   ``op_span`` event — so a transaction's latency (commit-span end
+   minus begin-span start) splits exactly into *its own spans* plus
+   *gaps between them* (the coordinator serving other clients).
+2. Within a span, RPC exchanges tile the ticks: each exchange's
+   interval runs from its first send to the next exchange's first send
+   (or the span end), and no ticks pass outside a pump.
+
+Buckets (``BUCKETS``, in render order):
+
+``link_latency``
+    Transit of the winning request attempt plus its response hop.
+``retransmit_backoff``
+    Ticks between an exchange's first send and its winning attempt's
+    send that the destination spent *up* — pure RTO/drop cost.
+``wal_replay``
+    The same gap's ticks that overlap the destination's down window —
+    the transaction waited for crash recovery, not the wire.
+``wall_wait``
+    Protocol C ticks spent waiting on a time wall: poll exchanges
+    inside ``read`` spans, and gaps after a ``blocked`` span.
+``digest_staleness``
+    The wall-wait ticks during which the leader's digests were
+    provably lagging (carved out of ``wall_wait`` using the staleness
+    step functions) — the gossip-freshness share of wall conservatism.
+``poll_overhead``
+    Abandoned unreliable polls outside read spans (lifecycle polls
+    burning their budget under faults).
+``coordinator_queueing``
+    Ticks between the transaction's spans, plus in-span exchanges run
+    on behalf of *other* transactions (nested fence cleanups).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.causal import CausalTrace, OpRegion, RpcExchange
+from repro.obs.metrics import Histogram
+
+BUCKETS = (
+    "link_latency",
+    "retransmit_backoff",
+    "wal_replay",
+    "wall_wait",
+    "digest_staleness",
+    "poll_overhead",
+    "coordinator_queueing",
+)
+
+
+@dataclass
+class CommitPath:
+    """One committed transaction's fully attributed latency."""
+
+    txn_id: int
+    txn_class: Optional[str] = None
+    begin_tick: int = 0
+    commit_tick: int = 0
+    buckets: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in BUCKETS}
+    )
+    spans: int = 0
+    rpcs: int = 0
+    retransmits: int = 0
+    #: Which wall (and delaying class) resolved each wall wait.
+    wall_names: Counter = field(default_factory=Counter)
+
+    @property
+    def latency(self) -> int:
+        return self.commit_tick - self.begin_tick
+
+    @property
+    def attributed(self) -> int:
+        return sum(self.buckets.values())
+
+    @property
+    def exact(self) -> bool:
+        return self.attributed == self.latency
+
+    def dominant(self) -> str:
+        if self.latency == 0:
+            return "-"
+        return max(BUCKETS, key=lambda name: self.buckets[name])
+
+
+class CriticalPathAnalyzer:
+    """Walk back from every commit and attribute its ticks exactly."""
+
+    def __init__(self, trace: CausalTrace) -> None:
+        self.trace = trace
+        self._paths: Optional[dict[int, CommitPath]] = None
+        #: Committed transactions the trace cannot explain (no begin
+        #: span recorded — e.g. a trace attached mid-run).
+        self.skipped: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Per-transaction attribution
+    # ------------------------------------------------------------------
+    def paths(self) -> dict[int, CommitPath]:
+        if self._paths is None:
+            self._paths = {}
+            self.skipped = []
+            for txn_id in sorted(self.trace.commits):
+                path = self._attribute(txn_id)
+                if path is None:
+                    self.skipped.append(txn_id)
+                else:
+                    self._paths[txn_id] = path
+        return self._paths
+
+    def _attribute(self, txn_id: int) -> Optional[CommitPath]:
+        regions = self.trace.regions_by_txn.get(txn_id, [])
+        if not regions or regions[0].span.op != "begin":
+            return None
+        commit_regions = [
+            r
+            for r in regions
+            if r.span.op == "commit" and r.span.status == "granted"
+        ]
+        if not commit_regions:
+            return None
+        last = commit_regions[-1]
+        lifetime = regions[: regions.index(last) + 1]
+        path = CommitPath(
+            txn_id=txn_id,
+            txn_class=self.trace.commits[txn_id].txn_class,
+            begin_tick=lifetime[0].span.start_tick,
+            commit_tick=last.span.end_tick,
+            spans=len(lifetime),
+        )
+        wall_intervals: list[tuple[int, int, int]] = []
+        for previous, region in zip(lifetime, lifetime[1:]):
+            gap = region.span.start_tick - previous.span.end_tick
+            if gap <= 0:
+                continue
+            if previous.span.status == "blocked":
+                wall_intervals.append(
+                    (
+                        previous.span.end_tick,
+                        region.span.start_tick,
+                        previous.span_index,
+                    )
+                )
+            else:
+                path.buckets["coordinator_queueing"] += gap
+        for region in lifetime:
+            self._attribute_region(path, region, wall_intervals)
+        self._carve_staleness(path, wall_intervals)
+        return path
+
+    def _attribute_region(
+        self,
+        path: CommitPath,
+        region: OpRegion,
+        wall_intervals: list[tuple[int, int, int]],
+    ) -> None:
+        exchanges = [
+            self.trace.exchanges[req]
+            for req in region.rpc_reqs
+            if req in self.trace.exchanges
+        ]
+        for position, exchange in enumerate(exchanges):
+            start = exchange.origin.sent_tick or 0
+            if position + 1 < len(exchanges):
+                end = exchanges[position + 1].origin.sent_tick or start
+                boundary_index = exchanges[position + 1].origin.sent_index
+            else:
+                end = region.span.end_tick
+                boundary_index = region.span_index
+            length = end - start
+            if length <= 0:
+                continue
+            if exchange.txn_id != path.txn_id:
+                # Work the coordinator did for someone else inside this
+                # transaction's operation (nested fence cleanup).
+                path.buckets["coordinator_queueing"] += length
+                continue
+            path.rpcs += 1
+            path.retransmits += exchange.retransmits
+            if exchange.kind == "POLL":
+                self._attribute_poll(
+                    path,
+                    region,
+                    exchange,
+                    start,
+                    end,
+                    boundary_index,
+                    wall_intervals,
+                )
+            else:
+                self._attribute_reliable(path, exchange, start, end)
+
+    def _answered_in_place(
+        self, exchange: RpcExchange, boundary_index: Optional[int]
+    ) -> bool:
+        """Did the coordinator's pump consume this exchange's response?
+
+        Decided by *file order*: the response's delivery event must
+        appear before the next exchange's send (or the span's end) —
+        a POLL response delivered later hit a coordinator that had
+        already abandoned the wait.
+        """
+        response = exchange.first_response()
+        if response is None or response.delivered_index is None:
+            return False
+        if boundary_index is None:
+            return True
+        return response.delivered_index < boundary_index
+
+    def _attribute_reliable(
+        self,
+        path: CommitPath,
+        exchange: RpcExchange,
+        start: int,
+        end: int,
+    ) -> None:
+        winner = exchange.winning_attempt()
+        if winner is None or winner.sent_tick is None:
+            # A reliable RPC is always answered; a missing response
+            # means the trace was cut short — bill transit so the sum
+            # still tiles.
+            path.buckets["link_latency"] += end - start
+            return
+        winner_send = min(max(winner.sent_tick, start), end)
+        replay = self.trace.node_down_overlap(
+            exchange.dst, start, winner_send
+        )
+        path.buckets["wal_replay"] += replay
+        path.buckets["retransmit_backoff"] += (
+            winner_send - start - replay
+        )
+        path.buckets["link_latency"] += end - winner_send
+
+    def _attribute_poll(
+        self,
+        path: CommitPath,
+        region: OpRegion,
+        exchange: RpcExchange,
+        start: int,
+        end: int,
+        boundary_index: Optional[int],
+        wall_intervals: list[tuple[int, int, int]],
+    ) -> None:
+        if region.span.op == "read":
+            # The Protocol C bootstrap poll: the reader is waiting for
+            # a wall to exist.  Carved against staleness later.
+            wall_intervals.append(
+                (start, end, exchange.origin.sent_index or 0)
+            )
+            return
+        if self._answered_in_place(exchange, boundary_index):
+            path.buckets["link_latency"] += end - start
+        else:
+            path.buckets["poll_overhead"] += end - start
+
+    def _carve_staleness(
+        self,
+        path: CommitPath,
+        wall_intervals: list[tuple[int, int, int]],
+    ) -> None:
+        leader = self.trace.leader
+        affected = (
+            self.trace.staleness_affected(leader) if leader else []
+        )
+        wall_indices = [index for index, _event in self.trace.walls]
+        for start, end, anchor in wall_intervals:
+            total = end - start
+            stale = _overlap(start, end, affected)
+            path.buckets["digest_staleness"] += stale
+            path.buckets["wall_wait"] += total - stale
+            slot = bisect_right(wall_indices, anchor)
+            if slot < len(self.trace.walls):
+                _index, wall = self.trace.walls[slot]
+                name = f"w{wall.wall_id}"
+                if wall.delayed_by_class is not None:
+                    name += f" (held by {wall.delayed_by_class})"
+                path.wall_names[name] += 1
+
+    # ------------------------------------------------------------------
+    # Run-level aggregation
+    # ------------------------------------------------------------------
+    def totals(self) -> dict[str, int]:
+        totals = {name: 0 for name in BUCKETS}
+        for path in self.paths().values():
+            for name in BUCKETS:
+                totals[name] += path.buckets[name]
+        return totals
+
+    def check(self) -> list[str]:
+        """The exactness invariant, transaction by transaction."""
+        problems = []
+        for txn_id, path in sorted(self.paths().items()):
+            if not path.exact:
+                problems.append(
+                    f"txn {txn_id}: buckets sum to {path.attributed} "
+                    f"but measured latency is {path.latency}"
+                )
+        return problems
+
+    def link_histograms(self) -> dict[str, Histogram]:
+        """Per-link delivery-delay histograms, offline."""
+        histograms: dict[str, Histogram] = {}
+        for view in self.trace.messages.values():
+            if view.delay is None:
+                continue
+            name = f"{view.src}->{view.dst}"
+            histogram = histograms.get(name)
+            if histogram is None:
+                histogram = histograms[name] = Histogram()
+            histogram.record(float(view.delay))
+        return histograms
+
+    def retransmit_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for view in self.trace.messages.values():
+            if view.retransmit_of is not None:
+                counts[view.msg_kind] += 1
+        return counts
+
+    def staleness_histograms(self) -> dict[str, Histogram]:
+        """Staleness distribution per gossip source class."""
+        histograms: dict[str, Histogram] = {}
+        for (_node, cls), points in sorted(
+            self.trace.staleness_points.items()
+        ):
+            histogram = histograms.get(cls)
+            if histogram is None:
+                histogram = histograms[cls] = Histogram()
+            for _tick, staleness in points:
+                histogram.record(float(staleness))
+        return histograms
+
+    def summary(self) -> dict[str, object]:
+        paths = self.paths()
+        totals = self.totals()
+        latency = sum(p.latency for p in paths.values())
+        problems = self.check() + self.trace.validate()
+        return {
+            "commits_explained": len(paths),
+            "commits_skipped": len(self.skipped),
+            "total_latency_ticks": latency,
+            "buckets": totals,
+            "exact": not problems,
+            "problems": problems,
+            "retransmits": dict(self.retransmit_counts()),
+            "links": {
+                name: histogram.summary()
+                for name, histogram in sorted(
+                    self.link_histograms().items()
+                )
+            },
+            "staleness": {
+                name: histogram.summary()
+                for name, histogram in sorted(
+                    self.staleness_histograms().items()
+                )
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_txn(self, txn_id: int) -> str:
+        paths = self.paths()
+        path = paths.get(txn_id)
+        if path is None:
+            if txn_id in self.trace.commits:
+                return (
+                    f"txn {txn_id} committed but its begin lies outside "
+                    "this trace"
+                )
+            aborted = self.trace.aborts.get(txn_id)
+            if aborted is not None:
+                return (
+                    f"txn {txn_id} aborted: "
+                    f"{aborted.reason or 'unknown reason'}"
+                )
+            return f"txn {txn_id} not found in this trace"
+        cls = path.txn_class or "-"
+        lines = [
+            f"== txn {txn_id} [{cls}] critical path ==",
+            f"committed after {path.latency} network ticks "
+            f"(tick {path.begin_tick} -> {path.commit_tick}; "
+            f"{path.spans} ops, {path.rpcs} rpcs, "
+            f"{path.retransmits} retransmits)",
+        ]
+        width = max(len(name) for name in BUCKETS)
+        for name in BUCKETS:
+            value = path.buckets[name]
+            share = (
+                100.0 * value / path.latency if path.latency else 0.0
+            )
+            lines.append(
+                f"  {name.ljust(width)}  {value:>6}  {share:5.1f}%"
+            )
+        for name, count in path.wall_names.most_common():
+            lines.append(f"  wall wait resolved by {name} x{count}")
+        lines.append(
+            "exact"
+            if path.exact
+            else f"INEXACT: attributed {path.attributed} "
+            f"of {path.latency}"
+        )
+        return "\n".join(lines)
+
+    def render(self, top: int = 10) -> str:
+        paths = self.paths()
+        lines = ["== commit critical paths (network ticks) =="]
+        if not paths:
+            lines.append("(no committed transactions with full spans)")
+            return "\n".join(lines)
+        totals = self.totals()
+        latency = sum(p.latency for p in paths.values())
+        lines.append(
+            f"{len(paths)} commits, {latency} latency ticks attributed"
+            + (
+                f" ({len(self.skipped)} commits outside the trace)"
+                if self.skipped
+                else ""
+            )
+        )
+        lines.append("")
+        lines.append("-- where the ticks go --")
+        width = max(len(name) for name in BUCKETS)
+        for name in sorted(BUCKETS, key=lambda n: -totals[n]):
+            value = totals[name]
+            share = (100.0 * value / latency) if latency else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  {value:>8}  {share:5.1f}%"
+            )
+        problems = self.check() + self.trace.validate()
+        lines.append("")
+        if problems:
+            lines.append("-- PROBLEMS --")
+            lines.extend(f"  {p}" for p in problems)
+        else:
+            lines.append(
+                "exact: every commit's buckets sum to its measured "
+                "latency"
+            )
+        slowest = sorted(
+            paths.values(), key=lambda p: -p.latency
+        )[:top]
+        lines.append("")
+        lines.append(f"-- slowest commits (top {len(slowest)}) --")
+        for path in slowest:
+            cls = path.txn_class or "-"
+            lines.append(
+                f"  t{path.txn_id} [{cls}] {path.latency} ticks "
+                f"({path.spans} ops, {path.rpcs} rpcs, "
+                f"{path.retransmits} rtx) -> {path.dominant()}"
+            )
+            for name, count in path.wall_names.most_common(2):
+                lines.append(f"      wall wait resolved by {name} "
+                             f"x{count}")
+        retransmits = self.retransmit_counts()
+        if retransmits:
+            lines.append("")
+            lines.append("-- retransmits by kind --")
+            for kind, count in retransmits.most_common():
+                lines.append(f"  {kind}: {count}")
+        links = self.link_histograms()
+        if links:
+            lines.append("")
+            lines.append("-- link delay (delivered messages) --")
+            for name in sorted(links):
+                s = links[name].summary()
+                lines.append(
+                    f"  {name}: n={s['count']} mean={s['mean']} "
+                    f"p95={s['p95']} max={s['max']}"
+                )
+        staleness = self.staleness_histograms()
+        if staleness:
+            lines.append("")
+            lines.append("-- digest staleness by source class --")
+            for name in sorted(staleness):
+                s = staleness[name].summary()
+                lines.append(
+                    f"  {name}: n={s['count']} mean={s['mean']} "
+                    f"p50={s['p50']} p95={s['p95']} max={s['max']}"
+                )
+        return "\n".join(lines)
+
+
+def _overlap(
+    start: int, end: int, intervals: list[tuple[int, int]]
+) -> int:
+    total = 0
+    for i_start, i_end in intervals:
+        lo = max(start, i_start)
+        hi = min(end, i_end)
+        if hi > lo:
+            total += hi - lo
+    return total

@@ -196,7 +196,18 @@ class WallRetiredEvent(Event):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True, kw_only=True)
 class MessageSentEvent(Event):
-    """A message left a node (``ts`` here is the *network* tick)."""
+    """A message left a node (``ts`` here is the *network* tick).
+
+    The causal fields encode the happens-before DAG: ``lamport`` is the
+    sender's Lamport stamp, ``txn_id`` the transaction whose work the
+    message carries (``None`` for background traffic like heartbeats),
+    ``parent_span`` the ``seq`` of the message whose delivery caused
+    this send (a response's parent is the request; gossip triggered
+    inside a handler points at the handled message), ``retransmit_of``
+    the original attempt's ``seq`` for coordinator retransmissions, and
+    ``req`` the RPC request id shared by a request, its retransmits and
+    its response.
+    """
 
     kind: ClassVar[str] = "msg_sent"
 
@@ -204,11 +215,21 @@ class MessageSentEvent(Event):
     src: str = ""
     dst: str = ""
     msg_kind: str = ""
+    lamport: int = 0
+    txn_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    retransmit_of: Optional[int] = None
+    req: Optional[int] = None
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)
 class MessageDeliveredEvent(Event):
-    """A message reached its destination handler."""
+    """A message reached its destination handler.
+
+    Carries the same causal fields as :class:`MessageSentEvent` (the
+    Lamport stamp is the one carried *on the wire*; the receiver's
+    clock advances past it before the handler runs).
+    """
 
     kind: ClassVar[str] = "msg_delivered"
 
@@ -217,6 +238,11 @@ class MessageDeliveredEvent(Event):
     dst: str = ""
     msg_kind: str = ""
     delay: int = 0
+    lamport: int = 0
+    txn_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    retransmit_of: Optional[int] = None
+    req: Optional[int] = None
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)
@@ -234,6 +260,11 @@ class MessageDroppedEvent(Event):
     dst: str = ""
     msg_kind: str = ""
     fate: str = "dropped"
+    lamport: int = 0
+    txn_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    retransmit_of: Optional[int] = None
+    req: Optional[int] = None
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)
@@ -243,6 +274,9 @@ class DigestStalenessEvent(Event):
     ``staleness`` is how far the receiver's knowledge of the sender's
     class lagged logical time when the batch landed (0 on an ideal
     network) — the price readers pay in extra wall conservatism.
+    ``ts`` is the receiver's *logical* clock (``known_now``); ``tick``
+    localises the same moment on the network-tick axis the message
+    events use, so staleness windows compose with the causal DAG.
     """
 
     kind: ClassVar[str] = "digest_staleness"
@@ -251,6 +285,62 @@ class DigestStalenessEvent(Event):
     source_class: str = ""
     staleness: int = 0
     applied: int = 0
+    tick: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class OpSpanEvent(Event):
+    """One top-level coordinator operation, in network ticks.
+
+    Emitted when the operation returns (``ts`` is then the network
+    tick, equal to ``end_tick``).  Spans of one transaction tile its
+    commit latency: ticks between its spans are coordinator queueing
+    (the coordinator was serving other clients), ticks inside a span
+    belong to the RPCs issued during it.  ``txn_id`` is ``None`` for
+    the simulator's idle wall polls; ``status`` is the outcome kind
+    (``granted`` / ``blocked`` / ``aborted``) or ``""`` for operations
+    without one (begin, poll).
+    """
+
+    kind: ClassVar[str] = "op_span"
+
+    txn_id: Optional[int] = None
+    op: str = ""
+    start_tick: int = 0
+    end_tick: int = 0
+    status: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class NodeCrashedEvent(Event):
+    """A segment node went down (``ts`` is the network tick).
+
+    With :class:`NodeRecoveredEvent` this brackets the node's down
+    window — the critical-path analyzer bills request ticks that
+    overlap it to WAL replay rather than retransmit backoff, and the
+    fencing aborts of transactions whose state died inside it are the
+    crash-recovery edges of the causal DAG.
+    """
+
+    kind: ClassVar[str] = "node_crashed"
+
+    node: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class NodeRecoveredEvent(Event):
+    """A segment node restarted from its write-ahead log.
+
+    ``incarnation`` is the post-recovery incarnation (responses carry
+    it; the coordinator fences transactions that touched an older one)
+    and ``wal_records`` how many WAL records the rebuild replayed.
+    """
+
+    kind: ClassVar[str] = "node_recovered"
+
+    node: str = ""
+    incarnation: int = 0
+    wal_records: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +400,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         MessageDeliveredEvent,
         MessageDroppedEvent,
         DigestStalenessEvent,
+        OpSpanEvent,
+        NodeCrashedEvent,
+        NodeRecoveredEvent,
         GCPassEvent,
         RunEndEvent,
     )

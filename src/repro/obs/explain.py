@@ -530,6 +530,22 @@ class TraceExplainer:
             buckets["runnable"] += max(lifetime - blocked, 0)
         return buckets
 
+    def restarted_by_reason(self) -> dict[str, int]:
+        """The ``restarted`` bucket split by abort-reason kind.
+
+        Distributed traces surface their own kinds here (``node
+        restart`` for incarnation fences, ``dead on wire`` for
+        fast-abandoned transactions whose node was down) instead of
+        disappearing into one catch-all number.
+        """
+        reasons: Counter = Counter()
+        for timeline in self.timelines.values():
+            if timeline.outcome == "aborted":
+                reasons[abort_kind(timeline.abort_reason)] += (
+                    timeline.lifetime_steps
+                )
+        return dict(reasons)
+
     def render_latency_breakdown(self) -> str:
         buckets = self.latency_breakdown()
         total = sum(buckets.values())
@@ -537,5 +553,13 @@ class TraceExplainer:
         for name, steps in buckets.items():
             share = (100.0 * steps / total) if total else 0.0
             lines.append(f"{name:<16} {steps:>10}  ({share:5.1f}%)")
+            if name == "restarted" and steps:
+                by_reason = self.restarted_by_reason()
+                for reason in sorted(
+                    by_reason, key=lambda r: -by_reason[r]
+                ):
+                    lines.append(
+                        f"  - {reason:<14} {by_reason[reason]:>8}"
+                    )
         lines.append(f"{'total':<16} {total:>10}")
         return "\n".join(lines)

@@ -36,6 +36,7 @@ from repro.obs.events import (
     MessageDeliveredEvent,
     MessageDroppedEvent,
     MessageSentEvent,
+    OpSpanEvent,
     ReadEvent,
     RunEndEvent,
     WallPinnedEvent,
@@ -51,10 +52,16 @@ def abort_kind(reason: Optional[str]) -> str:
 
     Reasons carry per-instance detail after a colon ("MVTO write
     rejected: inserting hub:g0^175 ..."); counters keep only the stable
-    prefix so cardinality stays bounded.
+    prefix so cardinality stays bounded.  Distributed-runtime reasons
+    get their own stable buckets: ``node restart`` (an incarnation
+    fence killed the transaction — including the colon-free phrasing a
+    killed transaction's next operation reports) and ``dead on wire``
+    (the wire fence fast-abandoned it while its node was down).
     """
     if not reason:
         return "unknown"
+    if reason.startswith("transaction killed by a node restart"):
+        return "node restart"
     return reason.split(":", 1)[0].strip()
 
 
@@ -156,14 +163,26 @@ class MetricsRegistry(EventSink):
             self._drain_open_blocks(event.step)
         elif isinstance(event, MessageSentEvent):
             self.counters[f"net.sent.{event.msg_kind}"] += 1
+            if event.retransmit_of is not None:
+                self.counters[f"net.retransmit.{event.msg_kind}"] += 1
         elif isinstance(event, MessageDeliveredEvent):
             self.counters["net.delivered"] += 1
             self.histogram("net.delay").record(float(event.delay))
+            self.histogram(
+                f"net.delay.{event.src}->{event.dst}"
+            ).record(float(event.delay))
         elif isinstance(event, MessageDroppedEvent):
             self.counters[f"net.dropped.{event.fate}"] += 1
         elif isinstance(event, DigestStalenessEvent):
             self.histogram("digest_staleness").record(
                 float(event.staleness)
+            )
+            self.histogram(
+                f"digest_staleness.{event.source_class}"
+            ).record(float(event.staleness))
+        elif isinstance(event, OpSpanEvent):
+            self.histogram(f"op_ticks.{event.op}").record(
+                float(event.end_tick - event.start_tick)
             )
         elif isinstance(event, (WallPinnedEvent, WallUnpinnedEvent)):
             pass  # the per-kind event counter above suffices

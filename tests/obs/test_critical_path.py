@@ -1,0 +1,192 @@
+"""Unit tests for the critical-path analyzer on a hand-built trace.
+
+The integration suite (tests/dist/test_causal.py) proves exactness on
+real faulty runs; here a small synthetic event file pins the *per
+bucket* attribution rules one by one: retransmit gaps, link transit,
+wall waits with the digest-staleness carve, post-blocked gaps,
+coordinator queueing for foreign work, and the wall-naming lookup.
+"""
+
+from repro.obs import (
+    BeginEvent,
+    CausalTrace,
+    CommittedEvent,
+    CriticalPathAnalyzer,
+    DigestStalenessEvent,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
+    OpSpanEvent,
+    WallReleasedEvent,
+)
+
+
+def sent(seq, tick, kind, lamport, src="coord", dst="node:L0", **kw):
+    return MessageSentEvent(
+        ts=tick, seq=seq, src=src, dst=dst, msg_kind=kind,
+        lamport=lamport, **kw,
+    )
+
+
+def delivered(seq, tick, kind, lamport, src="coord", dst="node:L0",
+              delay=0, **kw):
+    return MessageDeliveredEvent(
+        ts=tick, seq=seq, src=src, dst=dst, msg_kind=kind,
+        lamport=lamport, delay=delay, **kw,
+    )
+
+
+def dropped(seq, tick, kind, lamport, fate="dropped", **kw):
+    return MessageDroppedEvent(
+        ts=tick, seq=seq, src="coord", dst="node:L0", msg_kind=kind,
+        lamport=lamport, fate=fate, **kw,
+    )
+
+
+def build_events():
+    """One committed transaction, 40 ticks, every bucket exercised.
+
+    begin [0,10]   BEGIN dropped at 0, retransmitted at 6, answered 10
+                   -> retransmit_backoff 6 + link_latency 4
+    gap   [10,12]  coordinator served others -> coordinator_queueing 2
+    read  [12,20]  blocked: POLL abandoned   -> wall_wait 8
+    gap   [20,30]  waiting out the block     -> wall_wait 10
+                   staleness >0 until tick 25 carves 8+5 ticks of the
+                   above into digest_staleness
+    read  [30,34]  READ_A answered clean     -> link_latency 4
+    commit[34,40]  COMMIT_FINALIZE (4 ticks link) then a foreign
+                   txn's ABORT_FINALIZE (2 ticks)
+                   -> link_latency 4 + coordinator_queueing 2
+    """
+    return [
+        BeginEvent(ts=1, txn_id=1, txn_class="L1"),
+        sent(1, 0, "BEGIN", 1, txn_id=1, req=1),
+        dropped(1, 2, "BEGIN", 1, txn_id=1, req=1),
+        sent(2, 6, "BEGIN", 2, txn_id=1, req=1, retransmit_of=1),
+        delivered(2, 8, "BEGIN", 2, txn_id=1, req=1, retransmit_of=1,
+                  delay=2),
+        sent(3, 8, "RESP", 3, src="node:L0", dst="coord", txn_id=1,
+             req=1, parent_span=2),
+        delivered(3, 10, "RESP", 3, src="node:L0", dst="coord",
+                  txn_id=1, req=1, parent_span=2, delay=2),
+        OpSpanEvent(ts=10, txn_id=1, op="begin", start_tick=0,
+                    end_tick=10),
+        # Blocked Protocol C read: the bootstrap poll goes unanswered.
+        sent(4, 12, "POLL", 4, txn_id=1, req=2),
+        dropped(4, 13, "POLL", 4, txn_id=1, req=2),
+        OpSpanEvent(ts=20, txn_id=1, op="read", start_tick=12,
+                    end_tick=20, status="blocked"),
+        WallReleasedEvent(ts=28, wall_id=1, base_time=20, release_ts=28,
+                          delayed_by_class="L1", delayed_by_txn=7),
+        DigestStalenessEvent(ts=25, tick=25, node="node:L0",
+                             source_class="L1", staleness=3, applied=4),
+        DigestStalenessEvent(ts=40, tick=40, node="node:L0",
+                             source_class="L1", staleness=0, applied=5),
+        # Retry succeeds.
+        sent(5, 30, "READ_A", 5, txn_id=1, req=3),
+        delivered(5, 32, "READ_A", 5, txn_id=1, req=3, delay=2),
+        sent(6, 32, "RESP", 4, src="node:L0", dst="coord", txn_id=1,
+             req=3, parent_span=5),
+        delivered(6, 34, "RESP", 4, src="node:L0", dst="coord",
+                  txn_id=1, req=3, parent_span=5, delay=2),
+        OpSpanEvent(ts=34, txn_id=1, op="read", start_tick=30,
+                    end_tick=34, status="granted"),
+        sent(7, 34, "COMMIT_FINALIZE", 6, txn_id=1, req=4),
+        delivered(7, 36, "COMMIT_FINALIZE", 6, txn_id=1, req=4,
+                  delay=2),
+        sent(8, 36, "RESP", 5, src="node:L0", dst="coord", txn_id=1,
+             req=4, parent_span=7),
+        delivered(8, 38, "RESP", 5, src="node:L0", dst="coord",
+                  txn_id=1, req=4, parent_span=7, delay=2),
+        CommittedEvent(ts=9, txn_id=1, txn_class="L1"),
+        # A fence victim's cleanup ran inside this commit funnel.
+        sent(9, 38, "ABORT_FINALIZE", 7, dst="node:L1", txn_id=2,
+             req=5),
+        OpSpanEvent(ts=40, txn_id=1, op="commit", start_tick=34,
+                    end_tick=40, status="granted"),
+    ]
+
+
+def test_trace_structure():
+    trace = CausalTrace(build_events())
+    assert trace.validate() == []
+    assert trace.leader == "node:L0"
+    assert len(trace.regions) == 4
+    assert set(trace.exchanges) == {1, 2, 3, 4, 5}
+    begin_exchange = trace.exchanges[1]
+    assert begin_exchange.retransmits == 1
+    assert begin_exchange.winning_attempt().seq == 2
+
+
+def test_bucket_attribution_is_exact_and_correct():
+    analyzer = CriticalPathAnalyzer(CausalTrace(build_events()))
+    assert analyzer.check() == []
+    path = analyzer.paths()[1]
+    assert path.latency == 40
+    assert path.buckets == {
+        "link_latency": 12,
+        "retransmit_backoff": 6,
+        "wal_replay": 0,
+        "wall_wait": 5,
+        "digest_staleness": 13,
+        "poll_overhead": 0,
+        "coordinator_queueing": 4,
+    }
+    assert path.attributed == 40
+
+
+def test_wall_wait_names_the_wall_and_class():
+    analyzer = CriticalPathAnalyzer(CausalTrace(build_events()))
+    path = analyzer.paths()[1]
+    assert path.wall_names == {"w1 (held by L1)": 2}
+
+
+def test_render_txn_mentions_exactness():
+    analyzer = CriticalPathAnalyzer(CausalTrace(build_events()))
+    text = analyzer.render_txn(1)
+    assert "critical path" in text
+    assert text.endswith("exact")
+    assert "not found" in analyzer.render_txn(99)
+
+
+def test_missing_begin_is_skipped_not_wrong():
+    events = build_events()
+    # Cut the trace after the begin span: the commit loses its begin.
+    truncated = events[8:]
+    analyzer = CriticalPathAnalyzer(CausalTrace(truncated))
+    assert analyzer.paths() == {}
+    assert analyzer.skipped == [1]
+
+
+def test_poll_overhead_outside_read_regions():
+    """An abandoned lifecycle poll bills poll_overhead, not wall_wait."""
+    events = [
+        BeginEvent(ts=1, txn_id=1),
+        sent(1, 0, "BEGIN", 1, txn_id=1, req=1),
+        delivered(1, 2, "BEGIN", 1, txn_id=1, req=1, delay=2),
+        sent(2, 2, "RESP", 1, src="node:L0", dst="coord", txn_id=1,
+             req=1, parent_span=1),
+        delivered(2, 4, "RESP", 1, src="node:L0", dst="coord",
+                  txn_id=1, req=1, parent_span=1, delay=2),
+        sent(3, 4, "POLL", 2, txn_id=1, req=2),
+        dropped(3, 5, "POLL", 2, txn_id=1, req=2),
+        OpSpanEvent(ts=36, txn_id=1, op="begin", start_tick=0,
+                    end_tick=36),
+        sent(4, 36, "COMMIT_FINALIZE", 3, txn_id=1, req=3),
+        delivered(4, 38, "COMMIT_FINALIZE", 3, txn_id=1, req=3,
+                  delay=2),
+        sent(5, 38, "RESP", 2, src="node:L0", dst="coord", txn_id=1,
+             req=3, parent_span=4),
+        delivered(5, 40, "RESP", 2, src="node:L0", dst="coord",
+                  txn_id=1, req=3, parent_span=4, delay=2),
+        CommittedEvent(ts=5, txn_id=1),
+        OpSpanEvent(ts=40, txn_id=1, op="commit", start_tick=36,
+                    end_tick=40, status="granted"),
+    ]
+    analyzer = CriticalPathAnalyzer(CausalTrace(events))
+    assert analyzer.check() == []
+    path = analyzer.paths()[1]
+    # BEGIN answered at 4, abandoned poll burns the rest of the span.
+    assert path.buckets["poll_overhead"] == 32
+    assert path.buckets["link_latency"] == 8
+    assert path.buckets["wall_wait"] == 0

@@ -8,10 +8,17 @@ from repro.obs import (
     BeginEvent,
     BlockedEvent,
     CommittedEvent,
+    DigestStalenessEvent,
     EVENT_TYPES,
     JsonlTraceSink,
     MemorySink,
+    MessageDeliveredEvent,
+    MessageDroppedEvent,
+    MessageSentEvent,
+    NodeCrashedEvent,
+    NodeRecoveredEvent,
     NullSink,
+    OpSpanEvent,
     ReadEvent,
     RunEndEvent,
     TeeSink,
@@ -68,6 +75,111 @@ class TestRecords:
         event = BeginEvent(txn_id=1)
         with pytest.raises(AttributeError):
             event.txn_id = 2
+
+
+class TestDistEventRoundTrips:
+    """The network/causal events survive the JSONL sink losslessly —
+    the offline causal explainer depends on every field."""
+
+    EVENTS = [
+        MessageSentEvent(
+            step=4,
+            ts=120,
+            seq=17,
+            src="coord",
+            dst="node:orders",
+            msg_kind="READ_A",
+            lamport=93,
+            txn_id=6,
+            parent_span=14,
+            retransmit_of=None,
+            req=11,
+        ),
+        MessageSentEvent(
+            ts=128,
+            seq=19,
+            src="coord",
+            dst="node:orders",
+            msg_kind="READ_A",
+            lamport=95,
+            txn_id=6,
+            parent_span=17,
+            retransmit_of=17,
+            req=11,
+        ),
+        MessageDeliveredEvent(
+            ts=131,
+            seq=19,
+            src="coord",
+            dst="node:orders",
+            msg_kind="READ_A",
+            delay=3,
+            lamport=95,
+            txn_id=6,
+            parent_span=17,
+            retransmit_of=17,
+            req=11,
+        ),
+        MessageDroppedEvent(
+            ts=122,
+            seq=17,
+            src="coord",
+            dst="node:orders",
+            msg_kind="READ_A",
+            fate="dst-down",
+            lamport=93,
+            txn_id=6,
+            parent_span=14,
+            req=11,
+        ),
+        DigestStalenessEvent(
+            ts=77,
+            tick=140,
+            node="node:orders",
+            source_class="hub",
+            staleness=5,
+            applied=12,
+        ),
+        OpSpanEvent(
+            step=9,
+            ts=135,
+            txn_id=6,
+            op="read",
+            start_tick=120,
+            end_tick=135,
+            status="granted",
+        ),
+        NodeCrashedEvent(ts=300, node="node:orders"),
+        NodeRecoveredEvent(
+            ts=340, node="node:orders", incarnation=2, wal_records=41
+        ),
+    ]
+
+    def test_dist_events_round_trip_in_memory(self):
+        for event in self.EVENTS:
+            back = event_from_record(event.to_record())
+            assert type(back) is type(event)
+            assert back == event
+
+    def test_dist_events_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "dist.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for event in self.EVENTS:
+                sink.emit(event)
+        assert load_trace(path) == self.EVENTS
+
+    def test_causal_fields_survive_as_none(self):
+        """Optional causal fields (background traffic) stay None, not
+        0, through a round trip — the DAG treats them differently."""
+        event = MessageSentEvent(
+            ts=5, seq=1, src="node:hub", dst="node:orders",
+            msg_kind="GOSSIP", lamport=2,
+        )
+        back = event_from_record(event.to_record())
+        assert back.txn_id is None
+        assert back.parent_span is None
+        assert back.retransmit_of is None
+        assert back.req is None
 
 
 class TestSinks:
