@@ -58,6 +58,15 @@ REQUIRED = {
         "hdd.wire_sends": int,
         "hdd-batched.wire_sends": int,
     },
+    "BENCH_serve_throughput.json": {
+        "bench": str,
+        "parallelism_note": str,
+        "slopes.hdd": (int, float),
+        "slopes.mv2pl": (int, float),
+        "slopes.ratio_hdd_over_mv2pl": (int, float),
+        "ro_restarts.hdd": int,
+        "protocol_errors": int,
+    },
 }
 
 
@@ -141,6 +150,15 @@ def headline(name, data):
             f"event/scan {data['hot_loop']['event_over_scan']:.2f}x, "
             f"sweep speedup {data['parallel_sweep']['speedup']:.2f}x "
             f"(byte_identical={data['parallel_sweep']['byte_identical']})"
+        )
+    if name == "BENCH_serve_throughput.json":
+        slopes = data["slopes"]
+        return (
+            f"serve ro-goodput slope hdd {slopes['hdd']:.3f} vs mv2pl "
+            f"{slopes['mv2pl']:.3f} "
+            f"({slopes['ratio_hdd_over_mv2pl']:.2f}x), hdd ro restarts "
+            f"{data['ro_restarts']['hdd']}, protocol errors "
+            f"{data['protocol_errors']}"
         )
     if name == "BENCH_dist_messages.json":
         eager = data["hdd"]["wire_sends"]

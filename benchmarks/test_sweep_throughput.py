@@ -85,6 +85,12 @@ def test_parallel_sweep_throughput(benchmark, show):
     )
     assert len(serial.rows) >= 8
     assert identical, "serial and parallel merged documents diverged"
+    # The recorded JSON must always carry the execution-regime label,
+    # and on a starved box it must say so explicitly — a sub-1.0
+    # "speedup" without the oversubscription note reads as a regression.
+    assert payload["parallelism_note"]
+    if cores < PARALLEL_WORKERS:
+        assert "oversubscribed" in payload["parallelism_note"]
     if cores >= PARALLEL_WORKERS:
         # With real cores behind the pool the grid must parallelise.
         assert speedup >= 2.0

@@ -1,6 +1,6 @@
 """Command-line experiment runner: ``python -m repro <command>``.
 
-Eight subcommands, all deterministic given ``--seed``:
+The subcommands, all deterministic given ``--seed``:
 
 * ``compare`` — the measured Figure 10 table: every scheduler over the
   same transaction mix (inventory or claims schema);
@@ -20,6 +20,12 @@ Eight subcommands, all deterministic given ``--seed``:
   trace to a JSONL file and print the live metrics registry;
 * ``explain`` — reconstruct a trace file offline: run summary, latency
   breakdown, or a single transaction's timeline and wait chain;
+* ``serve``   — serve one scheduler to real concurrent clients over the
+  framed TCP protocol (:mod:`repro.serve`); ``--trace-out`` streams a
+  JSONL trace that ``repro explain`` reads like a simulator trace;
+* ``load``    — open-loop load generator against a running ``serve``:
+  fixed arrival rate (or saturating arrivals), seeded workload mix,
+  latency percentiles measured from *arrival* so queueing delay counts;
 * ``dist``    — run the distributed segment-controller runtime over the
   deterministic fault-injecting network (:mod:`repro.dist`): latency,
   drops, partitions and crash-restarts are flags; ``--message-log``
@@ -421,6 +427,95 @@ def cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_async(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.obs import JsonlTraceSink
+    from repro.serve import TransactionServer
+
+    partition, _workload = _build_workload(
+        ro_share=args.ro_share, skew=args.skew, schema=args.workload_schema
+    )
+    scheduler = SCHEDULERS[args.scheduler](partition)
+    sink = JsonlTraceSink(args.trace_out) if args.trace_out else None
+    if sink is not None:
+        scheduler.set_sink(sink)
+    server = TransactionServer(scheduler, gc_every=args.gc_every)
+    host, port = await server.start_tcp(args.host, args.port)
+    # Explicit handlers, not KeyboardInterrupt: a server launched from
+    # a non-interactive shell (CI, `... &`) inherits SIGINT ignored, so
+    # the default Ctrl-C path would never fire there — and SIGTERM
+    # should flush the trace and print stats too, not just die.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    print(f"serving {scheduler.name} on {host}:{port} (ctrl-c to stop)")
+    try:
+        await stop.wait()
+    except asyncio.CancelledError:  # pragma: no cover - loop teardown
+        pass
+    finally:
+        await server.close()
+        if sink is not None:
+            sink.close()
+            print(f"trace -> {args.trace_out}")
+        for key, value in server.stats_view().items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
+async def _load_async(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ClientPool, LoadGenerator
+
+    _partition, workload = _build_workload(
+        ro_share=args.ro_share, skew=args.skew, schema=args.workload_schema
+    )
+    pool = await ClientPool.connect_tcp(
+        args.host, args.port, args.connections
+    )
+    try:
+        generator = LoadGenerator(
+            pool,
+            workload,
+            transactions=args.transactions,
+            seed=args.seed,
+            rate=args.rate,
+        )
+        report = await generator.run()
+    finally:
+        await pool.close()
+    document = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump(document, stream, indent=2)
+            stream.write("\n")
+        print(f"report -> {args.out}")
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    return asyncio.run(_load_async(args))
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     if args.schema == "inventory":
         partition = build_inventory_partition()
@@ -654,6 +749,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain one committed transaction's critical path",
     )
     dist_explain.set_defaults(fn=cmd_dist_explain)
+
+    serve = sub.add_parser(
+        "serve", help="serve one scheduler to framed-protocol clients"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7433)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--skew", type=float, default=1.0)
+    serve.add_argument("--ro-share", type=float, default=0.25, dest="ro_share")
+    serve.add_argument(
+        "--workload-schema",
+        choices=["inventory", "claims"],
+        default="inventory",
+        dest="workload_schema",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="hdd",
+        help="which concurrency control to serve",
+    )
+    serve.add_argument(
+        "--gc-every",
+        type=int,
+        default=None,
+        dest="gc_every",
+        help="run the scheduler's GC every N server steps",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="write a JSONL event trace (repro explain reads it)",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    load = sub.add_parser(
+        "load", help="open-loop load against a running repro serve"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=7433)
+    load.add_argument("--connections", type=int, default=4)
+    load.add_argument("--transactions", type=int, default=400)
+    load.add_argument("--seed", type=int, default=42)
+    load.add_argument("--skew", type=float, default=1.0)
+    load.add_argument("--ro-share", type=float, default=0.25, dest="ro_share")
+    load.add_argument(
+        "--workload-schema",
+        choices=["inventory", "claims"],
+        default="inventory",
+        dest="workload_schema",
+    )
+    load.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrivals per second (omit for saturating arrivals)",
+    )
+    load.add_argument(
+        "--out", default=None, help="write the JSON load report here"
+    )
+    load.set_defaults(fn=cmd_load)
 
     report = sub.add_parser(
         "report", help="run the headline experiments, emit markdown"

@@ -58,12 +58,12 @@ COORD = "coord"
 def is_dist_trace(events: Iterable[Event]) -> bool:
     """Does this trace come from the distributed runtime?
 
-    Message and op-span events only exist there; a monolithic trace has
-    neither.
+    Message events only exist there.  Op spans are *not* a signal: the
+    transaction server (:mod:`repro.serve`) emits them too, and its
+    traces are monolithic — one scheduler, no network — so they route
+    to the ordinary explainer.
     """
-    return any(
-        isinstance(e, (MessageSentEvent, OpSpanEvent)) for e in events
-    )
+    return any(isinstance(e, MessageSentEvent) for e in events)
 
 
 @dataclass

@@ -300,6 +300,10 @@ class OpSpanEvent(Event):
     the simulator's idle wall polls; ``status`` is the outcome kind
     (``granted`` / ``blocked`` / ``aborted``) or ``""`` for operations
     without one (begin, poll).
+
+    The transaction server (:mod:`repro.serve`) emits the same event
+    per request, with ticks on the scheduler's logical clock instead of
+    network ticks and ``status`` ``"error"`` for protocol violations.
     """
 
     kind: ClassVar[str] = "op_span"
@@ -341,6 +345,55 @@ class NodeRecoveredEvent(Event):
     node: str = ""
     incarnation: int = 0
     wal_records: int = 0
+
+
+# ----------------------------------------------------------------------
+# Transaction server (repro serve)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ConnOpenedEvent(Event):
+    """A client connection reached the transaction server.
+
+    ``peer`` is the transport's description of the remote end (socket
+    peername, or the memory transport's label).
+    """
+
+    kind: ClassVar[str] = "conn_opened"
+
+    conn_id: int = 0
+    peer: str = ""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ConnClosedEvent(Event):
+    """A client connection ended.
+
+    ``open_txns`` counts transactions the server had to abort because
+    the client disappeared mid-transaction (their aborts carry a
+    ``client gone:`` reason and precede this event in the trace);
+    ``requests`` is the connection's lifetime request count.
+    """
+
+    kind: ClassVar[str] = "conn_closed"
+
+    conn_id: int = 0
+    open_txns: int = 0
+    requests: int = 0
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class QueueDepthEvent(Event):
+    """A connection's in-flight pipeline reached a new high-water mark.
+
+    Emitted only when ``depth`` exceeds the connection's previous
+    maximum, so traces carry the envelope of queue growth rather than
+    one gauge sample per request.
+    """
+
+    kind: ClassVar[str] = "queue_depth"
+
+    conn_id: int = 0
+    depth: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +456,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         OpSpanEvent,
         NodeCrashedEvent,
         NodeRecoveredEvent,
+        ConnOpenedEvent,
+        ConnClosedEvent,
+        QueueDepthEvent,
         GCPassEvent,
         RunEndEvent,
     )

@@ -56,7 +56,10 @@ def abort_kind(reason: Optional[str]) -> str:
     get their own stable buckets: ``node restart`` (an incarnation
     fence killed the transaction — including the colon-free phrasing a
     killed transaction's next operation reports) and ``dead on wire``
-    (the wire fence fast-abandoned it while its node was down).
+    (the wire fence fast-abandoned it while its node was down).  The
+    transaction server's disconnect aborts arrive as ``client gone:
+    connection N closed ...`` and bucket to ``client gone`` through the
+    ordinary prefix rule.
     """
     if not reason:
         return "unknown"

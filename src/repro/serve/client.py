@@ -1,0 +1,226 @@
+"""Asyncio client for ``repro serve``: pipelined futures + pooling.
+
+A :class:`ServeClient` owns one connection.  Every request gets a fresh
+correlation id and a future; a single reader task resolves futures as
+response frames arrive, so a caller can hold many requests in flight on
+one connection (pipelining) and await them in any order — the server
+still applies one *transaction*'s requests in submission order.
+
+:class:`ClientPool` stripes transactions over several connections
+round-robin, which is how the load generator models independent
+clients without one socket per simulated client.
+
+:func:`run_transaction` executes a generated
+:class:`~repro.sim.workload.TxnSpec` over a client the same way the
+simulator's closed-loop clients do — read-modify-write ops split into a
+read request and a write request — so a serial single-connection run
+replays the simulator's exact request stream (the equivalence
+tripwire relies on this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serve.transport import StreamChannel
+from repro.sim.workload import TxnSpec
+
+
+class ServeError(ReproError):
+    """The server answered with a protocol/application error."""
+
+
+class ServeClient:
+    """One pipelined connection to a transaction server."""
+
+    def __init__(self, channel) -> None:
+        self._channel = channel
+        self._next_id = 1
+        self._futures: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader = asyncio.ensure_future(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(StreamChannel(reader, writer))
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "ServeClient":
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(StreamChannel(reader, writer))
+
+    @classmethod
+    def connect_memory(cls, server) -> "ServeClient":
+        """Attach through the deterministic in-process transport."""
+        return cls(server.connect_memory())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def submit(self, op: str, **fields: object) -> asyncio.Future:
+        """Send one request; the returned future resolves to the
+        raw response object.  Never blocks — this is the pipelining
+        primitive."""
+        if self._closed:
+            raise ServeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        request = {"id": request_id, "op": op}
+        request.update(fields)
+        self._channel.write_frame(request)
+        return future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._channel.read_frame()
+                if frame is None:
+                    break
+                future = self._futures.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (ConnectionError, ReproError):
+            pass
+        finally:
+            self._closed = True
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(
+                        ServeError("connection closed with requests pending")
+                    )
+            self._futures.clear()
+
+    async def close(self) -> None:
+        self._closed = True
+        self._channel.close()
+        await self._channel.wait_closed()
+        self._reader.cancel()
+        try:
+            await self._reader
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Typed operations (all pipelinable except begin/stats, which need
+    # the response before anything can follow)
+    # ------------------------------------------------------------------
+    async def begin(
+        self, profile: Optional[str] = None, read_only: bool = False
+    ) -> int:
+        """Start a transaction; returns its id."""
+        response = await self.submit(
+            "begin", profile=profile, read_only=read_only
+        )
+        if response.get("status") != "granted":
+            raise ServeError(f"begin failed: {response}")
+        return response["txn"]
+
+    def read(self, txn: int, granule: str) -> asyncio.Future:
+        return self.submit("read", txn=txn, granule=granule)
+
+    def write(self, txn: int, granule: str, value: object) -> asyncio.Future:
+        return self.submit("write", txn=txn, granule=granule, value=value)
+
+    def commit(self, txn: int) -> asyncio.Future:
+        return self.submit("commit", txn=txn)
+
+    def abort(self, txn: int, reason: str = "client abort") -> asyncio.Future:
+        return self.submit("abort", txn=txn, reason=reason)
+
+    async def stats(self) -> dict:
+        response = await self.submit("stats")
+        if response.get("status") != "granted":
+            raise ServeError(f"stats failed: {response}")
+        return response["stats"]
+
+
+def _check(response: dict) -> dict:
+    """Raise on a protocol error; granted/aborted pass through."""
+    if response.get("status") == "error":
+        raise ServeError(response.get("error", "server error"))
+    return response
+
+
+async def run_transaction(client: ServeClient, spec: TxnSpec) -> dict:
+    """Execute one generated transaction; returns an outcome record.
+
+    Mirrors the simulator's per-client execution exactly: ops run in
+    recipe order, ``m`` (read-modify-write) issues a read request and
+    then a write of ``value + delta`` — two server steps, like the
+    simulator's two engine steps.  On an abort the transaction is over
+    (the *caller* decides whether to retry with the same spec, as the
+    simulator's restart loop does).
+
+    Returns ``{"committed": bool, "reason": str | None, "txn": int}``.
+    """
+    txn = await client.begin(profile=spec.profile, read_only=spec.read_only)
+
+    def result(committed: bool, reason: Optional[str] = None) -> dict:
+        return {"committed": committed, "reason": reason, "txn": txn}
+
+    for op in spec.ops:
+        if op.kind == "r":
+            response = _check(await client.read(txn, op.granule))
+        elif op.kind == "w":
+            response = _check(await client.write(txn, op.granule, op.value))
+        else:  # "m": read half, then write half
+            base = None
+            while base is None:
+                response = _check(await client.read(txn, op.granule))
+                if response["status"] != "granted":
+                    return result(False, response.get("reason"))
+                base = response.get("value")
+            response = _check(
+                await client.write(txn, op.granule, base + op.value)
+            )
+        if response["status"] != "granted":
+            return result(False, response.get("reason"))
+    response = _check(await client.commit(txn))
+    if response["status"] != "granted":
+        return result(False, response.get("reason"))
+    return result(True)
+
+
+class ClientPool:
+    """Round-robin stripe of :class:`ServeClient` connections."""
+
+    def __init__(self, clients: list[ServeClient]) -> None:
+        if not clients:
+            raise ServeError("pool needs at least one client")
+        self._clients = list(clients)
+        self._cursor = 0
+
+    @classmethod
+    def connect_memory(cls, server, size: int) -> "ClientPool":
+        return cls(
+            [ServeClient.connect_memory(server) for _ in range(size)]
+        )
+
+    @classmethod
+    async def connect_tcp(
+        cls, host: str, port: int, size: int
+    ) -> "ClientPool":
+        clients = [
+            await ServeClient.connect_tcp(host, port) for _ in range(size)
+        ]
+        return cls(clients)
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def next(self) -> ServeClient:
+        client = self._clients[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._clients)
+        return client
+
+    async def close(self) -> None:
+        for client in self._clients:
+            await client.close()

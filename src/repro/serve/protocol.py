@@ -1,0 +1,149 @@
+"""Wire protocol of ``repro serve``: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by a compact
+UTF-8 JSON object.  Requests and responses are correlated by a
+client-chosen ``id``, so a connection can have many requests in flight
+(pipelining) and the server may answer them out of order — responses of
+one *transaction* still arrive in submission order, because the server
+serialises requests per transaction.
+
+Request objects::
+
+    {"id": 1, "op": "begin", "profile": "order-entry", "read_only": false}
+    {"id": 2, "op": "read",   "txn": 7, "granule": "orders:g3"}
+    {"id": 3, "op": "write",  "txn": 7, "granule": "orders:g3", "value": 5}
+    {"id": 4, "op": "commit", "txn": 7}
+    {"id": 5, "op": "abort",  "txn": 7, "reason": "application choice"}
+    {"id": 6, "op": "stats"}
+
+Response objects always carry the request ``id``, ``ok`` and a
+``status`` (``granted`` / ``aborted`` / ``error``).  A *blocked*
+scheduler outcome never reaches the wire: the server retries the
+operation when the blocking condition changes and answers only once it
+granted or aborted — clients see the same interface the simulator's
+clients see.
+
+The codec is deliberately dependency-free (stdlib ``json`` + ``struct``)
+so the same functions back the TCP listener, the unix-socket listener
+and the deterministic in-process memory transport the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ReproError
+
+#: Frame header: payload byte length, 4 bytes big-endian.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; a header above it means a
+#: desynchronised or hostile peer, not a big request.
+MAX_FRAME = 1 << 20
+
+#: Operations a request may name.
+OPS = ("begin", "read", "write", "commit", "abort", "stats")
+
+
+class ProtocolError(ReproError):
+    """The peer violated the framing or request schema."""
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialise one request/response object into a framed byte string."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's payload back into an object."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload is {type(obj).__name__}, expected object"
+        )
+    return obj
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes, pop complete objects.
+
+    Both transports share it: the stream transport feeds whatever the
+    socket produced, the memory transport feeds whole ``encode_frame``
+    outputs — either way the parser tolerates arbitrary chunking.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Consume ``data``; return every now-complete frame object."""
+        self._buffer.extend(data)
+        frames: list[dict] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return frames
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame header announces {length} bytes (> MAX_FRAME); "
+                    "stream is desynchronised"
+                )
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            frames.append(decode_payload(payload))
+
+
+def validate_request(obj: dict) -> str:
+    """Check a request object's schema; return its ``op``.
+
+    Raises :class:`ProtocolError` naming the first violation, so the
+    server can answer with a structured error instead of dying.
+    """
+    if "id" not in obj or not isinstance(obj["id"], int):
+        raise ProtocolError("request needs an integer 'id'")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
+    if op in ("read", "write", "commit", "abort"):
+        if not isinstance(obj.get("txn"), int):
+            raise ProtocolError(f"{op!r} needs an integer 'txn'")
+    if op in ("read", "write"):
+        if not isinstance(obj.get("granule"), str):
+            raise ProtocolError(f"{op!r} needs a string 'granule'")
+    if op == "write" and "value" not in obj:
+        raise ProtocolError("'write' needs a 'value'")
+    return op
+
+
+def ok_response(request_id: int, **fields: object) -> dict:
+    response = {"id": request_id, "ok": True, "status": "granted"}
+    response.update(fields)
+    return response
+
+
+def aborted_response(request_id: int, reason: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "status": "aborted",
+        "reason": reason,
+    }
+
+
+def error_response(request_id: int, message: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "status": "error",
+        "error": message,
+    }

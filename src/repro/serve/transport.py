@@ -1,0 +1,139 @@
+"""Transports: framed channels over sockets or an in-process pair.
+
+The server and client speak through a small duck-typed *channel*:
+
+``write_frame(obj)``
+    Queue one framed object for the peer (never blocks).
+``async read_frame() -> dict | None``
+    The next complete frame object, or ``None`` on EOF.
+``close()`` / ``async wait_closed()``
+    Tear the channel down; ``read_frame`` on the peer returns ``None``.
+
+Two implementations:
+
+* :class:`StreamChannel` wraps an asyncio ``StreamReader``/``Writer``
+  pair (TCP or unix socket) — the deployment path;
+* :class:`MemoryChannel` pairs two in-process byte queues — no file
+  descriptors, no OS socket buffers, no readiness nondeterminism.  The
+  benchmark and the equivalence tripwire run on it so their results are
+  a function of the code and the seed, not of kernel scheduling.  The
+  memory path still round-trips every object through
+  :func:`~repro.serve.protocol.encode_frame`, so the codec itself is on
+  the measured path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.serve.protocol import FrameDecoder, encode_frame
+
+
+class StreamChannel:
+    """A framed channel over an asyncio stream pair."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._frames: list[dict] = []
+
+    def write_frame(self, obj: dict) -> None:
+        self._writer.write(encode_frame(obj))
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def read_frame(self) -> Optional[dict]:
+        while not self._frames:
+            data = await self._reader.read(65536)
+            if not data:
+                return None
+            self._frames = self._decoder.feed(data)
+        return self._frames.pop(0)
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    async def wait_closed(self) -> None:
+        # Bounded: 3.11 stream teardown can stall waiting for the
+        # peer's FIN when the other side is mid-shutdown itself; a
+        # close that takes >5s is an OS-level stall, not our state.
+        try:
+            await asyncio.wait_for(self._writer.wait_closed(), timeout=5)
+        except (
+            ConnectionError,
+            BrokenPipeError,
+            asyncio.TimeoutError,
+        ):  # pragma: no cover - teardown races
+            pass
+
+    @property
+    def peer(self) -> str:
+        info = self._writer.get_extra_info("peername")
+        return str(info) if info is not None else "stream"
+
+
+class _MemoryEnd:
+    """One direction of a memory channel: a byte queue + decoder."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.decoder = FrameDecoder()
+        self.frames: list[dict] = []
+        self.closed = False
+
+
+class MemoryChannel:
+    """One side of an in-process channel pair.
+
+    Construction goes through :func:`memory_pair`, which wires two
+    channels back to back.  Writes enqueue encoded bytes on the peer's
+    inbox; reads await the own inbox.  Everything happens on one event
+    loop, so delivery order is exactly write order — deterministic.
+    """
+
+    def __init__(self, inbox: _MemoryEnd, outbox: _MemoryEnd, peer: str):
+        self._inbox = inbox
+        self._outbox = outbox
+        self.peer = peer
+
+    def write_frame(self, obj: dict) -> None:
+        if not self._outbox.closed:
+            self._outbox.queue.put_nowait(encode_frame(obj))
+
+    async def drain(self) -> None:
+        return None
+
+    async def read_frame(self) -> Optional[dict]:
+        inbox = self._inbox
+        while not inbox.frames:
+            data = await inbox.queue.get()
+            if data is None:  # EOF sentinel
+                return None
+            inbox.frames = inbox.decoder.feed(data)
+        return inbox.frames.pop(0)
+
+    def close(self) -> None:
+        for end in (self._inbox, self._outbox):
+            if not end.closed:
+                end.closed = True
+                end.queue.put_nowait(None)
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+def memory_pair(label: str = "memory") -> tuple[MemoryChannel, MemoryChannel]:
+    """A connected (client_channel, server_channel) in-process pair."""
+    to_server = _MemoryEnd()
+    to_client = _MemoryEnd()
+    client = MemoryChannel(inbox=to_client, outbox=to_server, peer=label)
+    server = MemoryChannel(inbox=to_server, outbox=to_client, peer=label)
+    return client, server

@@ -1,0 +1,142 @@
+"""Server-side abort paths.
+
+A connection that vanishes with transactions open must not leave them
+holding locks or wall references forever: the server aborts them with a
+distinct ``client gone: ...`` reason, :func:`abort_kind` buckets it
+apart from scheduler-chosen aborts, and the trace explainer surfaces it
+per-reason — the serve-path mirror of the distributed runtime's ``dead
+on wire`` treatment.
+"""
+
+import asyncio
+
+from repro.cli import _build_workload
+from repro.obs import MemorySink, MetricsRegistry, TeeSink, TraceExplainer
+from repro.obs.events import AbortedEvent
+from repro.obs.metrics import abort_kind
+from repro.serve import ServeClient, TransactionServer
+from repro.sweep.spec import SCHEDULER_FACTORIES
+
+
+async def _settle(predicate, rounds=200):
+    """Give the event loop turns until ``predicate()`` holds."""
+    for _ in range(rounds):
+        if predicate():
+            return
+        await asyncio.sleep(0)
+    raise AssertionError("condition never settled")
+
+
+def _run_disconnect_scenario():
+    """Open a txn that wrote something, then drop the connection."""
+
+    async def go():
+        partition, _ = _build_workload(ro_share=0.6, skew=3.0)
+        scheduler = SCHEDULER_FACTORIES["hdd"](partition)
+        memory = MemorySink()
+        registry = MetricsRegistry()
+        scheduler.set_sink(TeeSink([memory, registry]))
+        server = TransactionServer(scheduler)
+
+        # A well-behaved connection commits one update first, so the
+        # trace has a healthy timeline next to the orphaned one.
+        good = ServeClient.connect_memory(server)
+        txn = await good.begin(profile="type1_log_event")
+        await good.write(txn, "events:g0", 1)
+        await good.commit(txn)
+        await good.close()
+
+        # The doomed connection begins, writes, and disappears.
+        doomed = ServeClient.connect_memory(server)
+        orphan = await doomed.begin(profile="type1_log_event")
+        await doomed.write(orphan, "events:g1", 2)
+        await doomed.close()
+        await _settle(lambda: scheduler.stats.aborts == 1)
+
+        await server.close()
+        return server, scheduler, registry, memory.events, orphan
+
+    return asyncio.run(go())
+
+
+class TestClientGoneAborts:
+    def test_disconnect_aborts_with_distinct_reason(self):
+        server, scheduler, registry, events, orphan = (
+            _run_disconnect_scenario()
+        )
+        assert server.stats.client_gone_aborts == 1
+        assert scheduler.stats.aborts == 1
+        aborted = [e for e in events if isinstance(e, AbortedEvent)]
+        assert len(aborted) == 1
+        assert aborted[0].txn_id == orphan
+        assert aborted[0].reason.startswith("client gone:")
+        # The reason names the connection and the transaction.
+        assert f"txn {orphan} open" in aborted[0].reason
+
+    def test_abort_kind_buckets_it_apart(self):
+        _, _, registry, events, _ = _run_disconnect_scenario()
+        aborted = next(e for e in events if isinstance(e, AbortedEvent))
+        assert abort_kind(aborted.reason) == "client gone"
+        assert registry.counters["abort.reason.client gone"] == 1
+
+    def test_explainer_surfaces_the_reason(self):
+        """From the trace alone: the summary's abort-reason table and
+        the latency breakdown's restart attribution both name the
+        bucket, exactly like ``dead on wire`` in distributed traces."""
+        _, _, _, events, _ = _run_disconnect_scenario()
+        explainer = TraceExplainer(events)
+        summary = explainer.summary()
+        assert summary["commits"] == 1
+        assert summary["restarts"] == 1
+        assert summary["abort_reasons"] == {"client gone": 1}
+        assert "client gone" in explainer.restarted_by_reason()
+        assert summary["matches_reported"] is True
+
+
+class TestVoluntaryAbort:
+    def test_abort_op_rolls_back_and_frees_the_txn(self):
+        async def go():
+            partition, _ = _build_workload(ro_share=0.6, skew=3.0)
+            scheduler = SCHEDULER_FACTORIES["hdd"](partition)
+            server = TransactionServer(scheduler)
+            client = ServeClient.connect_memory(server)
+            try:
+                txn = await client.begin(profile="type1_log_event")
+                await client.write(txn, "events:g3", 7)
+                response = await client.abort(txn, "application rollback")
+                # The transaction is gone: further ops are errors.
+                stale = await client.submit(
+                    "commit", txn=txn
+                )
+                return scheduler, response, stale
+            finally:
+                await client.close()
+                await server.close()
+
+        scheduler, response, stale = asyncio.run(go())
+        # An abort op is acknowledged as "aborted" carrying the
+        # client's own reason — not "granted", not an error.
+        assert response["status"] == "aborted"
+        assert response["reason"] == "application rollback"
+        assert scheduler.stats.aborts == 1
+        assert stale["status"] == "error"
+
+    def test_voluntary_abort_is_not_client_gone(self):
+        async def go():
+            partition, _ = _build_workload(ro_share=0.6, skew=3.0)
+            scheduler = SCHEDULER_FACTORIES["hdd"](partition)
+            memory = MemorySink()
+            scheduler.set_sink(memory)
+            server = TransactionServer(scheduler)
+            client = ServeClient.connect_memory(server)
+            try:
+                txn = await client.begin(profile="type1_log_event")
+                await client.abort(txn, "application rollback")
+            finally:
+                await client.close()
+                await server.close()
+            return memory.events
+
+        events = asyncio.run(go())
+        aborted = next(e for e in events if isinstance(e, AbortedEvent))
+        assert abort_kind(aborted.reason) != "client gone"

@@ -1,0 +1,91 @@
+"""``repro explain`` works on server traces.
+
+The serve path emits the same event vocabulary as the simulator (plus
+connection lifecycle events), so the offline explainer must reproduce a
+traced server run's totals exactly — and the causal tooling must not
+mistake a monolithic served trace for a distributed one just because it
+contains op spans.
+"""
+
+import asyncio
+
+from repro.cli import _build_workload
+from repro.obs import JsonlTraceSink, MemorySink, TeeSink, TraceExplainer
+from repro.obs.causal import is_dist_trace
+from repro.obs.events import (
+    ConnClosedEvent,
+    ConnOpenedEvent,
+    OpSpanEvent,
+    QueueDepthEvent,
+)
+from repro.serve import ClientPool, LoadGenerator, TransactionServer
+from repro.sweep.spec import SCHEDULER_FACTORIES
+
+
+def _traced_serve_run(tmp_path, transactions=80, connections=4, seed=5):
+    async def go():
+        partition, workload = _build_workload(ro_share=0.6, skew=3.0)
+        scheduler = SCHEDULER_FACTORIES["hdd"](partition)
+        memory = MemorySink()
+        path = tmp_path / "serve-trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            scheduler.set_sink(TeeSink([sink, memory]))
+            server = TransactionServer(scheduler)
+            pool = ClientPool.connect_memory(server, connections)
+            try:
+                report = await LoadGenerator(
+                    pool, workload, transactions=transactions, seed=seed
+                ).run()
+            finally:
+                await pool.close()
+                # Let the per-connection handler tasks observe EOF and
+                # emit their ConnClosedEvents before the run end.
+                for _ in range(20):
+                    await asyncio.sleep(0)
+                await server.close()
+        return server, report, memory.events, path
+
+    return asyncio.run(go())
+
+
+class TestExplainServedTrace:
+    def test_summary_matches_reported_exactly(self, tmp_path):
+        server, report, events, path = _traced_serve_run(tmp_path)
+        summary = TraceExplainer(events).summary()
+        assert summary["commits"] == report.commits
+        assert summary["restarts"] == report.restarts
+        assert summary["matches_reported"] is True, summary
+        rendered = TraceExplainer(events).render_summary()
+        assert "exact" in rendered
+        assert "MISMATCH" not in rendered
+
+    def test_file_round_trip_matches_memory(self, tmp_path):
+        _, _, events, path = _traced_serve_run(tmp_path)
+        assert (
+            TraceExplainer.from_file(path).summary()
+            == TraceExplainer(events).summary()
+        )
+
+    def test_serve_events_present_and_balanced(self, tmp_path):
+        server, _, events, _ = _traced_serve_run(tmp_path)
+        opened = [e for e in events if isinstance(e, ConnOpenedEvent)]
+        closed = [e for e in events if isinstance(e, ConnClosedEvent)]
+        spans = [e for e in events if isinstance(e, OpSpanEvent)]
+        depths = [e for e in events if isinstance(e, QueueDepthEvent)]
+        assert len(opened) == server.stats.connections_opened
+        assert len(closed) == server.stats.connections_closed
+        assert len(opened) == len(closed)
+        # Every transaction op got a span; the load generator's single
+        # final stats probe is the one request without one.
+        assert len(spans) == server.stats.requests - 1
+        # Depth events only mark new high-water marks per connection.
+        assert depths
+        assert max(e.depth for e in depths) == server.stats.max_queue_depth
+
+    def test_served_trace_is_not_distributed(self, tmp_path):
+        """Op spans alone must not flip the dist heuristic: a served
+        trace has no message sends, so ``repro explain`` keeps its
+        monolithic cross-check instead of the causal path."""
+        _, _, events, _ = _traced_serve_run(tmp_path)
+        assert any(isinstance(e, OpSpanEvent) for e in events)
+        assert is_dist_trace(events) is False

@@ -1,0 +1,116 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME,
+    FrameDecoder,
+    ProtocolError,
+    aborted_response,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"id": 1, "op": "read", "txn": 7, "granule": "orders:g3"}
+        frames = FrameDecoder().feed(encode_frame(obj))
+        assert frames == [obj]
+
+    def test_byte_at_a_time_chunking(self):
+        """The decoder tolerates arbitrary chunking — the stream
+        transport may deliver a frame one byte at a time."""
+        obj = {"id": 2, "op": "commit", "txn": 9}
+        decoder = FrameDecoder()
+        collected = []
+        for byte in encode_frame(obj):
+            collected.extend(decoder.feed(bytes([byte])))
+        assert collected == [obj]
+
+    def test_many_frames_in_one_feed(self):
+        objs = [{"id": i, "op": "stats"} for i in range(5)]
+        blob = b"".join(encode_frame(obj) for obj in objs)
+        assert FrameDecoder().feed(blob) == objs
+
+    def test_oversized_header_is_desync(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="desynchronised"):
+            decoder.feed(HEADER.pack(MAX_FRAME + 1) + b"x")
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_non_object_payload(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError, match="expected object"):
+            decode_payload(payload)
+
+    def test_undecodable_payload(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(b"\xff\xfe not json")
+
+
+class TestValidation:
+    def test_valid_requests(self):
+        assert validate_request({"id": 1, "op": "begin"}) == "begin"
+        assert (
+            validate_request(
+                {"id": 2, "op": "read", "txn": 1, "granule": "a:g0"}
+            )
+            == "read"
+        )
+        assert (
+            validate_request(
+                {
+                    "id": 3,
+                    "op": "write",
+                    "txn": 1,
+                    "granule": "a:g0",
+                    "value": 5,
+                }
+            )
+            == "write"
+        )
+        assert validate_request({"id": 4, "op": "stats"}) == "stats"
+
+    def test_missing_id(self):
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            validate_request({"op": "begin"})
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"id": 1, "op": "truncate"})
+
+    def test_txn_ops_need_txn(self):
+        with pytest.raises(ProtocolError, match="integer 'txn'"):
+            validate_request({"id": 1, "op": "commit"})
+
+    def test_read_needs_granule(self):
+        with pytest.raises(ProtocolError, match="string 'granule'"):
+            validate_request({"id": 1, "op": "read", "txn": 3})
+
+    def test_write_needs_value(self):
+        with pytest.raises(ProtocolError, match="needs a 'value'"):
+            validate_request(
+                {"id": 1, "op": "write", "txn": 3, "granule": "a:g0"}
+            )
+
+
+class TestResponses:
+    def test_shapes(self):
+        assert ok_response(7, txn=3) == {
+            "id": 7,
+            "ok": True,
+            "status": "granted",
+            "txn": 3,
+        }
+        assert aborted_response(8, "TO rejection")["status"] == "aborted"
+        assert error_response(9, "bad request")["ok"] is False
