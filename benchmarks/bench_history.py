@@ -67,6 +67,16 @@ REQUIRED = {
         "ro_restarts.hdd": int,
         "protocol_errors": int,
     },
+    "BENCH_explore_coverage.json": {
+        "bench": str,
+        "corpus.total": int,
+        "corpus.caught": int,
+        "corpus.all_minimized": bool,
+        "clean.real_targets": int,
+        "clean.violations": int,
+        "runs": int,
+        "replay_failures": int,
+    },
 }
 
 
@@ -168,6 +178,15 @@ def headline(name, data):
             f"sync ratio {data['hdd']['ratios']['total']:.3f} vs "
             f"analytic, gossip batching {eager} -> {batched} sends "
             f"(-{saved:.0f}%)"
+        )
+    if name == "BENCH_explore_coverage.json":
+        corpus = data["corpus"]
+        clean = data["clean"]
+        return (
+            f"mutation corpus {corpus['caught']}/{corpus['total']} "
+            f"caught (minimized={corpus['all_minimized']}), real "
+            f"targets {clean['violations']} violation(s), "
+            f"{data['runs']} runs"
         )
     return "?"
 

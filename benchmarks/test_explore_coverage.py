@@ -1,0 +1,69 @@
+"""Explore coverage bench: the mutation corpus as a quality gate.
+
+The schedule-space explorer (:mod:`repro.explore`) is only trustworthy
+if it (a) finds every deliberately planted bug in the mutation corpus
+within a CI-sized budget, (b) minimizes each catch to a replayable
+artifact, and (c) reports *zero* violations on the genuine schedulers
+under the same budget.  This bench runs the default campaign — every
+corpus mutant plus the three real targets (monolithic HDD, eager dist,
+batched-ideal dist) — and writes the summary into
+``BENCH_explore_coverage.json`` for ``bench_history.py``.
+
+The summary is deterministic for a fixed seed list and byte-identical
+for every worker count (campaign units merge in submission order), so
+the committed file doubles as a regression reference: a mutant going
+un-caught, a real target going dirty, or replay verification failing
+all change the committed numbers.
+"""
+
+import json
+from pathlib import Path
+
+from repro.explore import campaign_units, run_campaign
+from repro.sim.metrics import format_table
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_explore_coverage.json"
+)
+
+
+def test_explore_coverage(benchmark, show):
+    units = campaign_units(seeds=[0])
+
+    def run():
+        return run_campaign(units, workers=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = result.summary()
+    BENCH_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    rows = [
+        {
+            "target": unit["target"],
+            "caught": unit["caught"],
+            "runs": unit["runs"],
+            "phase": ",".join(f["phase"] for f in unit["findings"]) or "-",
+            "kinds": ",".join(
+                sorted(
+                    {k for f in unit["findings"] for k in f["kinds"]}
+                )
+            )
+            or "-",
+        }
+        for unit in result.units
+    ]
+    show("explore campaign: corpus + real targets", format_table(rows))
+
+    corpus = summary["corpus"]
+    assert corpus["total"] == 6, "corpus shrank — update this bench"
+    # (a) every planted bug found within the CI budget...
+    assert corpus["caught"] == corpus["total"], (
+        f"missed mutants: {[m for m, hit in corpus['by_mutant'].items() if not hit]}"
+    )
+    # (b) ...each shrunk to an artifact demonstrating an expected kind...
+    assert corpus["all_minimized"]
+    assert summary["replay_failures"] == 0
+    # (c) ...while the genuine schedulers stay clean under the same budget.
+    assert summary["clean"]["real_targets"] == 3
+    assert summary["clean"]["violations"] == 0

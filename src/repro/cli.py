@@ -30,7 +30,15 @@ The subcommands, all deterministic given ``--seed``:
   deterministic fault-injecting network (:mod:`repro.dist`): latency,
   drops, partitions and crash-restarts are flags; ``--message-log``
   dumps the canonical wire trace and ``--check-determinism`` runs the
-  scenario twice and fails on any divergence.
+  scenario twice and fails on any divergence;
+* ``explore`` — schedule-space exploration (:mod:`repro.explore`):
+  search interleavings and fault plans for oracle violations, shrink
+  each hit to a 1-minimal artifact (``--artifacts``), or ``--replay``
+  a saved artifact byte-identically.  The default campaign hunts the
+  whole mutation corpus plus the real targets.
+
+Exit codes follow the shared convention in :mod:`repro.errors`:
+``0`` ran clean, ``1`` operational error, ``2`` correctness violation.
 """
 
 from __future__ import annotations
@@ -44,6 +52,13 @@ from repro.baselines import (
     TwoPhaseLocking,
 )
 from repro.core.partition import PartitionSummary
+from repro.errors import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_VIOLATION,
+    ConfigError,
+    ReproError,
+)
 from repro.obs import (
     JsonlTraceSink,
     MetricsRegistry,
@@ -183,7 +198,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "produced different merged results",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_VIOLATION
         determinism_note = (
             f"determinism: workers=1 and workers={par_workers} "
             "merged byte-identically"
@@ -379,25 +394,35 @@ def _dist_run(args: argparse.Namespace, trace_sink=None):
 def cmd_dist(args: argparse.Namespace) -> int:
     from repro.sim.messages import measured_message_report
 
-    if args.trace_out:
-        with JsonlTraceSink(args.trace_out) as sink:
-            runtime, result = _dist_run(args, trace_sink=sink)
-            events_written = sink.events_written
-        print(f"{events_written} events -> {args.trace_out}")
-    else:
-        runtime, result = _dist_run(args)
-    if args.check_determinism:
-        # The second run is always untraced, so with --trace-out this
-        # check doubles as the non-perturbation assertion: tracing may
-        # not change a single byte of the message log or schedule.
-        second, _ = _dist_run(args)
-        if runtime.network.log_lines() != second.network.log_lines():
-            print("DETERMINISM FAILURE: message logs diverge")
-            return 1
-        if str(runtime.schedule) != str(second.schedule):
-            print("DETERMINISM FAILURE: committed schedules diverge")
-            return 1
-        print("determinism check passed: two runs byte-identical")
+    # Exit-code convention (repro.errors): a failed serializability
+    # audit or determinism check is a *correctness violation* (exit 2),
+    # distinct from operational errors (exit 1) — CI matrix jobs key
+    # off the difference.
+    try:
+        if args.trace_out:
+            with JsonlTraceSink(args.trace_out) as sink:
+                runtime, result = _dist_run(args, trace_sink=sink)
+                events_written = sink.events_written
+            print(f"{events_written} events -> {args.trace_out}")
+        else:
+            runtime, result = _dist_run(args)
+        if args.check_determinism:
+            # The second run is always untraced, so with --trace-out this
+            # check doubles as the non-perturbation assertion: tracing may
+            # not change a single byte of the message log or schedule.
+            second, _ = _dist_run(args)
+            if runtime.network.log_lines() != second.network.log_lines():
+                print("DETERMINISM FAILURE: message logs diverge")
+                return EXIT_VIOLATION
+            if str(runtime.schedule) != str(second.schedule):
+                print("DETERMINISM FAILURE: committed schedules diverge")
+                return EXIT_VIOLATION
+            print("determinism check passed: two runs byte-identical")
+    except ConfigError:
+        raise  # bad flags: argparse-level failure, not a violation
+    except ReproError as exc:
+        print(f"AUDIT VIOLATION: {exc}", file=sys.stderr)
+        return EXIT_VIOLATION
     stats = runtime.stats
     network = runtime.network
     report, extras = measured_message_report(runtime)
@@ -425,6 +450,101 @@ def cmd_dist(args: argparse.Namespace) -> int:
             handle.write("\n".join(network.log_lines()) + "\n")
         print(f"message trace -> {args.message_log}")
     return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.explore import (
+        campaign_units,
+        load_artifact,
+        replay_artifact,
+        run_campaign,
+    )
+
+    if args.replay:
+        data = load_artifact(args.replay)
+        outcome = replay_artifact(data)
+        if outcome.ok:
+            print(f"replay OK: {outcome.detail}")
+            return EXIT_OK
+        print(f"replay FAILED: {outcome.detail}", file=sys.stderr)
+        return EXIT_ERROR
+
+    units = campaign_units(
+        seeds=list(range(args.seeds)),
+        episodes=args.episodes,
+        neighborhood=args.neighborhood,
+        fuzz=args.fuzz,
+        rate=args.rate,
+        minimize_tests=args.minimize_tests,
+        mutants=args.target or None,
+        include_real=not args.skip_real,
+    )
+    result = run_campaign(units, workers=args.workers)
+    summary = result.summary()
+    if args.artifacts:
+        directory = Path(args.artifacts)
+        directory.mkdir(parents=True, exist_ok=True)
+        for unit in result.units:
+            for index, finding in enumerate(unit["findings"]):
+                path = directory / (
+                    f"{unit['target']}-seed{unit['seed']}-{index}.json"
+                )
+                path.write_text(
+                    json.dumps(
+                        finding["artifact"], sort_keys=True, indent=2
+                    )
+                    + "\n"
+                )
+        print(f"artifacts -> {directory}")
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    for unit in result.units:
+        phases = [finding["phase"] for finding in unit["findings"]]
+        kinds = sorted(
+            {
+                kind
+                for finding in unit["findings"]
+                for kind in finding["kinds"]
+            }
+        )
+        verdict = f"CAUGHT {kinds} in {phases}" if unit["caught"] else "clean"
+        print(
+            f"{unit['target']} seed={unit['seed']} "
+            f"runs={unit['runs']}: {verdict}"
+        )
+    corpus = summary["corpus"]
+    print(
+        f"corpus: {corpus['caught']}/{corpus['total']} caught, "
+        f"minimized={corpus['all_minimized']}; "
+        f"real targets: {summary['clean']['violations']} violation(s) "
+        f"across {summary['clean']['real_targets']} unit(s); "
+        f"{summary['runs']} runs"
+    )
+    if summary["clean"]["violations"]:
+        print(
+            "VIOLATION: a real (unmutated) target failed an oracle",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATION
+    if result.replay_failures:
+        print(
+            f"replay failures: {result.replay_failures}", file=sys.stderr
+        )
+        return EXIT_ERROR
+    if corpus["total"] and corpus["caught"] < corpus["total"]:
+        missed = sorted(
+            name
+            for name, hit in corpus["by_mutant"].items()
+            if not hit
+        )
+        print(f"corpus mutants missed: {missed}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
@@ -735,6 +855,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist.set_defaults(fn=cmd_dist)
 
+    explore = sub.add_parser(
+        "explore",
+        help="search schedules + fault plans for oracle violations",
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-execute a saved artifact and verify byte-identity",
+    )
+    explore.add_argument(
+        "--target",
+        action="append",
+        default=None,
+        metavar="MUTANT",
+        help="restrict the campaign to this corpus mutant (repeatable)",
+    )
+    explore.add_argument(
+        "--corpus",
+        action="store_true",
+        help="run the full mutation corpus (the default campaign)",
+    )
+    explore.add_argument(
+        "--skip-real",
+        action="store_true",
+        help="do not run the unmutated real targets",
+    )
+    explore.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of search base seeds per target",
+    )
+    explore.add_argument("--episodes", type=int, default=12)
+    explore.add_argument("--neighborhood", type=int, default=8)
+    explore.add_argument("--fuzz", type=int, default=6)
+    explore.add_argument(
+        "--rate",
+        type=float,
+        default=0.25,
+        help="per-decision deviation probability in random episodes",
+    )
+    explore.add_argument("--minimize-tests", type=int, default=250)
+    explore.add_argument("--workers", type=int, default=1)
+    explore.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for minimized violation artifacts",
+    )
+    explore.add_argument(
+        "--summary-out",
+        default=None,
+        help="write the campaign summary JSON here",
+    )
+    explore.set_defaults(fn=cmd_explore)
+
     dist_explain = sub.add_parser(
         "dist-explain",
         help="attribute commit latency from a dist JSONL trace",
@@ -827,7 +1003,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        # Invalid settings (contradictory fault plans, bad knob
+        # combinations) are operational errors, never violations.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

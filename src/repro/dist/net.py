@@ -93,12 +93,86 @@ class FaultPlan:
     crashes: tuple[Crash, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.latency < 0 or self.jitter < 0 or self.spike_ticks < 0:
-            raise ConfigError("latencies must be non-negative")
+        # Field-named diagnostics throughout: the fault-plan fuzzer and
+        # the CLI both surface these messages verbatim, so "latencies
+        # must be non-negative" is not actionable but "jitter must be
+        # >= 0 (got -3)" is.
+        for field_name in ("latency", "jitter", "spike_ticks"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigError(
+                    f"{field_name} must be >= 0 (got {value})"
+                )
         if not 0.0 <= self.drop_rate < 1.0:
-            raise ConfigError("drop_rate must be in [0, 1)")
+            raise ConfigError(
+                f"drop_rate must be in [0, 1) (got {self.drop_rate})"
+            )
         if not 0.0 <= self.spike_rate <= 1.0:
-            raise ConfigError("spike_rate must be in [0, 1]")
+            raise ConfigError(
+                f"spike_rate must be in [0, 1] (got {self.spike_rate})"
+            )
+        for window in self.partitions:
+            if window.start < 0:
+                raise ConfigError(
+                    "partition start must be >= 0 "
+                    f"(got start={window.start})"
+                )
+            if window.end <= window.start:
+                raise ConfigError(
+                    "partition start must be < end (got "
+                    f"start={window.start}, end={window.end})"
+                )
+            overlap = window.left & window.right
+            if overlap:
+                raise ConfigError(
+                    "partition left and right must be disjoint "
+                    f"(both contain {sorted(overlap)})"
+                )
+        windows_by_node: dict[str, list[Crash]] = {}
+        for crash in self.crashes:
+            if crash.at < 0:
+                raise ConfigError(
+                    f"crash at must be >= 0 (got at={crash.at} "
+                    f"for {crash.node!r})"
+                )
+            if crash.recover <= crash.at:
+                raise ConfigError(
+                    "crash recover must be > at (got "
+                    f"at={crash.at}, recover={crash.recover} "
+                    f"for {crash.node!r})"
+                )
+            windows_by_node.setdefault(crash.node, []).append(crash)
+        for node, windows in windows_by_node.items():
+            ordered = sorted(windows, key=lambda c: (c.at, c.recover))
+            for earlier, later in zip(ordered, ordered[1:]):
+                if later.at < earlier.recover:
+                    raise ConfigError(
+                        f"crashes of {node!r} overlap: "
+                        f"[{earlier.at}, {earlier.recover}) and "
+                        f"[{later.at}, {later.recover})"
+                    )
+
+    def validate_horizon(self, horizon: int) -> None:
+        """Reject fault windows that start at or after ``horizon``.
+
+        The plan itself cannot know the run's tick horizon, so this is
+        a separate check the fuzzer and CLI call with the budgeted run
+        length: a partition or crash scheduled entirely past the end of
+        the run silently tests nothing.
+        """
+        for window in self.partitions:
+            if window.start >= horizon:
+                raise ConfigError(
+                    f"partitions window [{window.start}, {window.end}) "
+                    f"starts at or after the run horizon {horizon}"
+                )
+        for crash in self.crashes:
+            if crash.at >= horizon:
+                raise ConfigError(
+                    f"crashes window for {crash.node!r} at tick "
+                    f"{crash.at} starts at or after the run horizon "
+                    f"{horizon}"
+                )
 
     @property
     def is_ideal(self) -> bool:
@@ -206,11 +280,15 @@ class SimNetwork:
         #: inside its handler is causally its child and inherits its
         #: transaction unless the sender says otherwise.
         self._delivering: Optional[Message] = None
+        #: Schedule-space exploration hook (``repro.explore``): when
+        #: set, :meth:`deliver_one_due` lets the perturber choose among
+        #: the due messages that are first on their link — any legal
+        #: same-tick delivery order.  ``None`` (the default) leaves
+        #: delivery byte-identical to the unhooked network.
+        self.perturb: Optional[object] = None
         for crash in plan.crashes:
-            if crash.recover <= crash.at:
-                raise ConfigError(
-                    f"crash of {crash.node!r} must recover after it fails"
-                )
+            # Window validity (recover > at, no overlaps) is checked by
+            # FaultPlan.__post_init__ with field-named ConfigErrors.
             self.at_tick(crash.at, self._make_crash(crash.node))
             self.at_tick(crash.recover, self._make_recover(crash.node))
 
@@ -350,7 +428,39 @@ class SimNetwork:
         """Deliver the next due message, if any; True if one was."""
         if not self._queue or self._queue[0][0] > self.tick_now:
             return False
+        if self.perturb is not None:
+            return self._deliver_one_due_perturbed()
         _, _, message = heappop(self._queue)
+        return self._deliver(message)
+
+    def _deliver_one_due_perturbed(self) -> bool:
+        """Armed delivery: the perturber picks among due link heads.
+
+        Candidates are the due messages that are *first on their link*
+        (in ``(deliver_tick, seq)`` order), so the per-link FIFO
+        guarantee is preserved whatever the pick — this explores only
+        the cross-link delivery orders a real asynchronous network
+        could exhibit.  Candidate index 0 is the global heap head, so a
+        perturber that always answers 0 reproduces the unhooked
+        network's delivery order exactly.
+        """
+        due = []
+        while self._queue and self._queue[0][0] <= self.tick_now:
+            due.append(heappop(self._queue))
+        first_by_link: dict[tuple[str, str], tuple[int, int, Message]] = {}
+        for entry in due:  # heap pops arrive in (deliver_tick, seq) order
+            key = (entry[2].src, entry[2].dst)
+            if key not in first_by_link:
+                first_by_link[key] = entry
+        candidates = list(first_by_link.values())
+        pick = self.perturb.choose("deliver", len(candidates))
+        chosen = candidates[min(pick, len(candidates) - 1)]
+        for entry in due:
+            if entry is not chosen:
+                heappush(self._queue, entry)
+        return self._deliver(chosen[2])
+
+    def _deliver(self, message: Message) -> bool:
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or endpoint.down:
             return bool(self._drop(message, "dst-down")) or True

@@ -240,6 +240,9 @@ class DistributedRuntime:
     """Coordinator + per-segment nodes over a deterministic network."""
 
     COORD = "coord"
+    #: Node implementation to instantiate — ``repro explore``'s mutation
+    #: corpus swaps in deliberately-broken subclasses here.
+    NODE_CLASS = SegmentNode
 
     def __init__(
         self,
@@ -309,7 +312,7 @@ class DistributedRuntime:
                     }
                     | {node_name(leader_class)}
                 )
-                self.nodes[class_id] = SegmentNode(
+                self.nodes[class_id] = self.NODE_CLASS(
                     class_id,
                     self.network,
                     engine_name=engine,
@@ -325,7 +328,7 @@ class DistributedRuntime:
                 )
         else:
             self.nodes = {
-                class_id: SegmentNode(
+                class_id: self.NODE_CLASS(
                     class_id, self.network, engine_name=engine
                 )
                 for class_id in classes
@@ -499,7 +502,13 @@ class DistributedRuntime:
                 origin_seq,
             )
 
-        self.network.at_tick(self.network.tick_now + rto, fire)
+        deadline = self.network.tick_now + rto
+        perturb = getattr(self.network, "perturb", None)
+        if perturb is not None:
+            # Slip 0 is the baseline deadline, so an all-zeros perturber
+            # keeps the retransmit timeline byte-identical.
+            deadline += (0, 1, 2, 3)[min(perturb.choose("rto", 4), 3)]
+        self.network.at_tick(deadline, fire)
 
     def _rpc(
         self,

@@ -8,6 +8,17 @@ transaction lifecycle and storage.
 
 from __future__ import annotations
 
+#: Shared process exit-code convention for every CLI entry point
+#: (``repro dist`` / ``repro sweep`` / ``repro explore``): ``0`` = ran
+#: clean, ``1`` = operational error (bad flags, unreadable artifact,
+#: the tool itself failed), ``2`` = a *correctness violation* was found
+#: (serializability audit, determinism check, conservatism oracle).
+#: Scripts and CI can therefore distinguish "the check failed to run"
+#: from "the check ran and the system is wrong".
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_VIOLATION = 2
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""

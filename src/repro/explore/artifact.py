@@ -1,0 +1,110 @@
+"""Canonical JSON repro artifacts and their byte-identical replay.
+
+A minimized violation is only worth anything if it still reproduces on
+another machine, another day, another worker count.  The artifact is a
+single JSON document holding the (shrunk) case, the violation(s) it
+demonstrates, and the SHA-256 digests of the recording run's canonical
+outputs (schedule lines, message-log lines).  ``repro explore
+--replay artifact.json`` re-executes the case and compares those
+digests byte-for-byte — exit 0 on an exact reproduction, the
+*operational-error* exit code when the artifact no longer reproduces
+(that is a bug in the engine or an intervening semantic change, not a
+newly found violation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.explore.cases import ExploreCase, RunReport, run_case
+from repro.explore.oracles import Violation
+
+
+def _digest(lines: Sequence[str]) -> str:
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def artifact_dict(
+    report: RunReport, violations: Sequence[Violation]
+) -> dict[str, object]:
+    return {
+        "case": report.case.to_dict(),
+        "violations": [v.to_dict() for v in violations],
+        "schedule_sha256": _digest(report.schedule_lines),
+        "message_log_sha256": _digest(report.message_lines),
+        "schedule_steps": len(report.schedule_lines),
+        "messages": len(report.message_lines),
+    }
+
+
+def save_artifact(
+    path: str, report: RunReport, violations: Sequence[Violation]
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            artifact_dict(report, violations),
+            handle,
+            sort_keys=True,
+            indent=2,
+        )
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "case" not in data:
+        raise ReproError(f"{path}: not an explore artifact (no case)")
+    return data
+
+
+@dataclass
+class ReplayOutcome:
+    ok: bool
+    detail: str
+    report: Optional[RunReport] = None
+    violations: Sequence[Violation] = ()
+
+
+def replay_artifact(data: Mapping[str, object]) -> ReplayOutcome:
+    """Re-execute an artifact's case and compare canonical outputs."""
+    from repro.explore.oracles import check_case
+
+    case = ExploreCase.from_dict(data["case"])
+    report = run_case(case)
+    schedule_digest = _digest(report.schedule_lines)
+    message_digest = _digest(report.message_lines)
+    if schedule_digest != data.get("schedule_sha256"):
+        return ReplayOutcome(
+            False,
+            "schedule diverged from the recorded run "
+            f"({len(report.schedule_lines)} steps vs recorded "
+            f"{data.get('schedule_steps')})",
+            report,
+        )
+    if message_digest != data.get("message_log_sha256"):
+        return ReplayOutcome(
+            False, "message log diverged from the recorded run", report
+        )
+    violations = check_case(report)
+    recorded = {v["kind"] for v in data.get("violations", [])}
+    found = {v.kind for v in violations}
+    if recorded and not recorded & found:
+        return ReplayOutcome(
+            False,
+            f"run reproduced byte-identically but the violation did not "
+            f"(recorded {sorted(recorded)}, found {sorted(found) or 'none'})",
+            report,
+            violations,
+        )
+    return ReplayOutcome(
+        True,
+        f"byte-identical replay; violations reproduced: "
+        f"{sorted(found) or 'none recorded'}",
+        report,
+        violations,
+    )

@@ -1,0 +1,187 @@
+"""Multi-target exploration campaigns (the ``repro explore`` default).
+
+A campaign fans the whole mutation corpus plus the real targets out as
+independent (target, seed) units through the same order-preserving
+parallel primitive the sweep runner uses
+(:func:`repro.sweep.runner.parallel_map_iter`), then merges unit
+summaries in deterministic submission order — so a campaign summary is
+byte-identical for any ``--workers`` value.
+
+Each work unit is pure data in and pure data out: the unit dict names a
+corpus mutant (or a real-target index) plus its seed and budget knobs,
+and the summary dict carries JSON-safe results only — including the
+full minimized artifact for every finding, so the CLI can write the
+violation artifacts without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.explore.artifact import artifact_dict
+from repro.explore.cases import ExploreCase
+from repro.explore.corpus import CORPUS, corpus_entry, real_cases
+from repro.explore.engine import ExploreBudget, explore
+from repro.sweep.runner import parallel_map_iter
+
+
+def execute_campaign_unit(unit: Mapping[str, object]) -> dict[str, object]:
+    """One (target, seed) exploration; the process-pool work unit."""
+    budget = ExploreBudget(
+        episodes=int(unit["episodes"]),
+        neighborhood=int(unit["neighborhood"]),
+        fuzz=int(unit["fuzz"]),
+        rate=float(unit["rate"]),
+        minimize_tests=int(unit["minimize_tests"]),
+    )
+    if unit.get("mutant"):
+        template = corpus_entry(str(unit["mutant"])).case()
+    else:
+        template = real_cases()[int(unit["real_index"])]
+    seed = int(unit["seed"])
+    result = explore(template, budget, base_seed=seed)
+    findings = []
+    for finding in result.findings:
+        findings.append(
+            {
+                "phase": finding.phase,
+                "kinds": sorted({v.kind for v in finding.violations}),
+                "minimize_tests": finding.minimize_tests,
+                "atoms": len(finding.minimized.choices)
+                + len(dict(finding.minimized.plan)),
+                "artifact": artifact_dict(
+                    finding.report, finding.minimized_violations
+                ),
+            }
+        )
+    return {
+        "target": result.target,
+        "mutant": unit.get("mutant"),
+        "seed": seed,
+        "runs": result.runs,
+        "coverage": result.coverage,
+        "caught": result.caught,
+        "findings": findings,
+        "replay_failures": list(result.replay_failures),
+    }
+
+
+@dataclass
+class CampaignResult:
+    """Deterministically merged campaign summary."""
+
+    units: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def mutants_caught(self) -> dict[str, bool]:
+        caught: dict[str, bool] = {}
+        for unit in self.units:
+            mutant = unit.get("mutant")
+            if mutant:
+                caught[mutant] = caught.get(mutant, False) or bool(
+                    unit["caught"]
+                )
+        return caught
+
+    @property
+    def real_violations(self) -> list[dict[str, object]]:
+        return [
+            unit
+            for unit in self.units
+            if not unit.get("mutant") and unit["caught"]
+        ]
+
+    @property
+    def replay_failures(self) -> list[str]:
+        failures = []
+        for unit in self.units:
+            failures.extend(unit.get("replay_failures", []))
+        return failures
+
+    @property
+    def all_minimized(self) -> bool:
+        """Every caught mutant produced at least one finding whose kind
+        is in the corpus entry's expected set and whose artifact
+        reproduces (replay verification happened inside explore)."""
+        for unit in self.units:
+            mutant = unit.get("mutant")
+            if not mutant or not unit["caught"]:
+                continue
+            expected = set(corpus_entry(mutant).expected)
+            if not any(
+                expected & set(finding["kinds"])
+                for finding in unit["findings"]
+            ):
+                return False
+        return True
+
+    def summary(self) -> dict[str, object]:
+        caught = self.mutants_caught
+        return {
+            "bench": "explore_coverage",
+            "corpus": {
+                "total": len(caught),
+                "caught": sum(caught.values()),
+                "by_mutant": dict(sorted(caught.items())),
+                "all_minimized": bool(caught) and self.all_minimized,
+            },
+            "clean": {
+                "real_targets": sum(
+                    1 for unit in self.units if not unit.get("mutant")
+                ),
+                "violations": len(self.real_violations),
+            },
+            "runs": sum(unit["runs"] for unit in self.units),
+            "coverage_features": max(
+                (unit["coverage"] for unit in self.units), default=0
+            ),
+            "replay_failures": len(self.replay_failures),
+        }
+
+
+def campaign_units(
+    seeds: Sequence[int],
+    episodes: int = 12,
+    neighborhood: int = 8,
+    fuzz: int = 6,
+    rate: float = 0.25,
+    minimize_tests: int = 250,
+    mutants: Optional[Sequence[str]] = None,
+    include_real: bool = True,
+) -> list[dict[str, object]]:
+    """The deterministic unit list a campaign executes, in order."""
+    names = (
+        list(mutants)
+        if mutants is not None
+        else [entry.name for entry in CORPUS]
+    )
+    units: list[dict[str, object]] = []
+    base = {
+        "episodes": episodes,
+        "neighborhood": neighborhood,
+        "fuzz": fuzz,
+        "rate": rate,
+        "minimize_tests": minimize_tests,
+    }
+    for name in names:
+        for seed in seeds:
+            units.append({**base, "mutant": name, "seed": seed})
+    if include_real:
+        for index in range(len(real_cases())):
+            for seed in seeds:
+                units.append(
+                    {**base, "real_index": index, "seed": seed}
+                )
+    return units
+
+
+def run_campaign(
+    units: Sequence[Mapping[str, object]], workers: int = 1
+) -> CampaignResult:
+    """Execute units (in parallel when asked) and merge in unit order."""
+    return CampaignResult(
+        units=list(
+            parallel_map_iter(execute_campaign_unit, list(units), workers)
+        )
+    )

@@ -1,0 +1,188 @@
+"""Budgeted :class:`FaultPlan` fuzzing with coverage-novelty search.
+
+Random schedules find interleaving bugs; *fault* bugs (stale digests,
+lost incarnation state, retransmit races) additionally need the right
+weather.  The fuzzer mutates one plan component per step — latency,
+jitter, drop/spike rates, a partition window, a crash window — inside a
+declared :class:`FaultBudget`, validates the result exactly the way the
+CLI would (so invalid combinations surface as
+:class:`~repro.errors.ConfigError` and are simply retried), and keeps
+the plans whose runs exhibit *novel* coverage features (see
+:func:`repro.obs.metrics.coverage_features`) on a frontier queue,
+AFL-style: a plan that made the system do something no earlier plan did
+is the best starting point for the next mutation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.explore.cases import plan_from_dict
+
+
+@dataclass(frozen=True)
+class FaultBudget:
+    """The box the fuzzer may search inside.
+
+    ``horizon`` bounds every partition/crash window to the ticks a run
+    can actually reach (windows past the horizon are dead weight the
+    minimizer would strip anyway).
+    """
+
+    max_latency: int = 4
+    max_jitter: int = 4
+    max_drop_rate: float = 0.05
+    max_spike_rate: float = 0.1
+    max_spike_ticks: int = 6
+    max_partitions: int = 1
+    max_crashes: int = 2
+    max_window: int = 80
+    horizon: int = 600
+
+
+class CoverageMap:
+    """Which behaviour features any run has ever exhibited."""
+
+    def __init__(self) -> None:
+        self.features: set[str] = set()
+        self.signatures: set[frozenset[str]] = set()
+
+    def observe(self, signature: frozenset[str]) -> bool:
+        """Record a run's signature; True when it brought any feature
+        the map had never seen (the novelty signal)."""
+        novel = not signature <= self.features
+        self.features |= signature
+        self.signatures.add(signature)
+        return novel
+
+
+class PlanFuzzer:
+    """Mutate fault plans inside a budget, frontier-first.
+
+    ``propose()`` pops the most recent novel plan off the frontier
+    (falling back to the base plan) and applies one random mutation;
+    plans whose runs turn out novel are pushed back via ``accept()``.
+    Every proposal is validated through the real ``FaultPlan``
+    constructor plus ``validate_horizon`` — a mutation that lands on an
+    invalid combination (overlapping crash windows, a window past the
+    horizon) is discarded and another is drawn, up to a small retry
+    bound.
+    """
+
+    #: Mutation kinds, each one plan component.
+    _KINDS = (
+        "latency",
+        "jitter",
+        "drop_rate",
+        "spike",
+        "partition",
+        "crash",
+    )
+
+    def __init__(
+        self,
+        budget: FaultBudget,
+        seed: int,
+        nodes: Iterable[str],
+        base: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.budget = budget
+        self.rng = random.Random(seed)
+        self.nodes = sorted(nodes)
+        self.base: dict[str, object] = dict(base or {})
+        self.frontier: list[dict[str, object]] = []
+        self.proposed = 0
+        self.rejected = 0
+
+    def accept(self, plan: Mapping[str, object]) -> None:
+        self.frontier.append(dict(plan))
+        # A bounded frontier keeps the search from ratholing on one
+        # early-novel lineage.
+        if len(self.frontier) > 16:
+            self.frontier.pop(0)
+
+    def propose(self) -> dict[str, object]:
+        parent = (
+            self.frontier[-1] if self.frontier else self.base
+        )
+        for _ in range(8):
+            candidate = self._mutate(dict(parent))
+            self.proposed += 1
+            try:
+                plan = plan_from_dict(candidate)
+                plan.validate_horizon(self.budget.horizon)
+            except ConfigError:
+                self.rejected += 1
+                continue
+            return candidate
+        return dict(parent)
+
+    # ------------------------------------------------------------------
+    # Mutation operators
+    # ------------------------------------------------------------------
+    def _mutate(self, plan: dict[str, object]) -> dict[str, object]:
+        kind = self.rng.choice(self._KINDS)
+        budget = self.budget
+        if kind == "latency":
+            plan["latency"] = self.rng.randint(0, budget.max_latency)
+        elif kind == "jitter":
+            plan["jitter"] = self.rng.randint(0, budget.max_jitter)
+        elif kind == "drop_rate":
+            plan["drop_rate"] = round(
+                self.rng.random() * budget.max_drop_rate, 4
+            )
+        elif kind == "spike":
+            plan["spike_rate"] = round(
+                self.rng.random() * budget.max_spike_rate, 4
+            )
+            plan["spike_ticks"] = self.rng.randint(
+                1, max(1, budget.max_spike_ticks)
+            )
+        elif kind == "partition":
+            plan["partitions"] = self._partitions(plan)
+        else:
+            plan["crashes"] = self._crashes(plan)
+        return plan
+
+    def _window(self) -> tuple[int, int]:
+        start = self.rng.randint(0, max(0, self.budget.horizon - 2))
+        length = self.rng.randint(
+            1, max(1, min(self.budget.max_window, self.budget.horizon - start))
+        )
+        return start, start + length
+
+    def _partitions(self, plan: dict[str, object]) -> list:
+        existing = list(plan.get("partitions", []))
+        if existing and (
+            len(existing) >= self.budget.max_partitions
+            or self.rng.random() < 0.3
+        ):
+            existing.pop(self.rng.randrange(len(existing)))
+            return existing
+        if len(self.nodes) < 2 or self.budget.max_partitions < 1:
+            return existing
+        start, end = self._window()
+        split = self.rng.randint(1, len(self.nodes) - 1)
+        members = list(self.nodes)
+        self.rng.shuffle(members)
+        existing.append(
+            [start, end, sorted(members[:split]), sorted(members[split:])]
+        )
+        return existing[-self.budget.max_partitions :]
+
+    def _crashes(self, plan: dict[str, object]) -> list:
+        existing = list(plan.get("crashes", []))
+        if existing and (
+            len(existing) >= self.budget.max_crashes
+            or self.rng.random() < 0.3
+        ):
+            existing.pop(self.rng.randrange(len(existing)))
+            return existing
+        if not self.nodes or self.budget.max_crashes < 1:
+            return existing
+        start, end = self._window()
+        existing.append([self.rng.choice(self.nodes), start, end])
+        return existing[-self.budget.max_crashes :]

@@ -1,0 +1,165 @@
+"""Delta-debugging a violating case down to a 1-minimal repro.
+
+A violating :class:`~repro.explore.cases.ExploreCase` typically carries
+far more perturbation and fault weight than the bug needs — a random
+episode deviates at dozens of choice points, a fuzzed plan drags whole
+partition windows that never mattered.  The minimizer decomposes the
+case into *atoms*:
+
+* one atom per recorded :class:`~repro.explore.perturb.Choice`,
+* one atom per fault-plan scalar (latency, jitter, drop, spike —
+  removal means "set to zero"),
+* one atom per partition window and per crash window,
+
+then runs classic ddmin over the combined list, followed by a greedy
+single-atom elimination pass.  The result is **1-minimal**: removing
+any single remaining atom loses the violation.  Both passes probe
+subsets in a fixed order and the test predicate is a deterministic
+replay, so minimization itself is deterministic — the same violating
+case always shrinks to the same artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.explore.cases import ExploreCase
+from repro.explore.perturb import Choice
+
+#: An atom is ("choice", Choice) or ("plan", kind, payload).
+Atom = tuple
+
+
+def case_atoms(case: ExploreCase) -> list[Atom]:
+    """The removable units a case decomposes into, in canonical order."""
+    atoms: list[Atom] = [("choice", choice) for choice in case.choices]
+    plan = dict(case.plan)
+    for scalar in ("latency", "jitter"):
+        if int(plan.get(scalar, 0)):
+            atoms.append(("plan", scalar, int(plan[scalar])))
+    if float(plan.get("drop_rate", 0.0)):
+        atoms.append(("plan", "drop_rate", float(plan["drop_rate"])))
+    if float(plan.get("spike_rate", 0.0)):
+        atoms.append(
+            (
+                "plan",
+                "spike",
+                (
+                    float(plan["spike_rate"]),
+                    int(plan.get("spike_ticks", 0)),
+                ),
+            )
+        )
+    for window in plan.get("partitions", []):
+        atoms.append(("plan", "partition", tuple(map(_freeze, window))))
+    for window in plan.get("crashes", []):
+        atoms.append(("plan", "crash", tuple(window)))
+    return atoms
+
+
+def _freeze(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+def rebuild_case(case: ExploreCase, atoms: Sequence[Atom]) -> ExploreCase:
+    """The case an atom subset denotes (absent scalar atoms mean 0)."""
+    from dataclasses import replace
+
+    choices = tuple(
+        atom[1] for atom in atoms if atom[0] == "choice"
+    )
+    plan: dict[str, object] = {}
+    partitions: list = []
+    crashes: list = []
+    for atom in atoms:
+        if atom[0] != "plan":
+            continue
+        kind, payload = atom[1], atom[2]
+        if kind in ("latency", "jitter", "drop_rate"):
+            plan[kind] = payload
+        elif kind == "spike":
+            plan["spike_rate"], plan["spike_ticks"] = payload
+        elif kind == "partition":
+            start, end, left, right = payload
+            partitions.append([start, end, list(left), list(right)])
+        else:
+            crashes.append(list(payload))
+    if partitions:
+        plan["partitions"] = partitions
+    if crashes:
+        plan["crashes"] = crashes
+    return replace(case, choices=choices, plan=plan)
+
+
+@dataclass
+class MinimizeResult:
+    case: ExploreCase
+    tests: int
+    removed: int
+
+
+def minimize(
+    case: ExploreCase,
+    is_violating: Callable[[ExploreCase], bool],
+    max_tests: int = 400,
+) -> MinimizeResult:
+    """Shrink ``case`` while ``is_violating`` stays true.
+
+    ``is_violating`` must already be True for ``case`` itself (the
+    caller found the violation; we only shrink it).  ``max_tests``
+    bounds the number of candidate executions — when exhausted, the
+    smallest violating case found so far is returned (it may then not
+    be provably 1-minimal, but it is never larger than the input).
+    """
+    atoms = case_atoms(case)
+    tests = 0
+
+    def violates(subset: Sequence[Atom]) -> bool:
+        nonlocal tests
+        tests += 1
+        return is_violating(rebuild_case(case, subset))
+
+    # -- ddmin ---------------------------------------------------------
+    current = list(atoms)
+    granularity = 2
+    while len(current) >= 2 and tests < max_tests:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and tests < max_tests:
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and not violates(candidate):
+                start += chunk
+                continue
+            if not candidate and not violates(candidate):
+                start += chunk
+                continue
+            current = candidate
+            granularity = max(granularity - 1, 2)
+            reduced = True
+            start = 0
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    # -- greedy 1-minimality pass --------------------------------------
+    # ddmin guarantees chunk-minimality at final granularity; one more
+    # sweep removing single atoms until a fixpoint guarantees removing
+    # *any* single atom loses the violation.
+    changed = True
+    while changed and tests < max_tests:
+        changed = False
+        for position in range(len(current)):
+            candidate = current[:position] + current[position + 1 :]
+            if violates(candidate):
+                current = candidate
+                changed = True
+                break
+
+    return MinimizeResult(
+        case=rebuild_case(case, current),
+        tests=tests,
+        removed=len(atoms) - len(current),
+    )

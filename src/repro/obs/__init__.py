@@ -62,7 +62,7 @@ from repro.obs.events import (
 )
 from repro.obs.explain import TraceExplainer
 from repro.obs.jsonl import JsonlTraceSink, load_trace
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, coverage_features
 
 __all__ = [
     "BUCKETS",
@@ -98,6 +98,7 @@ __all__ = [
     "WallRetiredEvent",
     "WallUnpinnedEvent",
     "WriteEvent",
+    "coverage_features",
     "event_from_record",
     "is_dist_trace",
     "load_trace",

@@ -22,7 +22,7 @@ simulator's ``blocked_client_steps`` accounting.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 from repro.obs.events import (
     AbortedEvent,
@@ -241,3 +241,45 @@ class MetricsRegistry(EventSink):
         return "\n".join(
             f"{name.ljust(width)}  {value}" for name, value in report.items()
         )
+
+
+def _log2_bucket(value: float) -> int:
+    """0 for value <= 0, else 1 + floor(log2(value)) — coarse enough
+    that a coverage signature is stable across harmless jitter, fine
+    enough that a new behaviour regime (a 10x staleness raise, a wall
+    wait an order of magnitude longer) registers as novel."""
+    if value <= 0:
+        return 0
+    return max(1, int(value).bit_length())
+
+
+def coverage_features(report: Mapping[str, object]) -> frozenset[str]:
+    """The behaviour signature of one run, as a feature set.
+
+    ``repro explore``'s fault-plan fuzzer keeps a plan on its frontier
+    only when the plan's run exhibits a feature no earlier run did
+    (AFL-style novelty search).  Features are drawn from a
+    :meth:`MetricsRegistry.report` mapping:
+
+    * which abort kinds occurred (``abort.reason.*``),
+    * which read protocols served reads (``read.protocol.*``),
+    * which message fates dropped traffic (``net.dropped.*``),
+    * log2-bucketed p95s of the latency-shaping histograms —
+      ``digest_staleness``, ``wall_lag``, ``net.delay`` and every
+      ``block_steps.*`` category.
+    """
+    features: set[str] = set()
+    for name, value in report.items():
+        if not isinstance(value, (int, float)) or value <= 0:
+            continue
+        if name.startswith(
+            ("abort.reason.", "read.protocol.", "net.dropped.", "net.retransmit.")
+        ):
+            features.add(name)
+        elif name.endswith(".p95"):
+            base = name[: -len(".p95")]
+            if base in ("digest_staleness", "wall_lag", "net.delay") or (
+                base.startswith("block_steps.")
+            ):
+                features.add(f"{base}.p95~2^{_log2_bucket(float(value))}")
+    return frozenset(features)

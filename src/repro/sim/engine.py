@@ -132,11 +132,17 @@ class Simulator:
         gc_interval: Optional[int] = None,
         trace_sink: Optional[EventSink] = None,
         loop: str = "event",
+        perturb: Optional[object] = None,
     ) -> None:
         if clients < 1:
             raise ConfigError("need at least one client")
         if loop not in ("event", "scan"):
             raise ConfigError(f"unknown loop implementation {loop!r}")
+        if perturb is not None and loop != "event":
+            raise ConfigError(
+                "perturb requires the event loop (the scan loop is the "
+                "frozen reference semantics)"
+            )
         if gc_interval is not None and gc_interval < 1:
             raise ConfigError("gc_interval must be >= 1")
         if gc_interval is not None and track_staleness:
@@ -182,6 +188,15 @@ class Simulator:
         #: the ``_timers`` heap (IDLE/RESTART_WAIT waiting out a
         #: countdown, keyed by absolute wake step).
         self._event_loop = loop == "event"
+        #: Schedule-space exploration hook (``repro.explore``): when
+        #: set, the ready-set pick and the arrival draw offer their
+        #: legal candidate sets to the perturber.  ``None`` (default)
+        #: keeps every run byte-identical to the unhooked engine.
+        self._perturb = perturb
+        #: Closed-loop arrival lookahead (armed runs only): specs drawn
+        #: from the workload but not yet handed to a client, in draw
+        #: order — picking index 0 is the unperturbed arrival order.
+        self._spec_lookahead: deque[TxnSpec] = deque()
         self._ready: set[int] = set()
         self._idle_ready: set[int] = set(range(clients))
         self._blocked: set[int] = set()
@@ -313,6 +328,8 @@ class Simulator:
         idle_ok = bool(self._idle_ready) and (
             self.arrival_rate is None or bool(self._pending)
         )
+        if self._perturb is not None:
+            return self._pick_ready_perturbed(idle_ok)
         # Fast path: the cursor's own client is runnable (distance 0) —
         # the common case in a closed loop with every client running.
         if cursor in self._ready or (idle_ok and cursor in self._idle_ready):
@@ -333,6 +350,29 @@ class Simulator:
                         best = cid
             if best < 0:
                 return None
+        self._cursor = (best + 1) % n
+        self._ready.discard(best)
+        self._idle_ready.discard(best)
+        return self.clients[best]
+
+    def _pick_ready_perturbed(self, idle_ok: bool) -> Optional[_Client]:
+        """Armed variant of :meth:`_pick_ready` for ``repro explore``.
+
+        Candidates are the runnable clients sorted by mod-distance from
+        the cursor, so candidate 0 is exactly the client the disarmed
+        pick would have chosen — an all-zeros perturber reproduces the
+        baseline schedule byte-identically.
+        """
+        n = len(self.clients)
+        cursor = self._cursor
+        runnable = set(self._ready)
+        if idle_ok:
+            runnable |= self._idle_ready
+        if not runnable:
+            return None
+        candidates = sorted(runnable, key=lambda cid: (cid - cursor) % n)
+        pick = self._perturb.choose("ready", len(candidates))
+        best = candidates[min(pick, len(candidates) - 1)]
         self._cursor = (best + 1) % n
         self._ready.discard(best)
         self._idle_ready.discard(best)
@@ -536,10 +576,20 @@ class Simulator:
     def _begin(self, client: _Client, step: int) -> None:
         if client.state is _ClientState.IDLE:
             if self.arrival_rate is None:
-                client.spec = self.workload.next_transaction(self.rng)
+                if self._perturb is not None:
+                    client.spec = self._next_spec_perturbed()
+                else:
+                    client.spec = self.workload.next_transaction(self.rng)
                 client.latency_start = step
             else:
-                spec, arrived = self._pending.popleft()
+                if self._perturb is not None and len(self._pending) > 1:
+                    pick = self._perturb.choose("arrival", len(self._pending))
+                    pick = min(pick, len(self._pending) - 1)
+                    entry = self._pending[pick]
+                    del self._pending[pick]
+                    spec, arrived = entry
+                else:
+                    spec, arrived = self._pending.popleft()
                 client.spec = spec
                 client.latency_start = arrived  # include queueing delay
             client.first_attempt = True
@@ -550,6 +600,27 @@ class Simulator:
         client.pc = 0
         client.state = _ClientState.RUNNING
         self._check_walls()
+
+    def _next_spec_perturbed(self) -> TxnSpec:
+        """Closed-loop arrival-order perturbation for ``repro explore``.
+
+        A small lookahead buffer is filled *in order* from the workload
+        generator, and the perturber picks which buffered spec starts
+        next.  Index 0 is the oldest draw — the disarmed order — so an
+        all-zeros perturber is byte-identical to the unhooked engine.
+        The buffer only ever draws via ``workload.next_transaction``, so
+        the shared ``self.rng`` stream is consumed in exactly the
+        baseline order regardless of pick.
+        """
+        while len(self._spec_lookahead) < 4:
+            self._spec_lookahead.append(
+                self.workload.next_transaction(self.rng)
+            )
+        pick = self._perturb.choose("arrival", len(self._spec_lookahead))
+        pick = min(pick, len(self._spec_lookahead) - 1)
+        spec = self._spec_lookahead[pick]
+        del self._spec_lookahead[pick]
+        return spec
 
     def _handle(
         self, client: _Client, step: int, outcome: Outcome, is_commit: bool

@@ -4,6 +4,7 @@ from repro.sweep.runner import (
     SweepOutcome,
     SweepRunner,
     execute_config,
+    parallel_map_iter,
     run_sweep,
 )
 from repro.sweep.spec import (
@@ -29,5 +30,6 @@ __all__ = [
     "config_hash",
     "effective_seed",
     "execute_config",
+    "parallel_map_iter",
     "run_sweep",
 ]

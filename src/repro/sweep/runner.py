@@ -47,6 +47,29 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def parallel_map_iter(fn, items, workers: int):
+    """Order-preserving parallel map, inline when ``workers == 1``.
+
+    The shared execution primitive of the sweep runner and the explore
+    campaign: ``workers == 1`` runs in-process (no pool, no pickling —
+    the determinism reference), anything larger streams through
+    ``ProcessPoolExecutor.map``, which preserves submission order, so
+    consumers merge results identically for every worker count.  ``fn``
+    and every item must be picklable when ``workers > 1``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    items = list(items)
+    if not items:
+        return
+    if workers == 1:
+        for item in items:
+            yield fn(item)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(fn, items)
+
+
 def execute_config(config_dict: Mapping[str, object]) -> dict[str, object]:
     """Run one config to completion; the process-pool work unit.
 
@@ -209,17 +232,10 @@ class SweepRunner:
         if not pending:
             return
         dicts = [config.to_dict() for _, config in pending]
-        if self.workers == 1:
-            for (digest, _), config_dict in zip(pending, dicts):
-                yield digest, execute_config(config_dict)
-            return
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            # pool.map preserves submission order; results stream back
-            # as they complete without reordering the merge.
-            for (digest, _), row in zip(
-                pending, pool.map(execute_config, dicts)
-            ):
-                yield digest, row
+        for (digest, _), row in zip(
+            pending, parallel_map_iter(execute_config, dicts, self.workers)
+        ):
+            yield digest, row
 
     # ------------------------------------------------------------------
     # On-disk cache

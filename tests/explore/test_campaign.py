@@ -1,0 +1,68 @@
+"""Campaign units are pure data and merge identically for any worker
+count — the explore analogue of the sweep determinism tripwire."""
+
+import json
+
+from repro.explore.campaign import (
+    campaign_units,
+    execute_campaign_unit,
+    run_campaign,
+)
+
+FAST = {
+    "episodes": 2,
+    "neighborhood": 1,
+    "fuzz": 0,
+    "rate": 0.25,
+    "minimize_tests": 60,
+}
+
+
+def test_campaign_units_deterministic_order():
+    units = campaign_units(seeds=[0, 1], mutants=["to-no-read-ts"])
+    assert [u.get("mutant") for u in units[:2]] == ["to-no-read-ts"] * 2
+    assert [u["seed"] for u in units[:2]] == [0, 1]
+    # the real targets ride along by default
+    assert sum(1 for u in units if "real_index" in u) == 6
+    assert campaign_units(
+        seeds=[0, 1], mutants=["to-no-read-ts"]
+    ) == units
+
+
+def test_unit_summary_shape():
+    unit = execute_campaign_unit(
+        {**FAST, "mutant": "hdd-skip-wall-wait", "seed": 0}
+    )
+    assert unit["target"] == "hdd-skip-wall-wait"
+    assert unit["caught"] is True
+    assert unit["findings"][0]["phase"] == "baseline"
+    artifact = unit["findings"][0]["artifact"]
+    assert {"case", "violations", "schedule_sha256"} <= set(artifact)
+    json.dumps(unit)  # JSON-safe by construction
+
+
+def test_workers_do_not_change_the_merged_result():
+    units = [
+        {**FAST, "mutant": "hdd-skip-wall-wait", "seed": 0},
+        {**FAST, "mutant": "to-no-read-ts", "seed": 0},
+    ]
+    serial = run_campaign(units, workers=1)
+    parallel = run_campaign(units, workers=2)
+    assert json.dumps(serial.units, sort_keys=True) == json.dumps(
+        parallel.units, sort_keys=True
+    )
+    assert serial.summary() == parallel.summary()
+
+
+def test_summary_aggregates():
+    units = [
+        {**FAST, "mutant": "hdd-skip-wall-wait", "seed": 0},
+    ]
+    result = run_campaign(units)
+    summary = result.summary()
+    assert summary["bench"] == "explore_coverage"
+    assert summary["corpus"]["caught"] == 1
+    assert summary["corpus"]["total"] == 1
+    assert summary["corpus"]["all_minimized"] is True
+    assert summary["clean"] == {"real_targets": 0, "violations": 0}
+    assert summary["replay_failures"] == 0

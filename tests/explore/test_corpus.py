@@ -1,0 +1,54 @@
+"""The mutation corpus catches its bugs; the real targets stay clean."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.explore import (
+    CORPUS,
+    ExploreBudget,
+    check_case,
+    corpus_entry,
+    explore,
+    real_cases,
+    run_case,
+)
+
+BASELINE_ONLY = ExploreBudget(
+    episodes=0, neighborhood=0, fuzz=0, minimize_tests=50
+)
+
+
+def test_unknown_mutant_raises_config_error():
+    with pytest.raises(ConfigError, match="unknown corpus mutant"):
+        corpus_entry("no-such-mutant")
+
+
+def test_corpus_entries_build_cases_with_mutant_name():
+    for entry in CORPUS:
+        case = entry.case()
+        assert case.mutant == entry.name
+        assert entry.expected, entry.name
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["hdd-skip-wall-wait", "dist-skip-barrier", "dist-skewed-spans"],
+)
+def test_baseline_caught_mutants(name):
+    """These three break so fundamentally that the unperturbed run
+    already fails an oracle — no search required."""
+    entry = corpus_entry(name)
+    result = explore(entry.case(), BASELINE_ONLY)
+    assert result.caught
+    finding = result.findings[0]
+    assert finding.phase == "baseline"
+    kinds = {v.kind for v in finding.violations}
+    assert kinds & set(entry.expected), (name, kinds)
+    assert not result.replay_failures
+
+
+def test_real_targets_baseline_clean():
+    for case in real_cases():
+        report = run_case(case)
+        assert report.error is None
+        assert check_case(report) == [], case

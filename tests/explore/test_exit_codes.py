@@ -1,0 +1,104 @@
+"""The shared exit-code convention across ``dist``/``sweep``/``explore``."""
+
+import json
+
+from repro.cli import main
+from repro.errors import EXIT_ERROR, EXIT_OK, EXIT_VIOLATION
+
+
+def test_exit_code_constants_are_distinct():
+    assert (EXIT_OK, EXIT_ERROR, EXIT_VIOLATION) == (0, 1, 2)
+
+
+def test_explore_unknown_mutant_is_operational_error(capsys):
+    code = main(["explore", "--target", "no-such-mutant", "--skip-real"])
+    assert code == EXIT_ERROR
+    assert "unknown corpus mutant" in capsys.readouterr().err
+
+
+def test_explore_campaign_catches_and_replays(tmp_path, capsys):
+    artifacts = tmp_path / "artifacts"
+    summary_path = tmp_path / "summary.json"
+    code = main(
+        [
+            "explore",
+            "--target",
+            "hdd-skip-wall-wait",
+            "--skip-real",
+            "--episodes",
+            "0",
+            "--neighborhood",
+            "0",
+            "--fuzz",
+            "0",
+            "--artifacts",
+            str(artifacts),
+            "--summary-out",
+            str(summary_path),
+        ]
+    )
+    assert code == EXIT_OK
+    out = capsys.readouterr().out
+    assert "CAUGHT" in out
+    summary = json.loads(summary_path.read_text())
+    assert summary["corpus"]["caught"] == 1
+    saved = sorted(artifacts.glob("*.json"))
+    assert saved, "no artifact written"
+
+    replay_code = main(["explore", "--replay", str(saved[0])])
+    assert replay_code == EXIT_OK
+    assert "replay OK" in capsys.readouterr().out
+
+
+def test_explore_replay_divergence_is_operational_error(
+    tmp_path, capsys
+):
+    artifact = {
+        "case": {"scheduler": "hdd", "clients": 4, "target_commits": 10},
+        "violations": [],
+        "schedule_sha256": "0" * 64,
+        "message_log_sha256": "0" * 64,
+        "schedule_steps": 1,
+        "messages": 0,
+    }
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(artifact))
+    code = main(["explore", "--replay", str(path)])
+    assert code == EXIT_ERROR
+    assert "replay FAILED" in capsys.readouterr().err
+
+
+def test_explore_missed_mutant_is_operational_error(capsys):
+    # zero search on a mutant that needs interleaving search: the
+    # campaign must say so with a non-zero exit, not a quiet pass.
+    code = main(
+        [
+            "explore",
+            "--target",
+            "to-no-read-ts",
+            "--skip-real",
+            "--episodes",
+            "0",
+            "--neighborhood",
+            "0",
+            "--fuzz",
+            "0",
+        ]
+    )
+    assert code == EXIT_ERROR
+    assert "missed" in capsys.readouterr().err
+
+
+def test_dist_clean_run_exits_ok(capsys):
+    code = main(
+        [
+            "dist",
+            "--commits",
+            "30",
+            "--clients",
+            "4",
+            "--check-determinism",
+        ]
+    )
+    assert code == EXIT_OK
+    assert "determinism check passed" in capsys.readouterr().out

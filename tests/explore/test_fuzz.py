@@ -1,0 +1,66 @@
+"""Fault-plan fuzzing stays inside its declared budget and is seeded."""
+
+from repro.explore.cases import plan_from_dict
+from repro.explore.fuzz import CoverageMap, FaultBudget, PlanFuzzer
+
+NODES = ["node:events", "node:inventory", "node:orders"]
+
+
+def test_coverage_map_novelty():
+    coverage = CoverageMap()
+    assert coverage.observe(frozenset({"a"}))
+    assert not coverage.observe(frozenset({"a"}))
+    assert coverage.observe(frozenset({"a", "b"}))
+    assert not coverage.observe(frozenset())
+    assert coverage.features == {"a", "b"}
+
+
+def test_proposals_valid_and_within_budget():
+    budget = FaultBudget()
+    fuzzer = PlanFuzzer(budget, seed=7, nodes=NODES)
+    for _ in range(60):
+        proposal = fuzzer.propose()
+        # must survive the real constructor + horizon validation
+        plan = plan_from_dict(proposal)
+        plan.validate_horizon(budget.horizon)
+        assert plan.latency <= budget.max_latency
+        assert plan.jitter <= budget.max_jitter
+        assert plan.drop_rate <= budget.max_drop_rate
+        assert plan.spike_rate <= budget.max_spike_rate
+        assert plan.spike_ticks <= budget.max_spike_ticks
+        assert len(plan.partitions) <= budget.max_partitions
+        assert len(plan.crashes) <= budget.max_crashes
+        for crash in plan.crashes:
+            assert 0 <= crash.at < crash.recover <= budget.horizon
+            assert crash.recover - crash.at <= budget.max_window
+        fuzzer.accept(proposal)  # force lineage growth
+
+
+def test_fuzzer_deterministic_per_seed():
+    streams = []
+    for _ in range(2):
+        fuzzer = PlanFuzzer(FaultBudget(), seed=11, nodes=NODES)
+        stream = []
+        for _ in range(20):
+            proposal = fuzzer.propose()
+            stream.append(proposal)
+            fuzzer.accept(proposal)
+        streams.append(stream)
+    assert streams[0] == streams[1]
+
+
+def test_frontier_is_bounded():
+    fuzzer = PlanFuzzer(FaultBudget(), seed=0, nodes=NODES)
+    for index in range(40):
+        fuzzer.accept({"latency": index % 4})
+    assert len(fuzzer.frontier) == 16
+
+
+def test_invalid_mutations_are_retried_not_raised():
+    # A tiny horizon makes most window mutations invalid; propose()
+    # must keep returning *valid* plans regardless.
+    budget = FaultBudget(horizon=3, max_window=2)
+    fuzzer = PlanFuzzer(budget, seed=3, nodes=NODES)
+    for _ in range(30):
+        plan = plan_from_dict(fuzzer.propose())
+        plan.validate_horizon(budget.horizon)

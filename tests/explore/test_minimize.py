@@ -1,0 +1,118 @@
+"""Minimizer guarantees: determinism, 1-minimality, atom round-trips."""
+
+from repro.explore.cases import ExploreCase, run_case
+from repro.explore.minimize import (
+    case_atoms,
+    minimize,
+    rebuild_case,
+)
+from repro.explore.oracles import check_case
+from repro.explore.perturb import Choice, RandomPerturber
+
+CHOICES = (
+    Choice(point="ready", index=2, pick=1),
+    Choice(point="arrival", index=0, pick=3),
+    Choice(point="deliver", index=7, pick=2),
+)
+
+PLAN = {
+    "latency": 2,
+    "jitter": 1,
+    "drop_rate": 0.01,
+    "spike_rate": 0.05,
+    "spike_ticks": 3,
+    "partitions": [[10, 20, ["node:events"], ["node:inventory"]]],
+    "crashes": [["node:orders", 30, 40]],
+}
+
+
+def test_case_atoms_rebuild_round_trip():
+    case = ExploreCase(dist=True, plan=PLAN, choices=CHOICES)
+    atoms = case_atoms(case)
+    # 3 choices + latency + jitter + drop + spike + partition + crash
+    assert len(atoms) == 9
+    rebuilt = rebuild_case(case, atoms)
+    assert rebuilt.choices == case.choices
+    assert rebuilt.plan == PLAN
+    # dropping everything leaves the baseline case
+    empty = rebuild_case(case, [])
+    assert empty.choices == () and empty.plan == {}
+
+
+def test_minimize_synthetic_is_deterministic_and_1_minimal():
+    case = ExploreCase(dist=True, plan=PLAN, choices=CHOICES)
+
+    def needs(candidate: ExploreCase) -> bool:
+        # the "bug" needs exactly: the arrival choice AND a crash window
+        has_choice = any(
+            c.point == "arrival" and c.index == 0
+            for c in candidate.choices
+        )
+        has_crash = bool(dict(candidate.plan).get("crashes"))
+        return has_choice and has_crash
+
+    first = minimize(case, needs)
+    second = minimize(case, needs)
+    assert first.case.canonical_json() == second.case.canonical_json()
+    assert first.tests == second.tests
+    atoms = case_atoms(first.case)
+    assert len(atoms) == 2
+    assert needs(first.case)
+    for position in range(len(atoms)):
+        smaller = rebuild_case(
+            first.case, atoms[:position] + atoms[position + 1 :]
+        )
+        assert not needs(smaller), "minimized case is not 1-minimal"
+
+
+def test_minimize_respects_max_tests():
+    case = ExploreCase(dist=True, plan=PLAN, choices=CHOICES)
+    result = minimize(case, lambda c: True, max_tests=3)
+    assert result.tests <= 4  # the pass in flight may finish its probe
+
+
+def test_minimize_real_violation_end_to_end():
+    """The paper's Figure 4 machine (TO without read timestamps) under
+    a recorded random episode: shrink, stay violating, verify
+    1-minimality against the real engine."""
+    template = ExploreCase(
+        scheduler="to",
+        mutant="to-no-read-ts",
+        workload={
+            "schema": "inventory",
+            "read_only_share": 0.3,
+            "skew": 0.9,
+            "granules_per_segment": 4,
+        },
+        clients=8,
+        target_commits=80,
+    )
+    case = None
+    for seed in range(8):
+        perturber = RandomPerturber(
+            seed=seed, rate=0.25, points=template.perturb_points
+        )
+        run_case(template, perturber=perturber)
+        candidate = template.with_choices(perturber.recorded)
+        kinds = {v.kind for v in check_case(run_case(candidate))}
+        if "serializability" in kinds:
+            case = candidate
+            break
+    assert case is not None, "no violating episode in 8 seeds"
+
+    def violates(candidate: ExploreCase) -> bool:
+        return any(
+            v.kind == "serializability"
+            for v in check_case(run_case(candidate))
+        )
+
+    result = minimize(case, violates, max_tests=150)
+    assert violates(result.case)
+    assert len(result.case.choices) <= len(case.choices)
+    atoms = case_atoms(result.case)
+    if result.tests < 150:  # budget not exhausted => provably 1-minimal
+        for position in range(len(atoms)):
+            smaller = rebuild_case(
+                result.case, atoms[:position] + atoms[position + 1 :]
+            )
+            assert not violates(smaller)

@@ -1,0 +1,105 @@
+"""The perturbation decision stream: index 0 is always the baseline."""
+
+from repro.explore.perturb import (
+    POINTS,
+    Choice,
+    Perturber,
+    RandomPerturber,
+    ReplayPerturber,
+    ZeroPerturber,
+    neighborhood,
+)
+
+
+def test_choice_round_trip():
+    choice = Choice(point="ready", index=7, pick=2)
+    assert Choice.from_list(choice.to_list()) == choice
+    assert choice.key() == ("ready", 7)
+
+
+def test_zero_perturber_is_baseline_and_records_menu():
+    perturber = ZeroPerturber()
+    assert perturber.choose("ready", 4) == 0
+    assert perturber.choose("ready", 1) == 0
+    assert perturber.choose("deliver", 3) == 0
+    # Every call lands in the menu (per-point call indices), nothing
+    # is recorded as a deviation.
+    assert perturber.seen == {
+        ("ready", 0): 4,
+        ("ready", 1): 1,
+        ("deliver", 0): 3,
+    }
+    assert perturber.recorded == []
+
+
+def test_random_perturber_deterministic_per_seed():
+    picks_a = [RandomPerturber(seed=5, rate=1.0).choose("ready", 6)
+               for _ in range(1)]
+    picks_b = [RandomPerturber(seed=5, rate=1.0).choose("ready", 6)
+               for _ in range(1)]
+    assert picks_a == picks_b
+    # rate=1.0 with n>1 always deviates: never the baseline index.
+    perturber = RandomPerturber(seed=1, rate=1.0)
+    for index in range(50):
+        pick = perturber.choose("ready", 4)
+        assert 1 <= pick <= 3
+
+
+def test_random_perturber_point_gating_keeps_rng_alignment():
+    """A disallowed point returns baseline but consumes the same rng
+    draws, so allowed points see identical picks either way."""
+    full = RandomPerturber(seed=9, rate=1.0, points=POINTS)
+    gated = RandomPerturber(seed=9, rate=1.0, points=("ready",))
+    full_picks, gated_picks = [], []
+    for _ in range(20):
+        full_picks.append((full.choose("deliver", 3), full.choose("ready", 5)))
+        gated_picks.append(
+            (gated.choose("deliver", 3), gated.choose("ready", 5))
+        )
+    assert all(pick == 0 for pick, _ in gated_picks)
+    assert [ready for _, ready in full_picks] == [
+        ready for _, ready in gated_picks
+    ]
+
+
+def test_replay_perturber_replays_recorded_choices():
+    recorder = RandomPerturber(seed=3, rate=0.5)
+    live = [recorder.choose("ready", 5) for _ in range(30)]
+    assert any(live), "seed produced no deviations; pick another"
+    replayer = ReplayPerturber(recorder.recorded)
+    assert [replayer.choose("ready", 5) for _ in range(30)] == live
+
+
+def test_replay_perturber_clamps_out_of_range_picks():
+    replayer = ReplayPerturber([Choice(point="ready", index=0, pick=9)])
+    assert replayer.choose("ready", 3) == 2  # clamped to n-1
+
+
+def test_neighborhood_single_deviations_in_address_order():
+    seen = {("ready", 1): 3, ("ready", 0): 2, ("deliver", 0): 1}
+    probes = list(neighborhood(seen))
+    # one probe per non-baseline pick of each multi-candidate address,
+    # sorted by address; n==1 addresses contribute nothing.
+    assert probes == [
+        (Choice(point="ready", index=0, pick=1),),
+        (Choice(point="ready", index=1, pick=1),),
+        (Choice(point="ready", index=1, pick=2),),
+    ]
+    assert list(neighborhood(seen, points=("deliver",))) == []
+
+
+def test_neighborhood_stride_skips_addresses():
+    seen = {("ready", i): 2 for i in range(6)}
+    strided = list(neighborhood(seen, stride=3))
+    assert len(strided) == 2
+
+
+def test_base_perturber_records_only_nonzero_picks():
+    class AlwaysOne(Perturber):
+        def _pick(self, point, index, n):
+            return 1
+
+    perturber = AlwaysOne()
+    assert perturber.choose("ready", 1) == 0  # single candidate
+    assert perturber.choose("ready", 2) == 1
+    assert [c.to_list() for c in perturber.recorded] == [["ready", 1, 1]]
