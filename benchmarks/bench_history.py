@@ -67,6 +67,16 @@ REQUIRED = {
         "ro_restarts.hdd": int,
         "protocol_errors": int,
     },
+    "BENCH_multicore.json": {
+        "bench": str,
+        "cpu_count": int,
+        "worker_procs": int,
+        "sim_wall_s": (int, float),
+        "proc_wall_s": (int, float),
+        "speedup": (int, float),
+        "parallelism_note": str,
+        "byte_identical": bool,
+    },
     "BENCH_explore_coverage.json": {
         "bench": str,
         "corpus.total": int,
@@ -178,6 +188,13 @@ def headline(name, data):
             f"sync ratio {data['hdd']['ratios']['total']:.3f} vs "
             f"analytic, gossip batching {eager} -> {batched} sends "
             f"(-{saved:.0f}%)"
+        )
+    if name == "BENCH_multicore.json":
+        return (
+            f"proc/sim {data['speedup']:.2f}x "
+            f"({data['proc_wall_s']:.0f}s vs {data['sim_wall_s']:.0f}s, "
+            f"{data['worker_procs']} procs on {data['cpu_count']} "
+            f"core(s), byte_identical={data['byte_identical']})"
         )
     if name == "BENCH_explore_coverage.json":
         corpus = data["corpus"]

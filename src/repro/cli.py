@@ -365,35 +365,64 @@ def _dist_plan(args: argparse.Namespace):
     )
 
 
-def _dist_run(args: argparse.Namespace, trace_sink=None):
+def _dist_run(args: argparse.Namespace, trace_sink=None, transport=None):
     from repro.dist import DistributedRuntime
 
     partition, workload = _build_workload(
         ro_share=args.ro_share, skew=args.skew, schema=args.workload_schema
     )
+    if transport is None:
+        transport = "proc" if getattr(args, "real", False) else "sim"
     runtime = DistributedRuntime(
         partition,
         mode=args.mode,
         plan=_dist_plan(args),
         seed=args.net_seed,
         batch_gossip=args.batch_gossip,
+        transport=transport,
+        procs=getattr(args, "procs", None),
     )
-    result = Simulator(
-        runtime,
-        workload,
-        clients=args.clients,
-        seed=args.seed,
-        target_commits=args.commits,
-        max_steps=max(args.commits * 500, 100_000),
-        audit=True,
-        trace_sink=trace_sink,
-    ).run()
+    try:
+        result = Simulator(
+            runtime,
+            workload,
+            clients=args.clients,
+            seed=args.seed,
+            target_commits=args.commits,
+            max_steps=max(args.commits * 500, 100_000),
+            audit=True,
+            trace_sink=trace_sink,
+        ).run()
+    except BaseException:
+        runtime.close()
+        raise
     return runtime, result
 
 
+def _wall_records(runtime) -> list[tuple]:
+    walls = getattr(runtime, "walls", None)
+    if walls is None:
+        return []
+    return [
+        (w.start_class, w.base_time, w.release_ts, sorted(w.components.items()))
+        for w in walls.released
+    ]
+
+
 def cmd_dist(args: argparse.Namespace) -> int:
+    import signal as signal_mod
+
     from repro.sim.messages import measured_message_report
 
+    # Graceful Ctrl-C / SIGTERM (the serve stack's convention): raise
+    # KeyboardInterrupt so the with/finally blocks below flush the
+    # trace, reap worker processes, and exit 1 — never a zombie or a
+    # truncated JSONL file.
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal_mod.signal(signal_mod.SIGTERM, _interrupt)
+    runtimes = []
     # Exit-code convention (repro.errors): a failed serializability
     # audit or determinism check is a *correctness violation* (exit 2),
     # distinct from operational errors (exit 1) — CI matrix jobs key
@@ -402,15 +431,38 @@ def cmd_dist(args: argparse.Namespace) -> int:
         if args.trace_out:
             with JsonlTraceSink(args.trace_out) as sink:
                 runtime, result = _dist_run(args, trace_sink=sink)
+                runtimes.append(runtime)
                 events_written = sink.events_written
             print(f"{events_written} events -> {args.trace_out}")
         else:
             runtime, result = _dist_run(args)
-        if args.check_determinism:
+            runtimes.append(runtime)
+        if args.check_determinism and args.real:
+            # Process runs are nondeterministic in timing only, so the
+            # twin check replays the same seed through the SimNetwork
+            # and demands the *logical* outcome — committed schedule,
+            # stats, walls — byte-identical (DESIGN.md §16).
+            twin, _ = _dist_run(args, transport="sim")
+            runtimes.append(twin)
+            if str(runtime.schedule) != str(twin.schedule):
+                print("TWIN DIVERGENCE: committed schedules diverge")
+                return EXIT_VIOLATION
+            if runtime.stats != twin.stats:
+                print("TWIN DIVERGENCE: stats diverge")
+                return EXIT_VIOLATION
+            if _wall_records(runtime) != _wall_records(twin):
+                print("TWIN DIVERGENCE: released walls diverge")
+                return EXIT_VIOLATION
+            print(
+                "twin check passed: process run byte-identical to the "
+                "deterministic SimNetwork replay"
+            )
+        elif args.check_determinism:
             # The second run is always untraced, so with --trace-out this
             # check doubles as the non-perturbation assertion: tracing may
             # not change a single byte of the message log or schedule.
             second, _ = _dist_run(args)
+            runtimes.append(second)
             if runtime.network.log_lines() != second.network.log_lines():
                 print("DETERMINISM FAILURE: message logs diverge")
                 return EXIT_VIOLATION
@@ -418,12 +470,21 @@ def cmd_dist(args: argparse.Namespace) -> int:
                 print("DETERMINISM FAILURE: committed schedules diverge")
                 return EXIT_VIOLATION
             print("determinism check passed: two runs byte-identical")
+        # Snapshot while workers are alive: on the proc transport the
+        # stats property is a control RPC fan-out to the children.
+        stats = runtime.stats
     except ConfigError:
         raise  # bad flags: argparse-level failure, not a violation
+    except KeyboardInterrupt:
+        print("interrupted: traces flushed, workers reaped", file=sys.stderr)
+        return EXIT_ERROR
     except ReproError as exc:
         print(f"AUDIT VIOLATION: {exc}", file=sys.stderr)
         return EXIT_VIOLATION
-    stats = runtime.stats
+    finally:
+        for rt in runtimes:
+            rt.close()
+        signal_mod.signal(signal_mod.SIGTERM, previous_term)
     network = runtime.network
     report, extras = measured_message_report(runtime)
     rows = {
@@ -836,10 +897,24 @@ def build_parser() -> argparse.ArgumentParser:
         "govern wall polls (same committed schedule, fewer messages)",
     )
     dist.add_argument(
+        "--real",
+        action="store_true",
+        help="run segment controllers in real OS worker processes "
+        "(ideal plan only; SimNetwork stays the deterministic twin)",
+    )
+    dist.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="worker process count for --real (default: one per node)",
+    )
+    dist.add_argument(
         "--check-determinism",
         action="store_true",
         dest="check_determinism",
-        help="run twice, fail unless message log + schedule match",
+        help="run twice, fail unless message log + schedule match "
+        "(with --real: replay through the SimNetwork twin and compare "
+        "schedule, stats, and walls)",
     )
     dist.add_argument(
         "--message-log",

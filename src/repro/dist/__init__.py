@@ -3,12 +3,22 @@
 One :class:`SegmentNode` per DHG class over a deterministic
 fault-injecting :class:`SimNetwork`, fronted by a
 :class:`DistributedRuntime` coordinator that duck-types the scheduler
-surface the simulator drives.  See DESIGN.md §11.
+surface the simulator drives.  See DESIGN.md §11.  With
+``transport="proc"`` the same nodes run in real OS worker processes
+over a :class:`ProcNetwork` (DESIGN.md §16); the sim path stays the
+deterministic twin.
 """
 
 from repro.dist.digest import DigestLog, DigestTracker, RemoteClock
 from repro.dist.net import Crash, FaultPlan, Message, Partition, SimNetwork
 from repro.dist.node import SegmentNode, node_name
+from repro.dist.proc import (
+    FileBackedWAL,
+    NodeConfig,
+    ProcNetwork,
+    ProcNodeProxy,
+    ProcStoreProxy,
+)
 from repro.dist.runtime import (
     MODES,
     DistributedRuntime,
@@ -23,9 +33,14 @@ __all__ = [
     "DistributedRuntime",
     "FaultPlan",
     "FederatedStore",
+    "FileBackedWAL",
     "MODES",
     "Message",
+    "NodeConfig",
     "Partition",
+    "ProcNetwork",
+    "ProcNodeProxy",
+    "ProcStoreProxy",
     "RemoteClock",
     "SegmentNode",
     "SimNetwork",

@@ -147,6 +147,8 @@ class SegmentNode:
         heartbeat: int = 5,
         batch_gossip: bool = False,
         snapshot_cache: bool = True,
+        wal: Optional[WriteAheadLog] = None,
+        incarnation: int = 0,
     ) -> None:
         self.class_id = class_id
         self.name = node_name(class_id)
@@ -161,11 +163,14 @@ class SegmentNode:
         self.heartbeat = heartbeat
         self.batch_gossip = batch_gossip
         self.snapshot_cache = snapshot_cache
-        self.incarnation = 0
+        self.incarnation = incarnation
         self.known_now = 0
         self.sink: Optional[EventSink] = None
-        #: Durable across crashes: the write-ahead log.
-        self.wal = WriteAheadLog()
+        #: Durable across crashes: the write-ahead log.  Callers may
+        #: inject one (the process transport passes a file-backed log a
+        #: respawned worker recovers from) — the default in-memory log
+        #: keeps sim semantics unchanged.
+        self.wal = WriteAheadLog() if wal is None else wal
         #: Observability state, deliberately crash-immune (owned by the
         #: experiment harness, not the simulated machine).
         self.schedule = Schedule()
@@ -267,6 +272,10 @@ class SegmentNode:
         self.incarnation += 1
         self.known_now = 0
         self._build_volatile()
+
+    def wal_record_count(self) -> int:
+        """Durable record count (shared surface with the proc proxy)."""
+        return len(self.wal.records)
 
     # ------------------------------------------------------------------
     # Message handling

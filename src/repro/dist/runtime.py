@@ -92,6 +92,7 @@ from repro.obs.events import (
     NodeCrashedEvent,
     NodeRecoveredEvent,
     NullSink,
+    WorkerProcessEvent,
     OpSpanEvent,
     ReadEvent,
     WriteEvent,
@@ -255,11 +256,18 @@ class DistributedRuntime:
         clock: Optional[LogicalClock] = None,
         batch_gossip: bool = False,
         snapshot_cache: bool = True,
+        transport: str = "sim",
+        procs: Optional[int] = None,
+        wal_dir: Optional[str] = None,
     ) -> None:
         engine = MODES.get(mode)
         if engine is None:
             raise ConfigError(
                 f"unknown dist mode {mode!r}; choose from {sorted(MODES)}"
+            )
+        if transport not in ("sim", "proc"):
+            raise ConfigError(
+                f"unknown transport {transport!r}; choose 'sim' or 'proc'"
             )
         self.mode = mode
         self.name = f"dist-{mode}"
@@ -269,6 +277,7 @@ class DistributedRuntime:
         self.wall_interval = wall_interval
         self.batch_gossip = batch_gossip and self.is_hdd
         self.snapshot_cache = snapshot_cache
+        self.transport = transport
         self.clock = clock if clock is not None else LogicalClock()
         self.schedule = Schedule()
         self.transactions: dict[int, Transaction] = {}
@@ -281,58 +290,92 @@ class DistributedRuntime:
         #: nodes count operations, the coordinator counts lifecycles).
         self._stats = SchedulerStats()
         # -- network and nodes -----------------------------------------
-        self.network = SimNetwork(
-            self.plan, seed=seed, sink_hook=self._net_event
-        )
         classes = sorted(partition.segments)
+        self.leader_class = None
         if self.is_hdd:
-            leader_class = sorted(
+            self.leader_class = sorted(
                 map(str, partition.index.lowest_classes())
             )[0]
-            self.leader_class = leader_class
-            if self.plan.is_ideal:
-                oracle = self.clock
+        if transport == "proc":
+            from repro.dist.proc import (
+                ProcNetwork,
+                ProcNodeProxy,
+                build_node_configs,
+            )
 
-                def horizon_for(node, cls):
-                    return lambda: oracle.now
-
-            else:
-
-                def horizon_for(node, cls):
-                    return lambda: node._horizons.get(cls, 0)
-
-            self.nodes: dict[SegmentId, SegmentNode] = {}
-            for class_id in classes:
-                peers = sorted(
-                    {
-                        node_name(other)
-                        for other in classes
-                        if other != class_id
-                        and partition.index.comparable(class_id, other)
-                    }
-                    | {node_name(leader_class)}
-                )
-                self.nodes[class_id] = self.NODE_CLASS(
-                    class_id,
-                    self.network,
-                    engine_name=engine,
-                    index=partition.index,
-                    peers=peers,
-                    all_classes=classes,
-                    horizon_for=horizon_for,
-                    leader=class_id == leader_class,
-                    wall_interval=wall_interval,
-                    heartbeat=heartbeat,
-                    batch_gossip=self.batch_gossip,
-                    snapshot_cache=snapshot_cache,
-                )
-        else:
+            configs = build_node_configs(
+                partition,
+                engine,
+                classes,
+                self.leader_class,
+                self.is_hdd,
+                wall_interval,
+                heartbeat,
+                self.batch_gossip,
+                snapshot_cache,
+            )
+            self.network = ProcNetwork(
+                self.plan,
+                seed=seed,
+                sink_hook=self._net_event,
+                node_configs=configs,
+                procs=procs,
+                wal_dir=wal_dir,
+            )
+            self.network.proc_hook = self._proc_event
             self.nodes = {
-                class_id: self.NODE_CLASS(
-                    class_id, self.network, engine_name=engine
-                )
+                class_id: ProcNodeProxy(self.network, class_id)
                 for class_id in classes
             }
+        else:
+            self.network = SimNetwork(
+                self.plan, seed=seed, sink_hook=self._net_event
+            )
+            if self.is_hdd:
+                leader_class = self.leader_class
+                if self.plan.is_ideal:
+                    oracle = self.clock
+
+                    def horizon_for(node, cls):
+                        return lambda: oracle.now
+
+                else:
+
+                    def horizon_for(node, cls):
+                        return lambda: node._horizons.get(cls, 0)
+
+                self.nodes: dict[SegmentId, SegmentNode] = {}
+                for class_id in classes:
+                    peers = sorted(
+                        {
+                            node_name(other)
+                            for other in classes
+                            if other != class_id
+                            and partition.index.comparable(class_id, other)
+                        }
+                        | {node_name(leader_class)}
+                    )
+                    self.nodes[class_id] = self.NODE_CLASS(
+                        class_id,
+                        self.network,
+                        engine_name=engine,
+                        index=partition.index,
+                        peers=peers,
+                        all_classes=classes,
+                        horizon_for=horizon_for,
+                        leader=class_id == leader_class,
+                        wall_interval=wall_interval,
+                        heartbeat=heartbeat,
+                        batch_gossip=self.batch_gossip,
+                        snapshot_cache=snapshot_cache,
+                    )
+            else:
+                self.nodes = {
+                    class_id: self.NODE_CLASS(
+                        class_id, self.network, engine_name=engine
+                    )
+                    for class_id in classes
+                }
         self.network.register(self.COORD, self._on_message)
         self.network.lifecycle_hook = self._node_lifecycle
         self._nodes_by_name = {
@@ -448,8 +491,22 @@ class DistributedRuntime:
                 node=name,
                 incarnation=node.incarnation if node is not None else 0,
                 wal_records=(
-                    len(node.wal.records) if node is not None else 0
+                    node.wal_record_count() if node is not None else 0
                 ),
+            )
+        )
+
+    def _proc_event(self, name: str, pid: int, what: str) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        sink.emit(
+            WorkerProcessEvent(
+                step=self.current_step,
+                ts=self.network.tick_now,
+                node=name,
+                pid=pid,
+                what=what,
             )
         )
 
@@ -537,10 +594,12 @@ class DistributedRuntime:
             self._schedule_retransmit(
                 req_id, dst, kind, wire, self._rto, txn_id, sent.seq
             )
-        if not reliable and sent.fate != "in-flight":
+        if not reliable and sent.fate not in ("in-flight", "delivered"):
             # The request died on the wire and nothing will retransmit
             # it: abandon now instead of burning the poll budget (the
-            # fate is drawn at send time, so this stays deterministic).
+            # fate is drawn at send time, so this stays deterministic;
+            # the proc transport marks enqueued frames "delivered"
+            # immediately, which must not look dead).
             self._pending.discard(req_id)
             self._process_incarnations()
             return None
@@ -583,6 +642,18 @@ class DistributedRuntime:
                 req_id, dst, kind, wire, self._rto, txn_id, sent.seq
             )
 
+    def _crash_capable(self) -> bool:
+        """Can a node lose volatile state in this run?
+
+        True when the fault plan schedules crashes (the sim transport)
+        or the network has already seen a real process die (the proc
+        transport, whose kills are imperative, not planned) — the two
+        gates that arm the wire fence and the commit-time fence.
+        """
+        return bool(self.plan.crashes) or bool(
+            getattr(self.network, "crashes_seen", 0)
+        )
+
     def _touch(self, txn_id: int, class_id: SegmentId) -> None:
         """Record first *stateful* contact for incarnation fencing."""
         name = node_name(class_id)
@@ -623,7 +694,7 @@ class DistributedRuntime:
         client the wait for the node's recovery; the interval closes
         when the retransmitted finalize lands after restart.
         """
-        if not self.plan.crashes:
+        if not self._crash_capable():
             return None
         touched = self._txn_touch.get(txn.txn_id)
         if not touched:
@@ -1146,7 +1217,7 @@ class DistributedRuntime:
         doomed = self._wire_fence(txn)
         if doomed is not None:
             return doomed
-        if self.plan.crashes and not txn.is_read_only:
+        if self._crash_capable() and not txn.is_read_only:
             veto = self._crash_fence(txn)
             if veto is not None:
                 return veto
@@ -1416,3 +1487,21 @@ class DistributedRuntime:
 
     def active_transactions(self) -> list[Transaction]:
         return [t for t in self._active.values() if t.is_active]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release transport resources.
+
+        A no-op on the sim transport; on the process transport it reaps
+        every worker child (graceful EOF, SIGKILL backstop) so no
+        zombie survives the coordinator.  Idempotent; safe from
+        ``finally`` blocks and signal handlers.  The event sink is
+        detached first: close typically runs after the trace file's
+        ``with`` block has already flushed and closed it.
+        """
+        self._sink = None
+        close = getattr(self.network, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,112 @@
+"""Wire codec for carrying dist messages over real OS pipes.
+
+The process transport (:mod:`repro.dist.proc`) moves the *same*
+canonical-JSON message records :class:`~repro.dist.net.SimNetwork`
+logs, framed with the *same* length-prefixed codec ``repro serve``
+speaks (:mod:`repro.serve.protocol`): a 4-byte big-endian length
+followed by compact UTF-8 JSON.  Nothing here invents a new format —
+a message round-trips coordinator → pipe → worker → pipe → coordinator
+byte-for-byte (pinned by ``tests/dist/test_wire.py``).
+
+Frame taxonomy (the ``t`` field):
+
+``msg``
+    A :class:`~repro.dist.net.Message` in flight.  Worker-originated
+    frames carry ``seq 0``; the coordinator's router assigns the global
+    sequence number on arrival so the message log stays a single
+    totally-ordered stream, exactly like ``SimNetwork.send``.
+``boot``
+    First frame the coordinator writes to a fresh worker: the pure-data
+    :class:`~repro.dist.proc.NodeConfig` records to build nodes from.
+``ready``
+    The worker's reply to ``boot`` after WAL replay: pid and per-node
+    WAL record counts, so restart observability is exact.
+``ctl`` / ``ack``
+    A control RPC (stats snapshot, store method, gossip flush,
+    shutdown) and its response.  Control traffic is *not* part of the
+    message log — it is coordination about the experiment, not the
+    experiment.
+``err``
+    A worker's dying breath: the node id and formatted traceback,
+    re-raised coordinator-side as :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dist.net import Message
+from repro.serve.protocol import (  # noqa: F401  (re-exported surface)
+    HEADER,
+    MAX_FRAME,
+    FrameDecoder,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME",
+    "FrameDecoder",
+    "ProtocolError",
+    "decode_payload",
+    "encode_frame",
+    "message_to_wire",
+    "message_from_wire",
+    "ctl_frame",
+    "ack_frame",
+    "err_frame",
+]
+
+
+def message_to_wire(message: Message) -> dict:
+    """A ``msg`` frame payload; key names match ``Message.log_record``."""
+    return {
+        "t": "msg",
+        "seq": message.seq,
+        "src": message.src,
+        "dst": message.dst,
+        "kind": message.kind,
+        "payload": message.payload,
+        "tick": message.send_tick,
+        "lamport": message.lamport,
+        "txn": message.txn_id,
+        "cause": message.parent_span,
+        "rtx": message.retransmit_of,
+    }
+
+
+def message_from_wire(frame: dict) -> Message:
+    """Rebuild a :class:`Message` from a ``msg`` frame.
+
+    ``fate`` is intentionally reset to in-flight: fate is assigned by
+    whichever network the message is travelling on, not carried over
+    the wire.
+    """
+    tick = int(frame.get("tick", 0))
+    return Message(
+        seq=int(frame.get("seq", 0)),
+        src=frame["src"],
+        dst=frame["dst"],
+        kind=frame["kind"],
+        payload=frame.get("payload") or {},
+        send_tick=tick,
+        deliver_tick=tick,
+        lamport=int(frame.get("lamport", 0)),
+        txn_id=frame.get("txn"),
+        parent_span=frame.get("cause"),
+        retransmit_of=frame.get("rtx"),
+    )
+
+
+def ctl_frame(ctl_id: int, op: str, **extra: object) -> dict:
+    return {"t": "ctl", "id": ctl_id, "op": op, **extra}
+
+
+def ack_frame(ctl_id: int, result: object = None) -> dict:
+    return {"t": "ack", "id": ctl_id, "result": result}
+
+
+def err_frame(node: Optional[str], traceback_text: str) -> dict:
+    return {"t": "err", "node": node or "", "traceback": traceback_text}

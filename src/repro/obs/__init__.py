@@ -57,6 +57,7 @@ from repro.obs.events import (
     WallReleasedEvent,
     WallRetiredEvent,
     WallUnpinnedEvent,
+    WorkerProcessEvent,
     WriteEvent,
     event_from_record,
 )
@@ -97,6 +98,7 @@ __all__ = [
     "WallReleasedEvent",
     "WallRetiredEvent",
     "WallUnpinnedEvent",
+    "WorkerProcessEvent",
     "WriteEvent",
     "coverage_features",
     "event_from_record",

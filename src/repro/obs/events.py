@@ -347,6 +347,25 @@ class NodeRecoveredEvent(Event):
     wal_records: int = 0
 
 
+@dataclass(frozen=True, slots=True, kw_only=True)
+class WorkerProcessEvent(Event):
+    """A real worker process changed state (the ``--real`` transport).
+
+    ``what`` is one of ``spawned`` / ``killed`` / ``restarted`` /
+    ``exited``; ``pid`` is the OS process id, so a trace can be joined
+    against system-level tooling (ps, strace, perf).  Logical crash
+    semantics still arrive as :class:`NodeCrashedEvent` /
+    :class:`NodeRecoveredEvent` — this event records the *physical*
+    process lifecycle underneath them.
+    """
+
+    kind: ClassVar[str] = "worker_process"
+
+    node: str = ""
+    pid: int = 0
+    what: str = ""
+
+
 # ----------------------------------------------------------------------
 # Transaction server (repro serve)
 # ----------------------------------------------------------------------
@@ -456,6 +475,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         OpSpanEvent,
         NodeCrashedEvent,
         NodeRecoveredEvent,
+        WorkerProcessEvent,
         ConnOpenedEvent,
         ConnClosedEvent,
         QueueDepthEvent,

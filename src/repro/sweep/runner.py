@@ -82,10 +82,20 @@ def execute_config(config_dict: Mapping[str, object]) -> dict[str, object]:
     config = RunConfig.from_dict(config_dict)
     digest = config_hash(config)
     simulator = build_simulator(config)
-    result = simulator.run()
-    schedule_digest = hashlib.sha256(
-        "\n".join(str(step) for step in simulator.scheduler.schedule).encode()
-    ).hexdigest()
+    try:
+        result = simulator.run()
+        schedule_digest = hashlib.sha256(
+            "\n".join(
+                str(step) for step in simulator.scheduler.schedule
+            ).encode()
+        ).hexdigest()
+    finally:
+        # The proc-transport runtime owns worker children; reap them
+        # before the pool recycles this process (sim schedulers have no
+        # close and skip this).
+        close = getattr(simulator.scheduler, "close", None)
+        if close is not None:
+            close()
     return {
         "hash": digest,
         "config": config.to_dict(),

@@ -199,6 +199,9 @@ def _make_dist_runtime(config: RunConfig, partition):
     wall_interval = int(params.pop("wall_interval", 25))
     heartbeat = int(params.pop("heartbeat", 5))
     batch_gossip = bool(params.pop("batch_gossip", False))
+    transport = str(params.pop("transport", "sim"))
+    raw_procs = params.pop("procs", None)
+    procs = None if raw_procs is None else int(raw_procs)
     plan = FaultPlan(
         latency=int(params.pop("latency", 0)),
         jitter=int(params.pop("jitter", 0)),
@@ -216,6 +219,8 @@ def _make_dist_runtime(config: RunConfig, partition):
         wall_interval=wall_interval,
         heartbeat=heartbeat,
         batch_gossip=batch_gossip,
+        transport=transport,
+        procs=procs,
     )
 
 

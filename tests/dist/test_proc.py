@@ -1,0 +1,188 @@
+"""Process transport: real workers, deterministic twin, real deaths.
+
+The contract under test (ISSUE 10, DESIGN.md §16):
+
+* same seed + ideal plan ⇒ the process-backed run's committed schedule,
+  stats, walls, and store values are byte-identical to the sim-backed
+  twin (HDD and one baseline);
+* killing a worker with SIGKILL and restarting it exercises the
+  existing WAL + incarnation fencing over a *real* process death, and
+  the run still passes the MVSG audit;
+* the coordinator reaps every child on close (no zombies) and
+  propagates worker tracebacks as ``ReproError`` with the node id;
+* the transport refuses non-ideal fault plans (fault injection belongs
+  to the deterministic twin).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.dist import DistributedRuntime, FaultPlan
+from repro.errors import ConfigError, ReproError
+from repro.sim.engine import Simulator
+from repro.sim.inventory import (
+    build_inventory_partition,
+    build_inventory_workload,
+)
+
+COMMITS = 80
+
+
+def wall_records(runtime):
+    walls = getattr(runtime, "walls", None)
+    if walls is None:
+        return []
+    return [
+        (w.start_class, w.base_time, w.release_ts,
+         sorted(w.components.items()))
+        for w in walls.released
+    ]
+
+
+def run_one(mode, transport, procs=None, target_commits=COMMITS,
+            begin_hook=None):
+    partition = build_inventory_partition()
+    workload = build_inventory_workload(
+        partition, read_only_share=0.25, skew=1.0
+    )
+    runtime = DistributedRuntime(
+        partition, mode=mode, seed=42, transport=transport, procs=procs
+    )
+    if begin_hook is not None:
+        inner = runtime.begin
+        runtime.begin = lambda *a, **kw: (begin_hook(runtime),
+                                          inner(*a, **kw))[1]
+    try:
+        result = Simulator(
+            runtime,
+            workload,
+            clients=8,
+            seed=42,
+            target_commits=target_commits,
+            max_steps=200_000,
+            audit=True,
+        ).run()
+        snapshot = {
+            "schedule": str(runtime.schedule),
+            "stats": runtime.stats,
+            "walls": wall_records(runtime),
+            "values": {
+                granule: runtime.store.committed_value(granule)
+                for granule in sorted(runtime.store.granules())
+            },
+            "commits": result.commits,
+            "steps": result.steps,
+        }
+    finally:
+        runtime.close()
+    return runtime, snapshot
+
+
+@pytest.mark.parametrize("mode", ["hdd", "mvto"])
+def test_proc_run_byte_identical_to_sim_twin(mode):
+    _, sim = run_one(mode, "sim")
+    _, proc = run_one(mode, "proc", procs=2)
+    assert proc["schedule"] == sim["schedule"]
+    assert proc["stats"] == sim["stats"]
+    assert proc["walls"] == sim["walls"]
+    assert proc["values"] == sim["values"]
+    assert proc["commits"] == sim["commits"]
+    assert proc["steps"] == sim["steps"]
+
+
+def test_kill_restart_real_process_wal_and_fencing():
+    state = {"begins": 0, "fired": False, "wal_records": 0}
+
+    def maybe_kill(runtime):
+        state["begins"] += 1
+        if state["begins"] == 25 and not state["fired"]:
+            state["fired"] = True
+            victim = sorted(runtime.nodes)[1]
+            worker = runtime.network._worker_of[
+                runtime.nodes[victim].name
+            ]
+            pid = worker.proc.pid
+            runtime.network.kill_node(victim)
+            # SIGKILL + immediate reap: really dead, really collected.
+            assert worker.proc.returncode == -signal.SIGKILL
+            assert runtime.network.is_down(runtime.nodes[victim].name)
+            runtime.network.restart_node(victim)
+            assert worker.proc.pid != pid
+            assert runtime.nodes[victim].incarnation == 1
+            state["wal_records"] = runtime.nodes[
+                victim
+            ].wal_record_count()
+
+    runtime, snapshot = run_one(
+        "hdd", "proc", procs=2, target_commits=120,
+        begin_hook=maybe_kill,
+    )
+    assert state["fired"]
+    # The fresh process recovered durable state from the file-backed
+    # WAL, not from scratch.
+    assert state["wal_records"] > 0
+    # Incarnation fencing killed the transactions whose volatile state
+    # died with the old process (the audit above already passed).
+    fencing = [
+        reason
+        for reason in snapshot["stats"].aborts_by_reason
+        if "lost in-flight state" in reason
+    ]
+    assert fencing, snapshot["stats"].aborts_by_reason
+    assert snapshot["commits"] == 120
+
+
+def test_close_reaps_all_children():
+    partition = build_inventory_partition()
+    runtime = DistributedRuntime(
+        partition, mode="hdd", seed=0, transport="proc"
+    )
+    workers = list(runtime.network._workers)
+    pids = [w.proc.pid for w in workers]
+    assert all(w.proc.returncode is None for w in workers)
+    runtime.close()
+    # Every child exited AND was wait()ed — no zombie rows left for
+    # the coordinator's exit to leak.
+    assert all(w.proc.returncode is not None for w in workers)
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+    runtime.close()  # idempotent
+
+
+def test_worker_traceback_propagates_with_node_id():
+    partition = build_inventory_partition()
+    runtime = DistributedRuntime(
+        partition, mode="hdd", seed=0, transport="proc"
+    )
+    try:
+        victim = runtime.nodes[sorted(runtime.nodes)[0]].name
+        with pytest.raises(ReproError) as excinfo:
+            runtime.network.send(
+                runtime.COORD, victim, "BOGUS", {"no": "req"}
+            )
+            runtime.network.pump(lambda: False, 100)
+        detail = str(excinfo.value)
+        assert victim in detail
+        assert "Traceback" in detail
+    finally:
+        runtime.close()
+
+
+def test_proc_transport_rejects_faulty_plans():
+    partition = build_inventory_partition()
+    with pytest.raises(ConfigError):
+        DistributedRuntime(
+            partition,
+            mode="hdd",
+            plan=FaultPlan(latency=2),
+            transport="proc",
+        )
+
+
+def test_unknown_transport_rejected():
+    partition = build_inventory_partition()
+    with pytest.raises(ConfigError):
+        DistributedRuntime(partition, mode="hdd", transport="carrier-pigeon")
